@@ -1,0 +1,51 @@
+//! Extension: adversarial prune potential. Section 6 of the paper
+//! conjectures that adversarial inputs would show even stronger
+//! prune-potential trade-offs than common corruptions ("for significantly
+//! different corruption models (or adversarial inputs) we may observe more
+//! significant trade-offs"). This harness tests that conjecture with
+//! white-box FGSM attacks against each (pruned) model.
+
+use pruneval::{build_family, inputs_for, preset, Distribution};
+use pv_bench::{banner, pct, scale, Stopwatch};
+use pv_metrics::{fgsm_error_pct, PruneAccuracyCurve};
+use pv_prune::{PruneMethod, WeightThresholding};
+
+fn main() {
+    banner(
+        "Extension — prune potential under white-box FGSM attack",
+        "paper conjecture: adversarial inputs cut the prune potential at \
+         least as hard as the hardest common corruptions",
+    );
+    let cfg = preset("resnet20", scale()).expect("known preset");
+    let method: &dyn PruneMethod = &WeightThresholding;
+    let mut sw = Stopwatch::new();
+    let mut family = build_family(&cfg, method, 0, None);
+    sw.lap("family");
+
+    let test = family.test_set.clone();
+    let images = inputs_for(&family.parent, &test);
+    let labels = test.labels().to_vec();
+
+    for eps in [0.02f32, 0.05, 0.1] {
+        // white-box: every model is attacked against itself
+        let unpruned = fgsm_error_pct(&mut family.parent, &images, &labels, eps);
+        let points: Vec<(f64, f64)> = family
+            .pruned
+            .iter_mut()
+            .map(|pm| {
+                (pm.achieved_ratio, fgsm_error_pct(&mut pm.network, &images, &labels, eps))
+            })
+            .collect();
+        let curve = PruneAccuracyCurve::new(unpruned, points);
+        println!("\n  FGSM eps {eps:.2}: parent adversarial error {unpruned:.2}%");
+        for (r, e) in &curve.points {
+            println!("    PR {:5.1}% -> adversarial error {e:6.2}%", 100.0 * r);
+        }
+        let p = curve.prune_potential(cfg.delta_pct);
+        println!("    adversarial prune potential: {}", pct(p));
+    }
+    sw.lap("attacks");
+
+    let p_nominal = family.potential_on(&Distribution::Nominal, cfg.delta_pct, 1);
+    println!("\n  nominal prune potential for comparison: {}", pct(p_nominal));
+}

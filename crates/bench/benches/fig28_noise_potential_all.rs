@@ -1,0 +1,62 @@
+//! Figure 28: prune potential vs noise level across architectures — the
+//! WideResNet analogue stands out as noise-robust, as in the paper.
+
+use pruneval::{build_family, preset, Distribution};
+use pv_bench::{banner, pct, scale, Stopwatch};
+use pv_data::noise_levels;
+use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
+
+fn main() {
+    banner(
+        "Figure 28 — prune potential vs noise, multiple architectures",
+        "most networks' potential decays with noise; the wide, shallow \
+         WRN16-8 analogue stays comparatively stable",
+    );
+    let models = ["resnet20", "vgg16", "wrn16-8"];
+    let methods: &[&dyn PruneMethod] = if matches!(scale(), pruneval::Scale::Full) {
+        &[&WeightThresholding, &FilterThresholding]
+    } else {
+        &[&WeightThresholding]
+    };
+    let mut sw = Stopwatch::new();
+    let mut wrn_drop = 0.0f64;
+    let mut others_drop: Vec<f64> = Vec::new();
+
+    for name in models {
+        let cfg = preset(name, scale()).expect("known preset");
+        for &method in methods {
+            let mut family = build_family(&cfg, method, 0, None);
+            sw.lap(&format!("{name} {} family", method.name()));
+            print!("  {name:<10} {:<4}", method.name());
+            let mut first = 0.0;
+            let mut last = 0.0;
+            for (i, &eps) in noise_levels().iter().enumerate() {
+                let p = family.potential_on(&Distribution::Noise(eps), cfg.delta_pct, 1);
+                if i == 0 {
+                    first = p;
+                }
+                last = p;
+                print!(" {}", pct(p));
+            }
+            println!();
+            let drop = first - last;
+            if name == "wrn16-8" && method.name() == "WT" {
+                wrn_drop = drop;
+            } else if method.name() == "WT" {
+                others_drop.push(drop);
+            }
+        }
+    }
+    println!("  columns = noise levels {:?}", noise_levels());
+    let avg_others = if others_drop.is_empty() {
+        0.0
+    } else {
+        others_drop.iter().sum::<f64>() / others_drop.len() as f64
+    };
+    println!(
+        "\n  check (WT): WRN potential drop {:.2} <= avg other drop {:.2}: {}",
+        wrn_drop,
+        avg_others,
+        wrn_drop <= avg_others + 1e-9
+    );
+}

@@ -1,0 +1,38 @@
+//! Figure 2 (and Figure 9's per-architecture panels): test accuracy of
+//! iteratively pruned models across target prune ratios for all four
+//! pruning schemes.
+
+use pruneval::{build_family, preset, Distribution};
+use pv_bench::{banner, print_curve, scale, Stopwatch};
+use pv_prune::all_methods;
+
+fn main() {
+    banner(
+        "Figure 2 — prune-accuracy curves, all methods (ResNet20 analogue)",
+        "weight methods (WT, SiPP) stay commensurate to far higher prune \
+         ratios than filter methods (FT, PFP)",
+    );
+    let cfg = preset("resnet20", scale()).expect("known preset");
+    let mut sw = Stopwatch::new();
+    let mut weight_best = 0.0f64;
+    let mut filter_best = 0.0f64;
+    for method in all_methods() {
+        let mut family = build_family(&cfg, method.as_ref(), 0, None);
+        sw.lap(&format!("{} family", method.name()));
+        let curve = family.curve_on(&Distribution::Nominal, 1);
+        print_curve(method.name(), &curve);
+        let p = curve.prune_potential(cfg.delta_pct);
+        println!("  [{}] commensurate up to PR {:.1}%\n", method.name(), 100.0 * p);
+        if method.is_structured() {
+            filter_best = filter_best.max(p);
+        } else {
+            weight_best = weight_best.max(p);
+        }
+    }
+    println!(
+        "check: best weight-method potential ({:.1}%) >= best filter-method potential ({:.1}%): {}",
+        100.0 * weight_best,
+        100.0 * filter_best,
+        weight_best >= filter_best
+    );
+}

@@ -1,0 +1,67 @@
+//! Figures 55–60: difference in excess error under *robust* (re)training —
+//! the correlation between prune ratio and excess error largely
+//! disappears.
+
+use pruneval::robust::{split_distributions, PAPER_SEVERITY};
+use pruneval::{build_family, preset, RobustTraining};
+use pv_bench::{banner, scale, Stopwatch};
+use pv_data::CorruptionSplit;
+use pv_metrics::{fit_through_origin, series_lines};
+use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
+
+fn main() {
+    banner(
+        "Figures 55–60 — excess error with robust (re)training",
+        "with corruption-augmented training the slope of excess error vs \
+         prune ratio shrinks toward zero (compare fig39_excess_error)",
+    );
+    let split = CorruptionSplit::paper_default();
+    let robust = RobustTraining { split: &split, severity: PAPER_SEVERITY };
+    let (_, test_dists) = split_distributions(&split);
+    // excess error against the held-out corruptions only (the paper's
+    // test distribution)
+    let shifted: Vec<_> = test_dists
+        .into_iter()
+        .filter(|d| matches!(d, pruneval::Distribution::Corruption(..)))
+        .collect();
+
+    let cfg = preset("resnet20", scale()).expect("known preset");
+    let methods: &[&dyn PruneMethod] = if matches!(scale(), pruneval::Scale::Full) {
+        &[&WeightThresholding, &FilterThresholding]
+    } else {
+        &[&WeightThresholding]
+    };
+    let mut sw = Stopwatch::new();
+    for &method in methods {
+        // robust run
+        let mut family = build_family(&cfg, method, 0, Some(&robust));
+        sw.lap(&format!("robust {} family", method.name()));
+        let series = family.excess_error_series(&shifted, 1);
+        let robust_fit = fit_through_origin(&series, 300, 13);
+
+        // nominal-training baseline on the same held-out corruptions
+        let mut baseline = build_family(&cfg, method, 0, None);
+        sw.lap(&format!("nominal {} family", method.name()));
+        let base_series = baseline.excess_error_series(&shifted, 1);
+        let base_fit = fit_through_origin(&base_series, 300, 13);
+
+        println!("\n  method {} (held-out corruptions):", method.name());
+        println!("  robust training:");
+        print!("{}", series_lines("    excess", &series));
+        println!(
+            "    slope {:.2} (CI [{:.2}, {:.2}])",
+            robust_fit.slope, robust_fit.ci_low, robust_fit.ci_high
+        );
+        println!("  nominal training:");
+        println!(
+            "    slope {:.2} (CI [{:.2}, {:.2}])",
+            base_fit.slope, base_fit.ci_low, base_fit.ci_high
+        );
+        println!(
+            "  check: |robust slope| {:.2} <= |nominal slope| {:.2}: {}",
+            robust_fit.slope.abs(),
+            base_fit.slope.abs(),
+            robust_fit.slope.abs() <= base_fit.slope.abs() + 1e-9
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 8 (and Figures 48–54) + Table 11: robust (re)training with a
+//! held-out corruption split — prune-accuracy curves stabilize and much of
+//! the prune potential is regained, but held-out corruptions can still
+//! collapse it.
+
+use pruneval::robust::{split_distributions, PAPER_SEVERITY};
+use pruneval::{build_family, preset, Distribution, RobustTraining};
+use pv_bench::{banner, pct, print_curve, scale, Stopwatch};
+use pv_data::CorruptionSplit;
+use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
+use pv_tensor::stats::mean;
+
+fn main() {
+    banner(
+        "Figure 8 — prune potential with robust (re)training (Table 11 split)",
+        "corruptions seen during training keep their prune potential; some \
+         held-out corruptions still collapse it or show high variance",
+    );
+    let split = CorruptionSplit::paper_default();
+    println!("Table 11 split:");
+    println!("  train distribution: {:?}", split.train.iter().map(|c| c.name()).collect::<Vec<_>>());
+    println!("  test  distribution: {:?}", split.test.iter().map(|c| c.name()).collect::<Vec<_>>());
+
+    let cfg = preset("resnet20", scale()).expect("known preset");
+    let robust = RobustTraining { split: &split, severity: PAPER_SEVERITY };
+    let (train_dists, test_dists) = split_distributions(&split);
+    let methods: [&dyn PruneMethod; 2] = [&WeightThresholding, &FilterThresholding];
+    let mut sw = Stopwatch::new();
+
+    for method in methods {
+        let mut family = build_family(&cfg, method, 0, Some(&robust));
+        sw.lap(&format!("robust {} family", method.name()));
+        println!("\n  === method {} (robust training) ===", method.name());
+
+        // (a): prune-accuracy curves on held-out corruptions
+        print_curve("Nominal", &family.curve_on(&Distribution::Nominal, 1));
+        for d in test_dists.iter().take(4) {
+            let curve = family.curve_on(d, 1);
+            print_curve(&d.label(), &curve);
+        }
+
+        // (b): prune potential on train-side vs test-side distributions
+        let mut train_p = Vec::new();
+        println!("\n  prune potential, train-side distributions:");
+        for d in &train_dists {
+            let p = family.potential_on(d, cfg.delta_pct, 1);
+            println!("    {:<16} {}", d.label(), pct(p));
+            train_p.push(p);
+        }
+        let mut test_p = Vec::new();
+        println!("  prune potential, held-out (test-side) distributions:");
+        for d in &test_dists {
+            let p = family.potential_on(d, cfg.delta_pct, 1);
+            println!("    {:<16} {}", d.label(), pct(p));
+            test_p.push(p);
+        }
+        println!(
+            "  avg potential: train-side {} vs held-out {}",
+            pct(mean(&train_p)),
+            pct(mean(&test_p))
+        );
+        sw.lap("evaluation");
+    }
+}

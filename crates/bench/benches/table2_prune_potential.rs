@@ -1,0 +1,67 @@
+//! Table 2 (and Tables 9–10): prune potential on the train distribution
+//! (nominal data) vs the test distribution (average over all corruptions),
+//! per model and method, mean ± std over repetitions.
+
+use pruneval::robust::nominal_distributions;
+use pruneval::{overparameterization_study, preset};
+use pv_bench::{banner, scale, Stopwatch};
+use pv_metrics::{mean_std_cell, TextTable};
+use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
+use pv_tensor::stats::mean;
+
+fn main() {
+    banner(
+        "Table 2 — prune potential, train vs test distribution",
+        "potentials drop by ~10–20 points on the test distribution; the WRN \
+         analogue is the stable exception; the minimum over corruptions is \
+         near 0% for most models",
+    );
+    let full = matches!(scale(), pruneval::Scale::Full);
+    let models = ["resnet20", "wrn16-8"];
+    let methods: [&dyn PruneMethod; 2] = [&WeightThresholding, &FilterThresholding];
+    let (train_dists, mut test_dists) = nominal_distributions();
+    if !full {
+        // two corruptions per category keep the run affordable at Quick
+        test_dists = test_dists.into_iter().step_by(2).collect();
+    }
+    let mut table = TextTable::new(&[
+        "Model", "Method", "Avg Train", "Avg Test", "Diff", "Min Train", "Min Test",
+    ]);
+    let mut sw = Stopwatch::new();
+    let mut diffs: Vec<(String, f64)> = Vec::new();
+
+    for name in models {
+        let mut cfg = preset(name, scale()).expect("known preset");
+        if !full {
+            cfg.repetitions = 1; // Full restores the paper's 3 repetitions
+        }
+        for method in methods {
+            let m = overparameterization_study(&cfg, method, &train_dists, &test_dists, None);
+            sw.lap(&format!("{name} {} study ({} reps)", method.name(), cfg.repetitions));
+            let avg_train: Vec<f64> = m.avg_train.iter().map(|p| 100.0 * p).collect();
+            let avg_test: Vec<f64> = m.avg_test.iter().map(|p| 100.0 * p).collect();
+            let min_train: Vec<f64> = m.min_train.iter().map(|p| 100.0 * p).collect();
+            let min_test: Vec<f64> = m.min_test.iter().map(|p| 100.0 * p).collect();
+            let diff = mean(&avg_test) - mean(&avg_train);
+            diffs.push((format!("{name}/{}", method.name()), diff));
+            table.add_row(vec![
+                name.to_string(),
+                method.name().to_string(),
+                mean_std_cell(&avg_train),
+                mean_std_cell(&avg_test),
+                format!("{diff:+.1}"),
+                mean_std_cell(&min_train),
+                mean_std_cell(&min_test),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    let wrn_wt = diffs.iter().find(|(l, _)| l == "wrn16-8/WT").map(|&(_, d)| d);
+    let r20_wt = diffs.iter().find(|(l, _)| l == "resnet20/WT").map(|&(_, d)| d);
+    if let (Some(w), Some(r)) = (wrn_wt, r20_wt) {
+        println!(
+            "check: WRN's potential drop ({w:+.1}) smaller in magnitude than ResNet20's ({r:+.1}): {}",
+            w.abs() <= r.abs() + 1e-9
+        );
+    }
+}

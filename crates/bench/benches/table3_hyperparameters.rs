@@ -1,0 +1,50 @@
+//! Tables 3 / 5: the training, pruning, and retraining hyperparameters of
+//! every preset (our scaled analogue of the paper's recipes).
+
+use pruneval::{cifar_presets, imagenet_presets, preset};
+use pv_bench::{banner, scale};
+use pv_metrics::TextTable;
+use pv_nn::LrDecay;
+
+fn decay_str(d: &LrDecay) -> String {
+    match d {
+        LrDecay::Constant => "const".to_string(),
+        LrDecay::MultiStep { milestones, gamma } => format!("{gamma}@{milestones:?}"),
+        LrDecay::Every { every, gamma } => format!("{gamma}@every {every}"),
+        LrDecay::Poly { power } => format!("poly^{power}"),
+    }
+}
+
+fn main() {
+    banner(
+        "Tables 3 & 5 — training / pruning / retraining hyperparameters",
+        "every architecture family reuses its original training recipe for \
+         retraining (Renda et al. protocol)",
+    );
+    let mut table = TextTable::new(&[
+        "Model", "Task", "Epochs", "Batch", "LR", "Warmup", "Decay", "Momentum", "Nesterov", "WD",
+        "alpha", "Cycles",
+    ]);
+    let mut all = cifar_presets(scale());
+    all.extend(imagenet_presets(scale()));
+    all.push(preset("mlp", scale()).expect("known preset"));
+    for cfg in &all {
+        let t = &cfg.train;
+        table.add_row(vec![
+            cfg.name.clone(),
+            format!("{}cls {}x{}", cfg.task.classes, cfg.task.height, cfg.task.width),
+            t.epochs.to_string(),
+            t.batch_size.to_string(),
+            format!("{}", t.schedule.base_lr),
+            t.schedule.warmup_epochs.to_string(),
+            decay_str(&t.schedule.decay),
+            format!("{}", t.momentum),
+            if t.nesterov { "yes" } else { "no" }.to_string(),
+            format!("{:.0e}", t.weight_decay),
+            format!("{}", cfg.per_cycle_ratio),
+            cfg.cycles.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(alpha = relative fraction of remaining structures pruned per cycle)");
+}

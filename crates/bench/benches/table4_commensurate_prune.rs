@@ -1,0 +1,76 @@
+//! Tables 4 / 6 / 8 (and the Figure 9/10/11 curves behind them): the
+//! maximal prune ratio (PR) and FLOP reduction (FR) at which each method
+//! still achieves commensurate accuracy (within δ = 0.5%), per model.
+
+use pruneval::{build_family, preset, Distribution};
+use pv_bench::{banner, scale, Stopwatch};
+use pv_metrics::TextTable;
+use pv_prune::all_methods;
+
+fn main() {
+    banner(
+        "Tables 4/6 — commensurate PR and FR per method and model",
+        "weight methods (WT, SiPP) reach far higher PR than filter methods \
+         (FT, PFP); error deltas at the chosen point are within ~delta of 0",
+    );
+    let models: &[&str] = if matches!(scale(), pruneval::Scale::Full) {
+        &["resnet20", "resnet56", "vgg16", "densenet22", "wrn16-8"]
+    } else {
+        &["resnet20"]
+    };
+    let mut table = TextTable::new(&["Model", "Orig Err", "Method", "dErr", "PR", "FR"]);
+    let mut sw = Stopwatch::new();
+    let mut best_weight_pr = 0.0f64;
+    let mut best_filter_pr = 0.0f64;
+
+    for &name in models {
+        let cfg = preset(name, scale()).expect("known preset");
+        for method in all_methods() {
+            let mut family = build_family(&cfg, method.as_ref(), 0, None);
+            sw.lap(&format!("{name} {} family", method.name()));
+            let curve = family.curve_on(&Distribution::Nominal, 1);
+            // the commensurate point: largest PR with err - err0 <= delta,
+            // or the closest measured point if none qualifies
+            let chosen = curve
+                .points
+                .iter()
+                .rev()
+                .find(|&&(_, e)| e - curve.unpruned_error_pct <= cfg.delta_pct)
+                .or_else(|| {
+                    curve.points.iter().min_by(|a, b| {
+                        a.1.partial_cmp(&b.1).expect("finite errors")
+                    })
+                })
+                .copied()
+                .expect("curve has points");
+            let (pr, err) = chosen;
+            // find the matching pruned model for its FLOP reduction
+            let fr = family
+                .pruned
+                .iter()
+                .find(|pm| (pm.achieved_ratio - pr).abs() < 1e-9)
+                .map(|pm| pm.flop_reduction)
+                .unwrap_or(0.0);
+            table.add_row(vec![
+                name.to_string(),
+                format!("{:.2}", curve.unpruned_error_pct),
+                method.name().to_string(),
+                format!("{:+.2}", err - curve.unpruned_error_pct),
+                format!("{:.1}%", 100.0 * pr),
+                format!("{:.1}%", 100.0 * fr),
+            ]);
+            if method.is_structured() {
+                best_filter_pr = best_filter_pr.max(pr);
+            } else {
+                best_weight_pr = best_weight_pr.max(pr);
+            }
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "check: best weight PR {:.1}% >= best filter PR {:.1}%: {}",
+        100.0 * best_weight_pr,
+        100.0 * best_filter_pr,
+        best_weight_pr >= best_filter_pr
+    );
+}

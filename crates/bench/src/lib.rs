@@ -1,0 +1,81 @@
+//! Shared helpers for the table/figure bench harnesses.
+//!
+//! Every `[[bench]]` target in this crate is a `harness = false` binary
+//! that regenerates one table or figure of *Lost in Pruning* (MLSys 2021)
+//! at reduced scale and prints the paper's rows/series. Run one with
+//!
+//! ```sh
+//! cargo bench -p pv-bench --bench fig6_corruption_potential
+//! ```
+//!
+//! and scale the compute with `PV_SCALE=smoke|quick|full` (default
+//! `quick`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pruneval::Scale;
+use pv_metrics::PruneAccuracyCurve;
+use std::time::Instant;
+
+/// Scale for harness runs (reads `PV_SCALE`, default `Quick`).
+pub fn scale() -> Scale {
+    Scale::from_env()
+}
+
+/// Prints a figure/table banner with the paper reference.
+pub fn banner(artifact: &str, claim: &str) {
+    println!("\n================================================================");
+    println!("{artifact}");
+    println!("paper claim: {claim}");
+    println!("scale: {:?} (set PV_SCALE=smoke|quick|full)", scale());
+    println!("================================================================");
+}
+
+/// Prints a prune-accuracy curve as `PR -> error` lines.
+pub fn print_curve(label: &str, curve: &PruneAccuracyCurve) {
+    println!("  [{label}] unpruned error: {:.2}%", curve.unpruned_error_pct);
+    for (r, e) in &curve.points {
+        println!("  [{label}]   PR {:5.1}% -> error {e:6.2}%", 100.0 * r);
+    }
+}
+
+/// A labeled stopwatch for harness phases.
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn new() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Prints and restarts.
+    pub fn lap(&mut self, what: &str) {
+        println!("  ({what} took {:.1?})", self.start.elapsed());
+        self.start = Instant::now();
+    }
+}
+
+/// Formats a ratio in `[0,1]` as a percent string.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), " 50.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

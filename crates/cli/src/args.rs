@@ -1,0 +1,102 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// `--key value` pairs; bare `--key` flags get the value `"true"`.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a message if an option appears twice or a value is dangling.
+pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut parsed = ParsedArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                "true".to_string()
+            };
+            if parsed.options.insert(key.to_string(), value).is_some() {
+                return Err(format!("option --{key} given twice"));
+            }
+        } else if parsed.command.is_empty() {
+            parsed.command = a.clone();
+        } else {
+            return Err(format!("unexpected argument '{a}'"));
+        }
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+impl ParsedArgs {
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Whether a bare flag is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let p = parse(&sv(&["study", "--model", "resnet20", "--verbose"])).expect("parses");
+        assert_eq!(p.command, "study");
+        assert_eq!(p.get_or("model", "x"), "resnet20");
+        assert!(p.has("verbose"));
+        assert_eq!(p.get_or("missing", "d"), "d");
+    }
+
+    #[test]
+    fn numeric_options() {
+        let p = parse(&sv(&["x", "--eps", "0.25"])).expect("parses");
+        assert_eq!(p.get_num("eps", 0.0f32).expect("parses"), 0.25);
+        assert_eq!(p.get_num("other", 7usize).expect("default"), 7);
+        assert!(p.get_num::<usize>("eps", 0).is_err());
+    }
+
+    #[test]
+    fn duplicate_option_rejected() {
+        assert!(parse(&sv(&["x", "--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn stray_positional_rejected() {
+        assert!(parse(&sv(&["x", "y"])).is_err());
+    }
+}

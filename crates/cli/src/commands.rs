@@ -1,0 +1,283 @@
+//! Subcommand implementations.
+
+use crate::args::ParsedArgs;
+use pruneval::{build_family, build_seg_family, preset, Distribution, Scale, SegExperimentConfig};
+use pv_data::{generate, write_pgm, Corruption, TaskSpec};
+use pv_metrics::TextTable;
+use pv_prune::{all_methods, method_by_name, PruneMethod};
+use pv_tensor::Rng;
+use std::path::Path;
+
+const PRESETS: [&str; 9] = [
+    "resnet20", "resnet56", "resnet110", "vgg16", "densenet22", "wrn16-8", "resnet18",
+    "resnet101", "mlp",
+];
+
+fn scale_of(args: &ParsedArgs) -> Result<Scale, String> {
+    match args.get_or("scale", "") {
+        "" => Ok(Scale::from_env()),
+        "smoke" => Ok(Scale::Smoke),
+        "quick" => Ok(Scale::Quick),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("--scale: unknown scale '{other}'")),
+    }
+}
+
+fn method_of(args: &ParsedArgs) -> Result<Box<dyn PruneMethod>, String> {
+    let name = args.get_or("method", "WT");
+    method_by_name(name).ok_or_else(|| format!("--method: unknown method '{name}'"))
+}
+
+/// Parses a distribution spec: `nominal`, `alt`, `noise:<eps>`, or
+/// `<Corruption>:<severity>`.
+fn dist_of(spec: &str) -> Result<Distribution, String> {
+    match spec.to_lowercase().as_str() {
+        "nominal" => return Ok(Distribution::Nominal),
+        "alt" | "alttest" => return Ok(Distribution::AltTestSet),
+        _ => {}
+    }
+    if let Some(eps) = spec.to_lowercase().strip_prefix("noise:") {
+        let eps: f32 = eps.parse().map_err(|_| format!("bad noise level '{eps}'"))?;
+        return Ok(Distribution::Noise(eps));
+    }
+    if let Some((name, sev)) = spec.split_once(':') {
+        let c = Corruption::from_name(name)
+            .ok_or_else(|| format!("unknown corruption '{name}'"))?;
+        let s: u8 = sev.parse().map_err(|_| format!("bad severity '{sev}'"))?;
+        if !(1..=5).contains(&s) {
+            return Err(format!("severity {s} out of range 1..=5"));
+        }
+        return Ok(Distribution::Corruption(c, s));
+    }
+    Err(format!(
+        "bad distribution spec '{spec}' (try nominal | alt | noise:0.2 | Gauss:3)"
+    ))
+}
+
+/// `pruneval list`.
+pub fn list() -> Result<(), String> {
+    println!("model presets:");
+    for p in PRESETS {
+        println!("  {p}");
+    }
+    println!("\npruning methods (paper Table 1):");
+    for m in all_methods() {
+        println!(
+            "  {:<5} {} {}",
+            m.name(),
+            if m.is_structured() { "structured  " } else { "unstructured" },
+            if m.is_data_informed() { "data-informed" } else { "data-free" },
+        );
+    }
+    println!("\ncorruptions (severity 1..=5):");
+    for c in Corruption::ALL {
+        println!("  {:<11} ({:?})", c.name(), c.category());
+    }
+    Ok(())
+}
+
+/// `pruneval study`.
+pub fn study(args: &ParsedArgs) -> Result<(), String> {
+    let scale = scale_of(args)?;
+    let model = args.get_or("model", "resnet20");
+    let cfg = preset(model, scale).ok_or_else(|| format!("unknown preset '{model}'"))?;
+    let method = method_of(args)?;
+    println!(
+        "study: {model} / {} at {scale:?} ({} train samples, {} epochs, {} cycles)",
+        method.name(),
+        cfg.n_train,
+        cfg.train.epochs,
+        cfg.cycles
+    );
+    let t0 = std::time::Instant::now();
+    let mut family = build_family(&cfg, method.as_ref(), 0, None);
+    println!("family built in {:.1?}\n", t0.elapsed());
+
+    let nominal = family.curve_on(&Distribution::Nominal, 1);
+    let mut table = TextTable::new(&["PR %", "FR %", "test error %"]);
+    table.add_row(vec!["0.0".into(), "0.0".into(), format!("{:.2}", nominal.unpruned_error_pct)]);
+    for (pm, (r, e)) in family.pruned.iter().zip(&nominal.points) {
+        table.add_row(vec![
+            format!("{:.1}", 100.0 * r),
+            format!("{:.1}", 100.0 * pm.flop_reduction),
+            format!("{e:.2}"),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let delta = args.get_num("delta", cfg.delta_pct)?;
+    println!("prune potential (delta {delta}%):");
+    let mut dists = vec![Distribution::Nominal, Distribution::AltTestSet, Distribution::Noise(0.2)];
+    dists.extend([
+        Distribution::Corruption(Corruption::Gauss, 3),
+        Distribution::Corruption(Corruption::Fog, 3),
+        Distribution::Corruption(Corruption::Jpeg, 3),
+    ]);
+    for d in &dists {
+        let p = family.potential_on(d, delta, 1);
+        println!("  {:<14} {:5.1}%", d.label(), 100.0 * p);
+    }
+
+    // per-class impact (Hooker et al.'s "selective brain damage") of the
+    // most heavily pruned still-commensurate model (skip with --no-classes)
+    let p_nominal = nominal.prune_potential(delta);
+    if args.has("no-classes") {
+        return write_csv(args, &family, &nominal);
+    }
+    if let Some(idx) = family
+        .pruned
+        .iter()
+        .rposition(|pm| pm.achieved_ratio <= p_nominal + 1e-9)
+    {
+        let test = family.test_set.clone();
+        let images = pruneval::inputs_for(&family.parent, &test);
+        let ratio = family.pruned[idx].achieved_ratio;
+        let mut pruned_net = family.pruned[idx].network.clone();
+        let impact = pv_metrics::class_impact(
+            &mut family.parent,
+            &mut pruned_net,
+            &images,
+            test.labels(),
+        );
+        println!(
+            "\nper-class error delta at PR {:.1}% (aggregate {:+.2} pts):",
+            100.0 * ratio,
+            impact.aggregate_delta
+        );
+        for (class, d) in impact.deltas.iter().enumerate() {
+            println!("  class {class}: {d:+.2} pts");
+        }
+        let hit = impact.disproportionate(2.0);
+        if !hit.is_empty() {
+            println!("  disproportionately affected classes: {hit:?}");
+        }
+    }
+
+    write_csv(args, &family, &nominal)
+}
+
+/// Writes the nominal curve as CSV when `--csv <path>` was given.
+fn write_csv(
+    args: &ParsedArgs,
+    family: &pruneval::StudyFamily,
+    nominal: &pv_metrics::PruneAccuracyCurve,
+) -> Result<(), String> {
+    if let Some(path) = args.options.get("csv") {
+        let mut csv = TextTable::new(&["prune_ratio", "flop_reduction", "test_error_pct"]);
+        csv.add_row(vec!["0".into(), "0".into(), format!("{}", nominal.unpruned_error_pct)]);
+        for (pm, (r, e)) in family.pruned.iter().zip(&nominal.points) {
+            csv.add_row(vec![r.to_string(), pm.flop_reduction.to_string(), e.to_string()]);
+        }
+        std::fs::write(path, csv.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\ncurve written to {path}");
+    }
+    Ok(())
+}
+
+/// `pruneval potential`.
+pub fn potential(args: &ParsedArgs) -> Result<(), String> {
+    let scale = scale_of(args)?;
+    let model = args.get_or("model", "resnet20");
+    let cfg = preset(model, scale).ok_or_else(|| format!("unknown preset '{model}'"))?;
+    let method = method_of(args)?;
+    let dist = dist_of(args.get_or("dist", "nominal"))?;
+    let delta = args.get_num("delta", cfg.delta_pct)?;
+    let mut family = build_family(&cfg, method.as_ref(), 0, None);
+    let curve = family.curve_on(&dist, 1);
+    println!("{model} / {} on {}:", method.name(), dist.label());
+    println!("  unpruned error: {:.2}%", curve.unpruned_error_pct);
+    for (r, e) in &curve.points {
+        println!("  PR {:5.1}% -> error {e:6.2}%", 100.0 * r);
+    }
+    println!(
+        "  prune potential (delta {delta}%): {:.1}%",
+        100.0 * curve.prune_potential(delta)
+    );
+    Ok(())
+}
+
+/// `pruneval corrupt`.
+pub fn corrupt(args: &ParsedArgs) -> Result<(), String> {
+    let name = args.get_or("corruption", "Gauss");
+    let c = Corruption::from_name(name).ok_or_else(|| format!("unknown corruption '{name}'"))?;
+    let severity: u8 = args.get_num("severity", 3)?;
+    if !(1..=5).contains(&severity) {
+        return Err(format!("severity {severity} out of range 1..=5"));
+    }
+    let out = args.get_or("out", "target/corrupt");
+    let dir = Path::new(out);
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {out}: {e}"))?;
+    let ds = generate(&TaskSpec::cifar_like(), 4, 2021);
+    let mut rng = Rng::new(7);
+    let corrupted = c.apply_batch(ds.images(), severity, &mut rng);
+    for i in 0..ds.len() {
+        let clean_path = dir.join(format!("sample{i}_clean.pgm"));
+        let corrupt_path = dir.join(format!("sample{i}_{}_s{severity}.pgm", c.name()));
+        write_pgm(&ds.image(i), &clean_path).map_err(|e| e.to_string())?;
+        write_pgm(&corrupted.slice_first_axis(i, i + 1), &corrupt_path)
+            .map_err(|e| e.to_string())?;
+    }
+    println!("wrote {} clean + corrupted image pairs to {out}", ds.len());
+    Ok(())
+}
+
+/// `pruneval segstudy`.
+pub fn segstudy(args: &ParsedArgs) -> Result<(), String> {
+    let scale = scale_of(args)?;
+    let method = method_of(args)?;
+    let cfg = SegExperimentConfig::voc_like(scale);
+    println!(
+        "segmentation study at {scale:?}: {} object classes, {} train images",
+        cfg.task.object_classes, cfg.n_train
+    );
+    let t0 = std::time::Instant::now();
+    let mut study = build_seg_family(&cfg, method.as_ref());
+    println!("family built in {:.1?}\n", t0.elapsed());
+    let curve = study.iou_curve(None, 1);
+    println!(
+        "[{}] parent IoU error {:.2}%, pixel error {:.2}%",
+        method.name(),
+        curve.unpruned_error_pct,
+        study.parent_pixel_error()
+    );
+    for (r, e) in &curve.points {
+        println!("  PR {:5.1}% -> IoU error {e:6.2}%", 100.0 * r);
+    }
+    println!(
+        "  commensurate PR (delta {}% IoU): {:.1}%",
+        cfg.delta_pct,
+        100.0 * curve.prune_potential(cfg.delta_pct)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_specs_parse() {
+        assert_eq!(dist_of("nominal").expect("parses"), Distribution::Nominal);
+        assert_eq!(dist_of("alt").expect("parses"), Distribution::AltTestSet);
+        assert_eq!(dist_of("noise:0.25").expect("parses"), Distribution::Noise(0.25));
+        assert_eq!(
+            dist_of("gauss:3").expect("parses"),
+            Distribution::Corruption(Corruption::Gauss, 3)
+        );
+        assert!(dist_of("gauss:9").is_err());
+        assert!(dist_of("wat").is_err());
+        assert!(dist_of("noise:abc").is_err());
+    }
+
+    #[test]
+    fn list_runs() {
+        list().expect("list succeeds");
+    }
+
+    #[test]
+    fn presets_cover_zoo() {
+        for p in PRESETS {
+            assert!(preset(p, Scale::Smoke).is_some(), "{p} missing from zoo");
+        }
+    }
+}

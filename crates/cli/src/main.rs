@@ -1,0 +1,75 @@
+//! `pruneval` — command-line interface to the *Lost in Pruning* (MLSys
+//! 2021) reproduction.
+//!
+//! ```text
+//! pruneval list
+//! pruneval study   --model resnet20 --method WT [--scale quick] [--csv out.csv]
+//! pruneval potential --model resnet20 --method WT --dist Gauss:3 [--delta 0.5]
+//! pruneval corrupt --corruption Gauss --severity 3 --out target/corrupt
+//! pruneval segstudy --method WT [--scale quick]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pruneval — reproduce 'Lost in Pruning' (MLSys 2021) experiments
+
+USAGE:
+    pruneval <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list        list model presets, pruning methods, and corruptions
+    study       train + iteratively prune a model; print the prune-accuracy
+                curve and prune potentials across distributions
+                  --model <preset>    (default resnet20)
+                  --method <name>     WT | SiPP | FT | PFP (default WT)
+                  --scale <s>         smoke | quick | full (default quick)
+                  --csv <path>        also write the curve as CSV
+    potential   prune potential on one distribution
+                  --model, --method, --scale as above
+                  --dist <spec>       nominal | alt | noise:<eps> |
+                                      <Corruption>:<severity>  (default nominal)
+                  --delta <pct>       margin in percent (default 0.5)
+    corrupt     write clean + corrupted sample images as PGM files
+                  --corruption <name> (default Gauss)
+                  --severity <1..5>   (default 3)
+                  --out <dir>         (default target/corrupt)
+    segstudy    dense-prediction (VOC-analogue) study
+                  --method, --scale as above
+
+ENVIRONMENT:
+    PV_SCALE    default scale when --scale is not given
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "list" => commands::list(),
+        "study" => commands::study(&parsed),
+        "potential" => commands::potential(&parsed),
+        "corrupt" => commands::corrupt(&parsed),
+        "segstudy" => commands::segstudy(&parsed),
+        "" | "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\nrun `pruneval help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

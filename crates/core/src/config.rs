@@ -1,0 +1,234 @@
+//! Experiment configuration: architecture specs and the knobs of one
+//! prune-evaluate study.
+
+use pv_data::TaskSpec;
+use pv_nn::{models, Network, TrainConfig};
+
+/// A buildable architecture family (the paper's model zoo, scaled down —
+/// see DESIGN.md for the correspondence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchSpec {
+    /// Multi-layer perceptron on flattened inputs.
+    Mlp {
+        /// Hidden layer widths.
+        hidden: Vec<usize>,
+        /// Whether hidden layers use batch normalization.
+        batch_norm: bool,
+    },
+    /// Three-stage residual CNN (ResNet20/56/110 analogue).
+    MiniResNet {
+        /// Base width (stage widths are `w, 2w, 4w`).
+        width: usize,
+        /// Residual blocks per stage.
+        blocks: usize,
+    },
+    /// Plain conv stack with a large FC head (VGG16 analogue).
+    MiniVgg {
+        /// Base width.
+        width: usize,
+    },
+    /// Wide, shallow residual net (WRN16-8 analogue).
+    MiniWideResNet {
+        /// Base width before widening.
+        width: usize,
+        /// Widening factor.
+        widen: usize,
+    },
+    /// Densely connected CNN (DenseNet22 analogue).
+    MiniDenseNet {
+        /// Growth rate.
+        growth: usize,
+        /// Convolutions per dense block.
+        layers: usize,
+    },
+}
+
+impl ArchSpec {
+    /// Instantiates the architecture for a task, with the given
+    /// initialization seed.
+    pub fn build(&self, name: &str, task: &TaskSpec, seed: u64) -> Network {
+        let input = (task.channels, task.height, task.width);
+        match self {
+            ArchSpec::Mlp { hidden, batch_norm } => {
+                models::mlp(name, task.input_dim(), hidden, task.classes, *batch_norm, seed)
+            }
+            ArchSpec::MiniResNet { width, blocks } => {
+                models::mini_resnet(name, input, task.classes, *width, *blocks, seed)
+            }
+            ArchSpec::MiniVgg { width } => models::mini_vgg(name, input, task.classes, *width, seed),
+            ArchSpec::MiniWideResNet { width, widen } => {
+                models::mini_wide_resnet(name, input, task.classes, *width, *widen, seed)
+            }
+            ArchSpec::MiniDenseNet { growth, layers } => {
+                models::mini_densenet(name, input, task.classes, *growth, *layers, seed)
+            }
+        }
+    }
+
+    /// Short family name used in reports.
+    pub fn family(&self) -> &'static str {
+        match self {
+            ArchSpec::Mlp { .. } => "MLP",
+            ArchSpec::MiniResNet { .. } => "MiniResNet",
+            ArchSpec::MiniVgg { .. } => "MiniVGG",
+            ArchSpec::MiniWideResNet { .. } => "MiniWRN",
+            ArchSpec::MiniDenseNet { .. } => "MiniDenseNet",
+        }
+    }
+}
+
+/// Everything needed to run one prune-and-evaluate study: the model, the
+/// task, the training recipe, and the iterative-pruning schedule
+/// (Tables 3/5/7 of the paper, plus the evaluation margin δ).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Report name (e.g. `"resnet20"`).
+    pub name: String,
+    /// The architecture.
+    pub arch: ArchSpec,
+    /// The data-generating task.
+    pub task: TaskSpec,
+    /// Training-set size.
+    pub n_train: usize,
+    /// Test-set size.
+    pub n_test: usize,
+    /// Training (and retraining) hyperparameters.
+    pub train: TrainConfig,
+    /// Number of prune–retrain cycles; each cycle contributes one point to
+    /// the prune-accuracy curve.
+    pub cycles: usize,
+    /// Relative fraction of remaining structures pruned per cycle (the
+    /// paper's α, e.g. 0.85 ⇒ targets 85%, 97.75%, …; smaller values give
+    /// a denser curve).
+    pub per_cycle_ratio: f64,
+    /// Number of independent repetitions (the paper uses 3).
+    pub repetitions: usize,
+    /// Margin δ (percentage points) of Definition 1; the paper uses 0.5.
+    pub delta_pct: f64,
+    /// Base seed; repetition `r` derives its own stream.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The overall target prune ratios implied by the iterative schedule:
+    /// after cycle `i`, `1 − (1 − α)^i`.
+    pub fn target_ratios(&self) -> Vec<f64> {
+        (1..=self.cycles)
+            .map(|i| 1.0 - (1.0 - self.per_cycle_ratio).powi(i as i32))
+            .collect()
+    }
+
+    /// Deterministic per-repetition seed.
+    pub fn rep_seed(&self, rep: usize) -> u64 {
+        self.seed.wrapping_add(0x5EED).wrapping_mul(rep as u64 + 1)
+    }
+
+    /// Changes the epoch budget, rescaling the learning-rate schedule so
+    /// milestones stay at the same *relative* positions. Overriding
+    /// `train.epochs` directly leaves stale milestones behind — use this
+    /// instead.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        use pv_nn::LrDecay;
+        let old = self.train.epochs.max(1);
+        let rescale = |e: usize| -> usize { (e * epochs + old / 2) / old };
+        self.train.schedule.warmup_epochs = rescale(self.train.schedule.warmup_epochs).max(
+            usize::from(self.train.schedule.warmup_epochs > 0),
+        );
+        self.train.schedule.decay = match self.train.schedule.decay.clone() {
+            LrDecay::MultiStep { milestones, gamma } => LrDecay::MultiStep {
+                milestones: milestones.into_iter().map(rescale).collect(),
+                gamma,
+            },
+            LrDecay::Every { every, gamma } => {
+                LrDecay::Every { every: rescale(every).max(1), gamma }
+            }
+            other => other,
+        };
+        self.train.epochs = epochs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_data::TaskSpec;
+    use pv_nn::Schedule;
+
+    fn cfg(arch: ArchSpec) -> ExperimentConfig {
+        ExperimentConfig {
+            name: "test".into(),
+            arch,
+            task: TaskSpec::tiny(),
+            n_train: 32,
+            n_test: 16,
+            train: TrainConfig {
+                epochs: 1,
+                batch_size: 16,
+                schedule: Schedule::constant(0.1),
+                momentum: 0.9,
+                nesterov: false,
+                weight_decay: 1e-4,
+                seed: 0,
+            },
+            cycles: 3,
+            per_cycle_ratio: 0.5,
+            repetitions: 1,
+            delta_pct: 0.5,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn all_arch_specs_build_and_run() {
+        let task = TaskSpec::tiny();
+        for arch in [
+            ArchSpec::Mlp { hidden: vec![16], batch_norm: false },
+            ArchSpec::MiniResNet { width: 2, blocks: 1 },
+            ArchSpec::MiniVgg { width: 2 },
+            ArchSpec::MiniWideResNet { width: 2, widen: 2 },
+            ArchSpec::MiniDenseNet { growth: 2, layers: 2 },
+        ] {
+            let mut net = arch.build("t", &task, 1);
+            assert_eq!(net.num_classes(), task.classes);
+            assert!(net.prunable_param_count() > 0, "{}", arch.family());
+        }
+    }
+
+    #[test]
+    fn target_ratios_compound() {
+        let c = cfg(ArchSpec::Mlp { hidden: vec![8], batch_norm: false });
+        let t = c.target_ratios();
+        assert_eq!(t.len(), 3);
+        assert!((t[0] - 0.5).abs() < 1e-12);
+        assert!((t[1] - 0.75).abs() < 1e-12);
+        assert!((t[2] - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_epochs_rescales_schedule() {
+        use pv_nn::{LrDecay, Schedule};
+        let mut c = cfg(ArchSpec::Mlp { hidden: vec![8], batch_norm: false });
+        c.train.epochs = 10;
+        c.train.schedule = Schedule {
+            base_lr: 0.1,
+            warmup_epochs: 1,
+            decay: LrDecay::MultiStep { milestones: vec![5, 8], gamma: 0.1 },
+        };
+        let c = c.with_epochs(20);
+        assert_eq!(c.train.epochs, 20);
+        match &c.train.schedule.decay {
+            LrDecay::MultiStep { milestones, .. } => assert_eq!(milestones, &vec![10, 16]),
+            other => panic!("unexpected decay {other:?}"),
+        }
+        assert_eq!(c.train.schedule.warmup_epochs, 2);
+    }
+
+    #[test]
+    fn rep_seeds_differ() {
+        let c = cfg(ArchSpec::Mlp { hidden: vec![8], batch_norm: false });
+        assert_ne!(c.rep_seed(0), c.rep_seed(1));
+        assert_ne!(c.rep_seed(1), c.rep_seed(2));
+    }
+}

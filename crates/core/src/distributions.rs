@@ -1,0 +1,125 @@
+//! Test distributions: nominal data, the CIFAR10.1-style alternative test
+//! set, ℓ∞ noise, and the corruption suite.
+
+use pv_data::{generate, linf_noise, Corruption, Dataset, TaskSpec};
+use pv_tensor::Rng;
+
+/// A test distribution `D'` on which prune potential and excess error are
+/// evaluated (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// The nominal test distribution `D` (the train distribution).
+    Nominal,
+    /// A freshly collected test set from a mildly shifted generator
+    /// (CIFAR10.1 analogue).
+    AltTestSet,
+    /// ℓ∞-bounded uniform noise of the given level added to nominal data.
+    Noise(f32),
+    /// One corruption at a severity level (CIFAR10-C analogue; the paper
+    /// evaluates severity 3 of 5).
+    Corruption(Corruption, u8),
+}
+
+impl Distribution {
+    /// Display label used in figures and tables.
+    pub fn label(&self) -> String {
+        match self {
+            Distribution::Nominal => "Nominal".to_string(),
+            Distribution::AltTestSet => "AltTest".to_string(),
+            Distribution::Noise(eps) => format!("Noise({eps:.2})"),
+            Distribution::Corruption(c, s) => format!("{}(s{s})", c.name()),
+        }
+    }
+
+    /// Materializes the distribution as a concrete dataset derived from the
+    /// nominal test set (or, for [`Distribution::AltTestSet`], from the
+    /// shifted generator).
+    ///
+    /// The same `(distribution, seed)` pair always yields the same data.
+    pub fn realize(&self, task: &TaskSpec, nominal_test: &Dataset, seed: u64) -> Dataset {
+        match self {
+            Distribution::Nominal => nominal_test.clone(),
+            Distribution::AltTestSet => {
+                generate(&task.alt_test_variant(), nominal_test.len(), seed ^ 0xA17)
+            }
+            Distribution::Noise(eps) => {
+                let mut rng = Rng::new(seed ^ 0x0153);
+                nominal_test.with_images(linf_noise(nominal_test.images(), *eps, &mut rng))
+            }
+            Distribution::Corruption(c, severity) => {
+                let mut rng = Rng::new(seed ^ u64::from(c.name().len() as u32) ^ 0xC0);
+                nominal_test.with_images(c.apply_batch(nominal_test.images(), *severity, &mut rng))
+            }
+        }
+    }
+
+    /// The paper's standard corruption evaluation grid: every corruption at
+    /// severity 3.
+    pub fn all_corruptions_sev3() -> Vec<Distribution> {
+        Corruption::ALL.iter().map(|&c| Distribution::Corruption(c, 3)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_data::generate_split;
+
+    #[test]
+    fn realize_preserves_labels_and_shape() {
+        let task = TaskSpec::tiny();
+        let (_, test) = generate_split(&task, 8, 16, 1);
+        for dist in [
+            Distribution::Nominal,
+            Distribution::AltTestSet,
+            Distribution::Noise(0.1),
+            Distribution::Corruption(Corruption::Gauss, 3),
+        ] {
+            let d = dist.realize(&task, &test, 7);
+            assert_eq!(d.len(), test.len(), "{}", dist.label());
+            assert_eq!(d.image_shape(), test.image_shape());
+            if !matches!(dist, Distribution::AltTestSet) {
+                assert_eq!(d.labels(), test.labels());
+            }
+        }
+    }
+
+    #[test]
+    fn realization_is_deterministic() {
+        let task = TaskSpec::tiny();
+        let (_, test) = generate_split(&task, 8, 8, 2);
+        let d = Distribution::Corruption(Corruption::Shot, 2);
+        let a = d.realize(&task, &test, 3);
+        let b = d.realize(&task, &test, 3);
+        assert_eq!(a.images(), b.images());
+        let c = d.realize(&task, &test, 4);
+        assert_ne!(a.images(), c.images());
+    }
+
+    #[test]
+    fn nominal_is_identity() {
+        let task = TaskSpec::tiny();
+        let (_, test) = generate_split(&task, 8, 8, 3);
+        let d = Distribution::Nominal.realize(&task, &test, 9);
+        assert_eq!(d.images(), test.images());
+    }
+
+    #[test]
+    fn corruption_grid_covers_suite() {
+        let grid = Distribution::all_corruptions_sev3();
+        assert_eq!(grid.len(), 16);
+        assert!(grid.iter().all(|d| matches!(d, Distribution::Corruption(_, 3))));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<String> =
+            Distribution::all_corruptions_sev3().iter().map(|d| d.label()).collect();
+        labels.push(Distribution::Nominal.label());
+        labels.push(Distribution::Noise(0.1).label());
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

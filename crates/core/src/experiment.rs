@@ -1,0 +1,429 @@
+//! Experiment runners: train a parent, produce the family of pruned
+//! networks (one per prune–retrain cycle), and evaluate curves, prune
+//! potential, and excess error across distributions.
+
+use crate::config::ExperimentConfig;
+use crate::distributions::Distribution;
+use pv_data::{corruption_augment, generate_split, CorruptionSplit, Dataset};
+use pv_metrics::{excess_error_difference, PruneAccuracyCurve};
+use pv_nn::{train, Network, TrainConfig};
+use pv_prune::{PruneContext, PruneMethod};
+use pv_tensor::{Rng, Tensor};
+
+/// Evaluation batch size used everywhere (memory bound, not a result knob).
+pub const EVAL_BATCH: usize = 128;
+
+/// Adapts a dataset's NCHW images to a network's expected input shape
+/// (flattening for MLPs, pass-through for CNNs).
+///
+/// # Panics
+///
+/// Panics if the dataset's per-sample element count does not match the
+/// network's input shape.
+pub fn inputs_for(net: &Network, ds: &Dataset) -> Tensor {
+    let images = ds.images();
+    let per_sample: usize = ds.image_shape().iter().product();
+    let expected: usize = net.input_shape().iter().product();
+    assert_eq!(per_sample, expected, "dataset does not fit network input");
+    if net.input_shape().len() == 1 {
+        images.reshape(&[ds.len(), per_sample])
+    } else {
+        images.clone()
+    }
+}
+
+/// Test error (%) of a network on a dataset.
+pub fn eval_error_pct(net: &mut Network, ds: &Dataset) -> f64 {
+    let x = inputs_for(net, ds);
+    net.test_error_pct(&x, ds.labels(), EVAL_BATCH)
+}
+
+/// One pruned model of a family: the snapshot after a prune–retrain cycle.
+#[derive(Debug, Clone)]
+pub struct PrunedModel {
+    /// Target overall prune ratio of this cycle (schedule value).
+    pub target_ratio: f64,
+    /// Achieved prune ratio over prunable weights.
+    pub achieved_ratio: f64,
+    /// Achieved FLOP reduction.
+    pub flop_reduction: f64,
+    /// The network.
+    pub network: Network,
+}
+
+/// A full study family: the trained parent, an independently initialized
+/// "separate" network trained on the same data, and the pruned models of
+/// every cycle (Section 3.2's experimental unit).
+#[derive(Debug, Clone)]
+pub struct StudyFamily {
+    /// The trained, unpruned parent.
+    pub parent: Network,
+    /// A separately initialized, unpruned network trained on the same data.
+    pub separate: Network,
+    /// Pruned snapshots, one per cycle, ascending prune ratio.
+    pub pruned: Vec<PrunedModel>,
+    /// Training split.
+    pub train_set: Dataset,
+    /// Nominal test split.
+    pub test_set: Dataset,
+    /// The generating task.
+    pub task: pv_data::TaskSpec,
+    /// Pruning method name.
+    pub method: String,
+}
+
+/// Optional robust-training setup: corruptions folded into every training
+/// and retraining batch (Section 6).
+#[derive(Debug, Clone)]
+pub struct RobustTraining<'a> {
+    /// The train/test corruption split (Table 11).
+    pub split: &'a CorruptionSplit,
+    /// Corruption severity used during training.
+    pub severity: u8,
+}
+
+fn train_with_optional_augment(
+    net: &mut Network,
+    x: &Tensor,
+    y: &[usize],
+    cfg: &TrainConfig,
+    robust: Option<&RobustTraining<'_>>,
+    is_flat: bool,
+    image_shape: &[usize],
+) {
+    match robust {
+        None => {
+            train(net, x, y, cfg, None);
+        }
+        Some(r) => {
+            let split = r.split;
+            let severity = r.severity;
+            let shape = image_shape.to_vec();
+            let mut base = corruption_augment(split, severity);
+            // corruptions act on NCHW; round-trip through the image shape
+            // when the network consumes flat inputs
+            let mut hook = move |batch: &mut Tensor, rng: &mut Rng| {
+                if is_flat {
+                    let n = batch.dim(0);
+                    let mut full = vec![n];
+                    full.extend_from_slice(&shape);
+                    let mut img = batch.reshape(&full);
+                    base(&mut img, rng);
+                    *batch = img.reshape(&[n, shape.iter().product()]);
+                } else {
+                    base(batch, rng);
+                }
+            };
+            train(net, x, y, cfg, Some(&mut hook));
+        }
+    }
+}
+
+/// Builds a [`StudyFamily`] for one repetition: generate data, train parent
+/// and separate networks, then run the iterative prune–retrain schedule,
+/// snapshotting the network after every cycle.
+///
+/// `robust` switches on the Section 6 corruption-augmented (re)training.
+pub fn build_family(
+    cfg: &ExperimentConfig,
+    method: &dyn PruneMethod,
+    rep: usize,
+    robust: Option<&RobustTraining<'_>>,
+) -> StudyFamily {
+    let seed = cfg.rep_seed(rep);
+    let (train_set, test_set) = generate_split(&cfg.task, cfg.n_train, cfg.n_test, seed);
+    let is_flat = matches!(cfg.arch, crate::config::ArchSpec::Mlp { .. });
+
+    let mut parent = cfg.arch.build(&cfg.name, &cfg.task, seed.wrapping_add(11));
+    let mut separate = cfg.arch.build(&format!("{}-sep", cfg.name), &cfg.task, seed.wrapping_add(271));
+
+    let x = inputs_for(&parent, &train_set);
+    let y = train_set.labels();
+    let mut tc = cfg.train.clone();
+    tc.seed = seed;
+    train_with_optional_augment(&mut parent, &x, y, &tc, robust, is_flat, &cfg.task.image_shape());
+    tc.seed = seed.wrapping_add(1);
+    train_with_optional_augment(&mut separate, &x, y, &tc, robust, is_flat, &cfg.task.image_shape());
+
+    // sensitivity batch for data-informed methods: a training subsample
+    // (the paper uses validation data; a train subsample avoids test leak)
+    let ctx = if method.is_data_informed() {
+        let mut rng = Rng::new(seed.wrapping_add(999));
+        let sub = train_set.subsample(cfg.n_train.min(64), &mut rng);
+        PruneContext::with_batch(inputs_for(&parent, &sub))
+    } else {
+        PruneContext::data_free()
+    };
+
+    let targets = cfg.target_ratios();
+    let mut net = parent.clone();
+    let mut pruned = Vec::with_capacity(cfg.cycles);
+    for (i, &target) in targets.iter().enumerate() {
+        method.prune(&mut net, cfg.per_cycle_ratio, &ctx);
+        let mut rc = cfg.train.clone();
+        rc.seed = seed.wrapping_add(100 + i as u64);
+        train_with_optional_augment(&mut net, &x, y, &rc, robust, is_flat, &cfg.task.image_shape());
+        pruned.push(PrunedModel {
+            target_ratio: target,
+            achieved_ratio: net.prune_ratio(),
+            flop_reduction: net.flop_reduction(),
+            network: net.clone(),
+        });
+    }
+
+    StudyFamily {
+        parent,
+        separate,
+        pruned,
+        train_set,
+        test_set,
+        task: cfg.task.clone(),
+        method: method.name().to_string(),
+    }
+}
+
+impl StudyFamily {
+    /// Measures the prune-accuracy curve of the family on one distribution.
+    ///
+    /// The x-coordinates are the achieved prune ratios; the reference error
+    /// is the parent's error on the same realized dataset.
+    pub fn curve_on(&mut self, dist: &Distribution, eval_seed: u64) -> PruneAccuracyCurve {
+        let ds = dist.realize(&self.task, &self.test_set, eval_seed);
+        let unpruned = eval_error_pct(&mut self.parent, &ds);
+        let points = self
+            .pruned
+            .iter_mut()
+            .map(|pm| (pm.achieved_ratio, eval_error_pct(&mut pm.network, &ds)))
+            .collect();
+        PruneAccuracyCurve::new(unpruned, points)
+    }
+
+    /// Prune potential (Definition 1) on one distribution.
+    pub fn potential_on(&mut self, dist: &Distribution, delta_pct: f64, eval_seed: u64) -> f64 {
+        self.curve_on(dist, eval_seed).prune_potential(delta_pct)
+    }
+
+    /// The difference-in-excess-error series `ê − e` (Appendix D.5): the
+    /// shifted errors are averaged pointwise over `shifted_dists` before
+    /// differencing against the nominal curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shifted_dists` is empty.
+    pub fn excess_error_series(
+        &mut self,
+        shifted_dists: &[Distribution],
+        eval_seed: u64,
+    ) -> Vec<(f64, f64)> {
+        assert!(!shifted_dists.is_empty(), "need at least one shifted distribution");
+        let nominal = self.curve_on(&Distribution::Nominal, eval_seed);
+        let shifted_curves: Vec<PruneAccuracyCurve> = shifted_dists
+            .iter()
+            .map(|d| self.curve_on(d, eval_seed))
+            .collect();
+        let avg = average_curves(&shifted_curves);
+        excess_error_difference(&nominal, &avg)
+    }
+}
+
+/// Pointwise average of curves measured on the same ratio grid.
+///
+/// # Panics
+///
+/// Panics if `curves` is empty or the grids differ in length.
+pub fn average_curves(curves: &[PruneAccuracyCurve]) -> PruneAccuracyCurve {
+    assert!(!curves.is_empty(), "cannot average zero curves");
+    let n = curves.len() as f64;
+    let grid_len = curves[0].points.len();
+    let unpruned = curves.iter().map(|c| c.unpruned_error_pct).sum::<f64>() / n;
+    let mut points = Vec::with_capacity(grid_len);
+    for i in 0..grid_len {
+        let ratio = curves[0].points[i].0;
+        let mut err = 0.0;
+        for c in curves {
+            assert_eq!(c.points.len(), grid_len, "curve grids differ");
+            err += c.points[i].1;
+        }
+        points.push((ratio, err / n));
+    }
+    PruneAccuracyCurve::new(unpruned, points)
+}
+
+/// Prune potentials of one family on many distributions (one figure-6 bar
+/// group).
+pub fn potentials_by_distribution(
+    family: &mut StudyFamily,
+    dists: &[Distribution],
+    delta_pct: f64,
+    eval_seed: u64,
+) -> Vec<(String, f64)> {
+    dists
+        .iter()
+        .map(|d| (d.label(), family.potential_on(d, delta_pct, eval_seed)))
+        .collect()
+}
+
+/// Aggregate row of the overparameterization tables (Tables 2 / 9 / 10 /
+/// 12 / 13): average and minimum prune potential over the train- and
+/// test-distribution sets, one value per repetition.
+#[derive(Debug, Clone, Default)]
+pub struct OverparamMeasurement {
+    /// Average potential over the train-side distributions, per repetition.
+    pub avg_train: Vec<f64>,
+    /// Average potential over the test-side distributions, per repetition.
+    pub avg_test: Vec<f64>,
+    /// Minimum potential over the train-side distributions, per repetition.
+    pub min_train: Vec<f64>,
+    /// Minimum potential over the test-side distributions, per repetition.
+    pub min_test: Vec<f64>,
+}
+
+/// Runs the full repetition loop for one (config, method) pair and
+/// aggregates prune potentials over train-side and test-side distribution
+/// sets.
+pub fn overparameterization_study(
+    cfg: &ExperimentConfig,
+    method: &dyn PruneMethod,
+    train_dists: &[Distribution],
+    test_dists: &[Distribution],
+    robust: Option<&RobustTraining<'_>>,
+) -> OverparamMeasurement {
+    let mut out = OverparamMeasurement::default();
+    for rep in 0..cfg.repetitions {
+        let mut family = build_family(cfg, method, rep, robust);
+        let eval_seed = cfg.rep_seed(rep) ^ 0xE7A1;
+        let train_p: Vec<f64> = train_dists
+            .iter()
+            .map(|d| family.potential_on(d, cfg.delta_pct, eval_seed))
+            .collect();
+        let test_p: Vec<f64> = test_dists
+            .iter()
+            .map(|d| family.potential_on(d, cfg.delta_pct, eval_seed))
+            .collect();
+        out.avg_train.push(mean_of(&train_p));
+        out.avg_test.push(mean_of(&test_p));
+        out.min_train.push(min_of(&train_p));
+        out.min_test.push(min_of(&test_p));
+    }
+    out
+}
+
+fn mean_of(xs: &[f64]) -> f64 {
+    pv_tensor::stats::mean(xs)
+}
+
+fn min_of(xs: &[f64]) -> f64 {
+    pv_tensor::stats::minimum(xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArchSpec;
+    use pv_data::TaskSpec;
+    use pv_nn::Schedule;
+    use pv_prune::WeightThresholding;
+
+    fn quick_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            name: "quick".into(),
+            arch: ArchSpec::Mlp { hidden: vec![32], batch_norm: false },
+            task: TaskSpec::tiny(),
+            n_train: 128,
+            n_test: 64,
+            train: TrainConfig {
+                epochs: 6,
+                batch_size: 32,
+                schedule: Schedule::constant(0.1),
+                momentum: 0.9,
+                nesterov: false,
+                weight_decay: 1e-4,
+                seed: 0,
+            },
+            cycles: 3,
+            per_cycle_ratio: 0.5,
+            repetitions: 2,
+            delta_pct: 0.5,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn family_builds_and_prunes_progressively() {
+        let cfg = quick_cfg();
+        let mut fam = build_family(&cfg, &WeightThresholding, 0, None);
+        assert_eq!(fam.pruned.len(), 3);
+        assert!(fam.pruned[0].achieved_ratio < fam.pruned[1].achieved_ratio);
+        assert!(fam.pruned[1].achieved_ratio < fam.pruned[2].achieved_ratio);
+        // parent is dense, pruned nets track targets
+        assert_eq!(fam.parent.prune_ratio(), 0.0);
+        assert!((fam.pruned[2].achieved_ratio - 0.875).abs() < 0.02);
+        // parent learned the task well
+        let err = eval_error_pct(&mut fam.parent, &fam.test_set.clone());
+        assert!(err < 25.0, "parent test error {err}%");
+    }
+
+    #[test]
+    fn curve_and_potential_behave() {
+        let cfg = quick_cfg();
+        let mut fam = build_family(&cfg, &WeightThresholding, 0, None);
+        let curve = fam.curve_on(&Distribution::Nominal, 1);
+        assert_eq!(curve.points.len(), 3);
+        let p_nominal = curve.prune_potential(2.0);
+        assert!(p_nominal >= 0.0);
+        // heavy noise should not increase the potential
+        let p_noise = fam.potential_on(&Distribution::Noise(0.5), 2.0, 1);
+        assert!(p_noise <= p_nominal + 1e-9, "noise {p_noise} vs nominal {p_nominal}");
+    }
+
+    #[test]
+    fn excess_error_series_has_grid_shape() {
+        let cfg = quick_cfg();
+        let mut fam = build_family(&cfg, &WeightThresholding, 0, None);
+        let series = fam.excess_error_series(
+            &[Distribution::Noise(0.2), Distribution::Noise(0.3)],
+            1,
+        );
+        assert_eq!(series.len(), 3);
+        assert!(series.iter().all(|(r, _)| (0.0..=1.0).contains(r)));
+    }
+
+    #[test]
+    fn average_curves_mean() {
+        let a = PruneAccuracyCurve::new(1.0, vec![(0.5, 2.0)]);
+        let b = PruneAccuracyCurve::new(3.0, vec![(0.5, 6.0)]);
+        let avg = average_curves(&[a, b]);
+        assert_eq!(avg.unpruned_error_pct, 2.0);
+        assert_eq!(avg.points, vec![(0.5, 4.0)]);
+    }
+
+    #[test]
+    fn overparameterization_study_shapes() {
+        let mut cfg = quick_cfg();
+        cfg.repetitions = 2;
+        cfg.train.epochs = 3;
+        let m = overparameterization_study(
+            &cfg,
+            &WeightThresholding,
+            &[Distribution::Nominal],
+            &[Distribution::Noise(0.3)],
+            None,
+        );
+        assert_eq!(m.avg_train.len(), 2);
+        assert_eq!(m.min_test.len(), 2);
+        for rep in 0..2 {
+            // min <= avg always
+            assert!(m.min_train[rep] <= m.avg_train[rep] + 1e-12);
+            assert!(m.min_test[rep] <= m.avg_test[rep] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn inputs_for_flattens_for_mlp() {
+        let cfg = quick_cfg();
+        let (train_set, _) = generate_split(&cfg.task, 8, 4, 1);
+        let net = cfg.arch.build("m", &cfg.task, 2);
+        let x = inputs_for(&net, &train_set);
+        assert_eq!(x.shape(), &[8, cfg.task.input_dim()]);
+    }
+}

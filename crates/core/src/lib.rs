@@ -1,0 +1,55 @@
+//! # pruneval
+//!
+//! A Rust reproduction of *Lost in Pruning: The Effects of Pruning Neural
+//! Networks beyond Test Accuracy* (Liebenwein, Baykal, Carter, Gifford,
+//! Rus — MLSys 2021), built entirely from scratch on the `pv-*` substrate
+//! crates.
+//!
+//! The paper's question: a pruned network matches its parent's *test
+//! accuracy* — but does it match its *function*? This crate provides the
+//! experiment framework to answer that:
+//!
+//! * [`ExperimentConfig`] / [`ArchSpec`] — one study's model, task, and
+//!   training recipe (the paper's Tables 3/5 presets live in [`zoo`]);
+//! * [`build_family`] — train a parent, a separately initialized twin, and
+//!   the iterative prune–retrain family (Algorithm 1);
+//! * [`Distribution`] — nominal data, the CIFAR10.1-style alternative test
+//!   set, ℓ∞ noise, and 16 corruptions × 5 severities;
+//! * [`StudyFamily::curve_on`] / `potential_on` / `excess_error_series` —
+//!   the paper's Definition 1 (prune potential) and Definition 2 (excess
+//!   error) measurements;
+//! * [`RobustTraining`] + [`robust::split_distributions`] — the Section 6
+//!   corruption-augmented (re)training study.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use pruneval::{build_family, zoo, Distribution, Scale};
+//! use pv_prune::WeightThresholding;
+//!
+//! let cfg = zoo::preset("resnet20", Scale::Smoke).expect("known preset");
+//! let mut family = build_family(&cfg, &WeightThresholding, 0, None);
+//! let nominal = family.potential_on(&Distribution::Nominal, 0.5, 1);
+//! let noisy = family.potential_on(&Distribution::Noise(0.2), 0.5, 1);
+//! println!("prune potential: nominal {nominal:.2}, noisy {noisy:.2}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod distributions;
+pub mod experiment;
+pub mod robust;
+pub mod seg_experiment;
+pub mod zoo;
+
+pub use config::{ArchSpec, ExperimentConfig};
+pub use distributions::Distribution;
+pub use experiment::{
+    average_curves, build_family, eval_error_pct, inputs_for, overparameterization_study,
+    potentials_by_distribution, OverparamMeasurement, PrunedModel, RobustTraining, StudyFamily,
+    EVAL_BATCH,
+};
+pub use seg_experiment::{build_seg_family, SegExperimentConfig, SegPrunedModel, SegStudy};
+pub use zoo::{cifar_presets, imagenet_presets, preset, Scale};

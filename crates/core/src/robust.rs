@@ -1,0 +1,60 @@
+//! Helpers for the robust-pruning experiments of Section 6: mapping a
+//! corruption split (Table 11) onto evaluation distributions.
+
+use crate::distributions::Distribution;
+use pv_data::CorruptionSplit;
+
+/// The severity used throughout the paper's corruption experiments
+/// (level 3 of 5).
+pub const PAPER_SEVERITY: u8 = 3;
+
+/// Expands a corruption split into the paper's evaluation distributions:
+///
+/// * train side — nominal data plus the corruptions seen during training;
+/// * test side — the alternative test set (CIFAR10.1 analogue) plus the
+///   held-out corruptions.
+///
+/// This is exactly the Table 11 construction.
+pub fn split_distributions(split: &CorruptionSplit) -> (Vec<Distribution>, Vec<Distribution>) {
+    let mut train_dists = vec![Distribution::Nominal];
+    train_dists.extend(
+        split.train.iter().map(|&c| Distribution::Corruption(c, PAPER_SEVERITY)),
+    );
+    let mut test_dists = vec![Distribution::AltTestSet];
+    test_dists.extend(
+        split.test.iter().map(|&c| Distribution::Corruption(c, PAPER_SEVERITY)),
+    );
+    (train_dists, test_dists)
+}
+
+/// The non-robust baseline evaluation sets used by Tables 2 / 9 / 10: the
+/// train distribution is nominal data alone; the test distribution is the
+/// full corruption suite.
+pub fn nominal_distributions() -> (Vec<Distribution>, Vec<Distribution>) {
+    (vec![Distribution::Nominal], Distribution::all_corruptions_sev3())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_distributions_mirror_table11() {
+        let split = CorruptionSplit::paper_default();
+        let (train, test) = split_distributions(&split);
+        assert_eq!(train.len(), split.train.len() + 1);
+        assert_eq!(test.len(), split.test.len() + 1);
+        assert!(matches!(train[0], Distribution::Nominal));
+        assert!(matches!(test[0], Distribution::AltTestSet));
+        assert!(train[1..]
+            .iter()
+            .all(|d| matches!(d, Distribution::Corruption(_, PAPER_SEVERITY))));
+    }
+
+    #[test]
+    fn nominal_distributions_shape() {
+        let (train, test) = nominal_distributions();
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 16);
+    }
+}

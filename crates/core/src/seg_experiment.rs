@@ -1,0 +1,201 @@
+//! The dense-prediction (segmentation) study: the paper's DeeplabV3 / VOC
+//! arm (Tables 7–8, Figures 11/37), run on the synthetic segmentation task
+//! with the `mini_segnet` analogue.
+
+use pv_data::{generate_segmentation_split, Corruption, SegDataset, SegTaskSpec};
+use pv_metrics::PruneAccuracyCurve;
+use pv_nn::{iou_error_pct, models, pixel_error_pct, train_segmentation, Network, TrainConfig};
+use pv_prune::{PruneContext, PruneMethod};
+use pv_tensor::Rng;
+
+/// Configuration of one segmentation study.
+#[derive(Debug, Clone)]
+pub struct SegExperimentConfig {
+    /// Report name.
+    pub name: String,
+    /// The segmentation task.
+    pub task: SegTaskSpec,
+    /// Backbone width of the `mini_segnet`.
+    pub width: usize,
+    /// Training-set size.
+    pub n_train: usize,
+    /// Test-set size.
+    pub n_test: usize,
+    /// Training hyperparameters (reused for retraining).
+    pub train: TrainConfig,
+    /// Prune–retrain cycles.
+    pub cycles: usize,
+    /// Relative prune ratio per cycle.
+    pub per_cycle_ratio: f64,
+    /// Margin δ (percentage points of IoU error).
+    pub delta_pct: f64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl SegExperimentConfig {
+    /// The VOC-analogue preset at the given compute scale.
+    pub fn voc_like(scale: crate::zoo::Scale) -> Self {
+        let (n_train, n_test, epochs, cycles) = match scale {
+            crate::zoo::Scale::Smoke => (64, 32, 4, 3),
+            crate::zoo::Scale::Quick => (256, 128, 14, 5),
+            crate::zoo::Scale::Full => (768, 256, 30, 8),
+        };
+        Self {
+            name: "deeplab".to_string(),
+            task: SegTaskSpec::voc_like(),
+            width: 6,
+            n_train,
+            n_test,
+            train: TrainConfig {
+                epochs,
+                batch_size: 16,
+                // the paper's DeeplabV3 recipe: polynomial LR decay
+                schedule: pv_nn::Schedule {
+                    base_lr: 0.05,
+                    warmup_epochs: 0,
+                    decay: pv_nn::LrDecay::Poly { power: 0.9 },
+                },
+                momentum: 0.9,
+                nesterov: false,
+                weight_decay: 1e-4,
+                seed: 0,
+            },
+            cycles,
+            per_cycle_ratio: 0.4,
+            delta_pct: 0.5,
+            seed: 2021,
+        }
+    }
+}
+
+/// One pruned segmentation model snapshot.
+#[derive(Debug, Clone)]
+pub struct SegPrunedModel {
+    /// Achieved prune ratio over prunable weights.
+    pub achieved_ratio: f64,
+    /// Achieved FLOP reduction.
+    pub flop_reduction: f64,
+    /// The network.
+    pub network: Network,
+}
+
+/// A trained segmentation study family.
+#[derive(Debug, Clone)]
+pub struct SegStudy {
+    /// The trained, unpruned parent.
+    pub parent: Network,
+    /// Pruned snapshots, ascending ratio.
+    pub pruned: Vec<SegPrunedModel>,
+    /// Training split.
+    pub train_set: SegDataset,
+    /// Test split.
+    pub test_set: SegDataset,
+    /// The task.
+    pub task: SegTaskSpec,
+}
+
+/// Builds the segmentation family: train, then iteratively prune–retrain.
+pub fn build_seg_family(cfg: &SegExperimentConfig, method: &dyn PruneMethod) -> SegStudy {
+    let (train_set, test_set) =
+        generate_segmentation_split(&cfg.task, cfg.n_train, cfg.n_test, cfg.seed);
+    let input = (cfg.task.channels, cfg.task.height, cfg.task.width);
+    let mut parent =
+        models::mini_segnet(&cfg.name, input, cfg.task.num_classes(), cfg.width, cfg.seed ^ 0x11);
+    let mut tc = cfg.train.clone();
+    tc.seed = cfg.seed;
+    train_segmentation(&mut parent, train_set.images(), train_set.pixel_labels(), &tc);
+
+    let ctx = if method.is_data_informed() {
+        let mut rng = Rng::new(cfg.seed ^ 0x5E6);
+        let k = cfg.n_train.min(32);
+        let idx = rng.sample_indices(cfg.n_train, k);
+        PruneContext::with_batch(train_set.images().gather_first_axis(&idx))
+    } else {
+        PruneContext::data_free()
+    };
+
+    let mut net = parent.clone();
+    let mut pruned = Vec::with_capacity(cfg.cycles);
+    for i in 0..cfg.cycles {
+        method.prune(&mut net, cfg.per_cycle_ratio, &ctx);
+        let mut rc = cfg.train.clone();
+        rc.seed = cfg.seed.wrapping_add(100 + i as u64);
+        train_segmentation(&mut net, train_set.images(), train_set.pixel_labels(), &rc);
+        pruned.push(SegPrunedModel {
+            achieved_ratio: net.prune_ratio(),
+            flop_reduction: net.flop_reduction(),
+            network: net.clone(),
+        });
+    }
+    SegStudy { parent, pruned, train_set, test_set, task: cfg.task.clone() }
+}
+
+impl SegStudy {
+    /// IoU-error prune-accuracy curve on the nominal test set or a
+    /// corrupted variant.
+    pub fn iou_curve(&mut self, corruption: Option<(Corruption, u8)>, eval_seed: u64) -> PruneAccuracyCurve {
+        let images = match corruption {
+            None => self.test_set.images().clone(),
+            Some((c, severity)) => {
+                let mut rng = Rng::new(eval_seed ^ 0xC0);
+                c.apply_batch(self.test_set.images(), severity, &mut rng)
+            }
+        };
+        let labels = self.test_set.pixel_labels();
+        let unpruned = iou_error_pct(&mut self.parent, &images, labels, 32);
+        let points = self
+            .pruned
+            .iter_mut()
+            .map(|pm| (pm.achieved_ratio, iou_error_pct(&mut pm.network, &images, labels, 32)))
+            .collect();
+        PruneAccuracyCurve::new(unpruned, points)
+    }
+
+    /// Top-1 pixel error of the parent on nominal data (the paper's second
+    /// Table 7 metric).
+    pub fn parent_pixel_error(&mut self) -> f64 {
+        pixel_error_pct(
+            &mut self.parent,
+            &self.test_set.images().clone(),
+            self.test_set.pixel_labels(),
+            32,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::Scale;
+    use pv_prune::WeightThresholding;
+
+    #[test]
+    fn seg_family_builds_and_learns() {
+        let mut cfg = SegExperimentConfig::voc_like(Scale::Smoke);
+        cfg.n_train = 128;
+        cfg.train.epochs = 10;
+        cfg.cycles = 3;
+        let mut study = build_seg_family(&cfg, &WeightThresholding);
+        assert_eq!(study.pruned.len(), 3);
+        let err = study.parent_pixel_error();
+        assert!(err < 30.0, "parent pixel error {err}%");
+        let curve = study.iou_curve(None, 1);
+        assert_eq!(curve.points.len(), 3);
+        assert!(curve.unpruned_error_pct < 60.0, "IoU error {}", curve.unpruned_error_pct);
+        // ratios ascend
+        assert!(study.pruned[0].achieved_ratio < study.pruned[2].achieved_ratio);
+    }
+
+    #[test]
+    fn corrupted_curve_not_better_than_nominal() {
+        let mut cfg = SegExperimentConfig::voc_like(Scale::Smoke);
+        cfg.n_train = 96;
+        cfg.train.epochs = 8;
+        cfg.cycles = 2;
+        let mut study = build_seg_family(&cfg, &WeightThresholding);
+        let nominal = study.iou_curve(None, 1);
+        let corrupted = study.iou_curve(Some((Corruption::Gauss, 4)), 1);
+        assert!(corrupted.unpruned_error_pct >= nominal.unpruned_error_pct - 1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Corruption-based data augmentation for robust (re)training (Section 6 /
+//! Table 11 of the paper).
+
+use crate::corruptions::{Category, Corruption};
+use pv_tensor::{Rng, Tensor};
+
+/// A disjoint train/test split of the corruption suite, with every category
+/// represented on both sides — the construction of Table 11.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptionSplit {
+    /// Corruptions folded into the training-time augmentation pipeline.
+    pub train: Vec<Corruption>,
+    /// Held-out corruptions forming the test distribution.
+    pub test: Vec<Corruption>,
+}
+
+impl CorruptionSplit {
+    /// The paper's Table 11 split, transposed onto our 16-corruption suite:
+    /// per category, roughly half the corruptions go to the train
+    /// distribution and the rest are held out.
+    pub fn paper_default() -> Self {
+        use Corruption::*;
+        Self {
+            // Noise: Impulse, Shot -> train; Gauss, Speckle -> test
+            // Blur: Motion, Zoom -> train; Defocus, Glass -> test
+            // Weather: Snow -> train; Brightness, Fog, Frost -> test
+            // Digital: Contrast, Elastic, Pixelate -> train; Jpeg -> test
+            train: vec![Impulse, Shot, Motion, Zoom, Snow, Contrast, Elastic, Pixelate],
+            test: vec![Gauss, Speckle, Defocus, Glass, Brightness, Fog, Frost, Jpeg],
+        }
+    }
+
+    /// A random split: per category, half of the corruptions (rounded down,
+    /// at least one) are assigned to the train side.
+    pub fn random(rng: &mut Rng) -> Self {
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for cat in [Category::Noise, Category::Blur, Category::Weather, Category::Digital] {
+            let mut members: Vec<Corruption> =
+                Corruption::ALL.iter().copied().filter(|c| c.category() == cat).collect();
+            rng.shuffle(&mut members);
+            let k = (members.len() / 2).max(1);
+            train.extend_from_slice(&members[..k]);
+            test.extend_from_slice(&members[k..]);
+        }
+        Self { train, test }
+    }
+
+    /// Checks the defining invariants: disjoint, jointly exhaustive over
+    /// [`Corruption::ALL`], and every category present on both sides.
+    pub fn is_valid(&self) -> bool {
+        let mut all: Vec<Corruption> = self.train.iter().chain(&self.test).copied().collect();
+        all.sort_by_key(|c| c.name());
+        all.dedup();
+        if all.len() != Corruption::ALL.len() {
+            return false;
+        }
+        for cat in [Category::Noise, Category::Blur, Category::Weather, Category::Digital] {
+            if !self.train.iter().any(|c| c.category() == cat) {
+                return false;
+            }
+            if !self.test.iter().any(|c| c.category() == cat) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Builds a training-batch augmentation hook: each batch is corrupted by a
+/// corruption drawn uniformly from `split.train` ∪ {no corruption}, at the
+/// given severity — exactly the Section 6 pipeline.
+///
+/// The returned closure matches `pv_nn::BatchAugment`.
+pub fn corruption_augment(
+    split: &CorruptionSplit,
+    severity: u8,
+) -> impl FnMut(&mut Tensor, &mut Rng) + '_ {
+    move |batch: &mut Tensor, rng: &mut Rng| {
+        let n_options = split.train.len() + 1;
+        let pick = rng.below(n_options);
+        if pick < split.train.len() {
+            *batch = split.train[pick].apply_batch(batch, severity, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, TaskSpec};
+
+    #[test]
+    fn paper_split_is_valid() {
+        assert!(CorruptionSplit::paper_default().is_valid());
+    }
+
+    #[test]
+    fn random_splits_are_valid() {
+        let mut rng = Rng::new(1);
+        for _ in 0..20 {
+            assert!(CorruptionSplit::random(&mut rng).is_valid());
+        }
+    }
+
+    #[test]
+    fn augment_hook_sometimes_corrupts() {
+        let split = CorruptionSplit::paper_default();
+        let clean = generate(&TaskSpec::tiny(), 4, 1).images().clone();
+        let mut hook = corruption_augment(&split, 3);
+        let mut rng = Rng::new(2);
+        let mut changed = 0;
+        let mut unchanged = 0;
+        for _ in 0..40 {
+            let mut batch = clean.clone();
+            hook(&mut batch, &mut rng);
+            if batch == clean {
+                unchanged += 1;
+            } else {
+                changed += 1;
+            }
+        }
+        assert!(changed > 20, "hook almost never corrupted ({changed}/40)");
+        assert!(unchanged > 0, "hook never passed a batch through clean");
+    }
+
+    #[test]
+    fn invalid_split_detected() {
+        let mut split = CorruptionSplit::paper_default();
+        let moved = split.test.pop().expect("nonempty"); // Jpeg, the only Digital test member
+        // dropping a corruption entirely breaks exhaustiveness
+        assert!(!split.is_valid());
+        // re-adding it on the wrong side leaves the test distribution
+        // without a Digital corruption
+        split.train.push(moved);
+        assert!(!split.is_valid());
+    }
+}

@@ -1,0 +1,572 @@
+//! A from-scratch common-corruption suite in the taxonomy of Hendrycks &
+//! Dietterich (2019): 16 corruptions in 4 categories (noise, blur, weather,
+//! digital), each with 5 monotone severity levels.
+//!
+//! This module substitutes for the CIFAR10-C / ImageNet-C / VOC-C datasets
+//! used by the paper (see DESIGN.md). Images are NCHW tensors with values
+//! in `[0, 1]`; corrupted outputs are clamped back to `[0, 1]`.
+
+use pv_tensor::{Rng, Tensor};
+use std::f32::consts::PI;
+
+/// The four corruption categories of the -C benchmarks (Table 11 groups the
+/// train/test split by these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Per-pixel stochastic noise.
+    Noise,
+    /// Spatial low-pass / smearing operations.
+    Blur,
+    /// Weather-like global appearance changes.
+    Weather,
+    /// Compression- and processing-style artifacts.
+    Digital,
+}
+
+/// One corruption type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corruption {
+    /// Additive Gaussian pixel noise.
+    Gauss,
+    /// Shot (Poisson-like) noise whose variance scales with intensity.
+    Shot,
+    /// Salt-and-pepper impulses.
+    Impulse,
+    /// Multiplicative speckle noise.
+    Speckle,
+    /// Defocus (box) blur.
+    Defocus,
+    /// Glass blur: local random pixel displacement.
+    Glass,
+    /// Horizontal motion blur.
+    Motion,
+    /// Zoom blur: average over progressive center zooms.
+    Zoom,
+    /// Snow: bright speckles plus whitening.
+    Snow,
+    /// Frost: dark low-frequency occlusion.
+    Frost,
+    /// Fog: blend toward white with a smooth spatial field.
+    Fog,
+    /// Global brightness increase.
+    Brightness,
+    /// Contrast reduction toward the mean.
+    Contrast,
+    /// Elastic deformation via a smooth displacement field.
+    Elastic,
+    /// Pixelation (down/up-sampling).
+    Pixelate,
+    /// JPEG-like blockwise quantization.
+    Jpeg,
+}
+
+impl Corruption {
+    /// All 16 corruptions in a stable order (noise, blur, weather, digital).
+    pub const ALL: [Corruption; 16] = [
+        Corruption::Gauss,
+        Corruption::Shot,
+        Corruption::Impulse,
+        Corruption::Speckle,
+        Corruption::Defocus,
+        Corruption::Glass,
+        Corruption::Motion,
+        Corruption::Zoom,
+        Corruption::Snow,
+        Corruption::Frost,
+        Corruption::Fog,
+        Corruption::Brightness,
+        Corruption::Contrast,
+        Corruption::Elastic,
+        Corruption::Pixelate,
+        Corruption::Jpeg,
+    ];
+
+    /// The corruption's category.
+    pub fn category(self) -> Category {
+        use Corruption::*;
+        match self {
+            Gauss | Shot | Impulse | Speckle => Category::Noise,
+            Defocus | Glass | Motion | Zoom => Category::Blur,
+            Snow | Frost | Fog | Brightness => Category::Weather,
+            Contrast | Elastic | Pixelate | Jpeg => Category::Digital,
+        }
+    }
+
+    /// Short display name (matches the paper's figure labels).
+    pub fn name(self) -> &'static str {
+        use Corruption::*;
+        match self {
+            Gauss => "Gauss",
+            Shot => "Shot",
+            Impulse => "Impulse",
+            Speckle => "Speckle",
+            Defocus => "Defocus",
+            Glass => "Glass",
+            Motion => "Motion",
+            Zoom => "Zoom",
+            Snow => "Snow",
+            Frost => "Frost",
+            Fog => "Fog",
+            Brightness => "Brightness",
+            Contrast => "Contrast",
+            Elastic => "Elastic",
+            Pixelate => "Pixelate",
+            Jpeg => "Jpeg",
+        }
+    }
+
+    /// Looks a corruption up by its [`Corruption::name`] (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|c| c.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Applies the corruption at `severity ∈ 1..=5` to a whole NCHW batch.
+    ///
+    /// Randomness comes from `rng`, so results are reproducible; the same
+    /// call with the same RNG state yields the same corrupted batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `severity` is outside `1..=5` or `images` is not 4-D.
+    pub fn apply_batch(self, images: &Tensor, severity: u8, rng: &mut Rng) -> Tensor {
+        assert!((1..=5).contains(&severity), "severity must be in 1..=5");
+        assert_eq!(images.ndim(), 4, "corruptions expect NCHW batches");
+        let (n, c, h, w) = (images.dim(0), images.dim(1), images.dim(2), images.dim(3));
+        let mut out = images.clone();
+        let plane = h * w;
+        let sample_len = c * plane;
+        for i in 0..n {
+            let start = i * sample_len;
+            let img = &mut out.data_mut()[start..start + sample_len];
+            apply_sample(self, img, c, h, w, severity, rng);
+        }
+        out.clamp_in_place(0.0, 1.0);
+        out
+    }
+}
+
+impl std::fmt::Display for Corruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Severity knob: linear in `s` with a per-corruption base constant.
+fn sev(severity: u8, per_level: f32) -> f32 {
+    f32::from(severity) * per_level
+}
+
+fn apply_sample(kind: Corruption, img: &mut [f32], c: usize, h: usize, w: usize, s: u8, rng: &mut Rng) {
+    use Corruption::*;
+    match kind {
+        Gauss => {
+            let sigma = sev(s, 0.045);
+            for v in img.iter_mut() {
+                *v += sigma * rng.normal() as f32;
+            }
+        }
+        Shot => {
+            // Poisson noise with rate lambda per unit intensity,
+            // via the normal approximation N(x, x/lambda)
+            let lambda = 120.0 / f32::from(s);
+            for v in img.iter_mut() {
+                let var = (*v).max(0.0) / lambda;
+                *v += var.sqrt() * rng.normal() as f32;
+            }
+        }
+        Impulse => {
+            let p = f64::from(s) * 0.015;
+            for v in img.iter_mut() {
+                if rng.chance(p) {
+                    *v = if rng.chance(0.5) { 1.0 } else { 0.0 };
+                }
+            }
+        }
+        Speckle => {
+            let sigma = sev(s, 0.12);
+            for v in img.iter_mut() {
+                *v *= 1.0 + sigma * rng.normal() as f32;
+            }
+        }
+        Defocus => {
+            let radius = usize::from((s + 2) / 3); // 1,1,1,2,2
+            box_blur(img, c, h, w, radius);
+        }
+        Glass => {
+            let p = f64::from(s) * 0.12;
+            let max_d = 1 + usize::from(s / 4);
+            glass_shuffle(img, c, h, w, max_d, p, rng);
+        }
+        Motion => {
+            let len = 1 + usize::from((s + 1) / 2); // horizontal kernel length 2..4
+            motion_blur(img, c, h, w, len);
+        }
+        Zoom => {
+            let steps = 1 + usize::from(s);
+            zoom_blur(img, c, h, w, steps, 0.02);
+        }
+        Snow => {
+            let p = f64::from(s) * 0.01;
+            let whiten = sev(s, 0.04);
+            for v in img.iter_mut() {
+                if rng.chance(p) {
+                    *v = 1.0;
+                }
+                *v = *v * (1.0 - whiten) + whiten;
+            }
+        }
+        Frost => {
+            let strength = sev(s, 0.08);
+            let fy = rng.uniform_in(0.7, 1.4);
+            let fx = rng.uniform_in(0.7, 1.4);
+            let ph = rng.uniform_in(0.0, 2.0 * PI);
+            field_op(img, c, h, w, |y, x, v| {
+                let field = 0.5
+                    * ((2.0 * PI * fy * y + 2.0 * PI * fx * x + ph).sin() + 1.0)
+                    * 0.5;
+                v * (1.0 - strength * field)
+            });
+        }
+        Fog => {
+            let t = sev(s, 0.05);
+            let fy = rng.uniform_in(0.4, 0.9);
+            let ph = rng.uniform_in(0.0, 2.0 * PI);
+            field_op(img, c, h, w, |y, x, v| {
+                let field = 0.75 + 0.25 * (2.0 * PI * fy * (y + x) + ph).sin();
+                v + t * field * (1.0 - v)
+            });
+        }
+        Brightness => {
+            let b = sev(s, 0.035);
+            for v in img.iter_mut() {
+                *v += b;
+            }
+        }
+        Contrast => {
+            let factor = 1.0 - sev(s, 0.10); // 0.9 .. 0.5
+            let mean = img.iter().sum::<f32>() / img.len() as f32;
+            for v in img.iter_mut() {
+                *v = (*v - mean) * factor + mean;
+            }
+        }
+        Elastic => {
+            let amp = sev(s, 0.35);
+            let fy = rng.uniform_in(1.0, 2.0);
+            let fx = rng.uniform_in(1.0, 2.0);
+            let ph = rng.uniform_in(0.0, 2.0 * PI);
+            elastic_warp(img, c, h, w, amp, fy, fx, ph);
+        }
+        Pixelate => {
+            let block = 2 + usize::from(s > 3) + usize::from(s > 4); // 2,2,2,3,4
+            pixelate(img, c, h, w, block);
+        }
+        Jpeg => {
+            let levels = (14 - 2 * i32::from(s)).max(3) as f32; // 12..4
+            block_quantize(img, c, h, w, levels);
+        }
+    }
+}
+
+/// Applies `f(y_norm, x_norm, value)` to every pixel.
+fn field_op(img: &mut [f32], c: usize, h: usize, w: usize, f: impl Fn(f32, f32, f32) -> f32) {
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let idx = (ci * h + y) * w + x;
+                img[idx] = f(y as f32 / h as f32, x as f32 / w as f32, img[idx]);
+            }
+        }
+    }
+}
+
+/// Separable mean filter with clamped borders.
+fn box_blur(img: &mut [f32], c: usize, h: usize, w: usize, radius: usize) {
+    if radius == 0 {
+        return;
+    }
+    let r = radius as isize;
+    let mut tmp = vec![0.0f32; h * w];
+    for ci in 0..c {
+        let plane = &mut img[ci * h * w..(ci + 1) * h * w];
+        // horizontal
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = 0.0;
+                let mut cnt = 0.0;
+                for d in -r..=r {
+                    let xx = x as isize + d;
+                    if xx >= 0 && xx < w as isize {
+                        acc += plane[y * w + xx as usize];
+                        cnt += 1.0;
+                    }
+                }
+                tmp[y * w + x] = acc / cnt;
+            }
+        }
+        // vertical
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = 0.0;
+                let mut cnt = 0.0;
+                for d in -r..=r {
+                    let yy = y as isize + d;
+                    if yy >= 0 && yy < h as isize {
+                        acc += tmp[yy as usize * w + x];
+                        cnt += 1.0;
+                    }
+                }
+                plane[y * w + x] = acc / cnt;
+            }
+        }
+    }
+}
+
+/// Horizontal mean filter of the given length.
+fn motion_blur(img: &mut [f32], c: usize, h: usize, w: usize, len: usize) {
+    let l = len as isize;
+    for ci in 0..c {
+        let plane = &mut img[ci * h * w..(ci + 1) * h * w];
+        let src = plane.to_vec();
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = 0.0;
+                let mut cnt = 0.0;
+                for d in 0..l {
+                    let xx = x as isize + d - l / 2;
+                    if xx >= 0 && xx < w as isize {
+                        acc += src[y * w + xx as usize];
+                        cnt += 1.0;
+                    }
+                }
+                plane[y * w + x] = acc / cnt;
+            }
+        }
+    }
+}
+
+/// Randomly swaps nearby pixels (the classic glass-blur construction);
+/// each pixel is displaced with probability `p`.
+fn glass_shuffle(img: &mut [f32], c: usize, h: usize, w: usize, max_d: usize, p: f64, rng: &mut Rng) {
+    for ci in 0..c {
+        let base = ci * h * w;
+        for y in 0..h {
+            for x in 0..w {
+                if !rng.chance(p) {
+                    continue;
+                }
+                let dy = rng.below(2 * max_d + 1) as isize - max_d as isize;
+                let dx = rng.below(2 * max_d + 1) as isize - max_d as isize;
+                let yy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
+                let xx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
+                img.swap(base + y * w + x, base + yy * w + xx);
+            }
+        }
+    }
+}
+
+/// Bilinear sample from a plane with clamped coordinates.
+fn bilinear(plane: &[f32], h: usize, w: usize, y: f32, x: f32) -> f32 {
+    let y = y.clamp(0.0, (h - 1) as f32);
+    let x = x.clamp(0.0, (w - 1) as f32);
+    let y0 = y.floor() as usize;
+    let x0 = x.floor() as usize;
+    let y1 = (y0 + 1).min(h - 1);
+    let x1 = (x0 + 1).min(w - 1);
+    let fy = y - y0 as f32;
+    let fx = x - x0 as f32;
+    let v00 = plane[y0 * w + x0];
+    let v01 = plane[y0 * w + x1];
+    let v10 = plane[y1 * w + x0];
+    let v11 = plane[y1 * w + x1];
+    v00 * (1.0 - fy) * (1.0 - fx) + v01 * (1.0 - fy) * fx + v10 * fy * (1.0 - fx) + v11 * fy * fx
+}
+
+/// Averages the image with progressively zoomed-in versions of itself.
+fn zoom_blur(img: &mut [f32], c: usize, h: usize, w: usize, steps: usize, step_zoom: f32) {
+    let cy = (h - 1) as f32 / 2.0;
+    let cx = (w - 1) as f32 / 2.0;
+    for ci in 0..c {
+        let plane = img[ci * h * w..(ci + 1) * h * w].to_vec();
+        let out = &mut img[ci * h * w..(ci + 1) * h * w];
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = plane[y * w + x];
+                for k in 1..=steps {
+                    let z = 1.0 + step_zoom * k as f32;
+                    let sy = cy + (y as f32 - cy) / z;
+                    let sx = cx + (x as f32 - cx) / z;
+                    acc += bilinear(&plane, h, w, sy, sx);
+                }
+                out[y * w + x] = acc / (steps + 1) as f32;
+            }
+        }
+    }
+}
+
+/// Warps the image with a smooth sinusoidal displacement field.
+fn elastic_warp(img: &mut [f32], c: usize, h: usize, w: usize, amp: f32, fy: f32, fx: f32, ph: f32) {
+    for ci in 0..c {
+        let plane = img[ci * h * w..(ci + 1) * h * w].to_vec();
+        let out = &mut img[ci * h * w..(ci + 1) * h * w];
+        for y in 0..h {
+            for x in 0..w {
+                let yn = y as f32 / h as f32;
+                let xn = x as f32 / w as f32;
+                let dy = amp * (2.0 * PI * fy * xn + ph).sin();
+                let dx = amp * (2.0 * PI * fx * yn + ph).cos();
+                out[y * w + x] = bilinear(&plane, h, w, y as f32 + dy, x as f32 + dx);
+            }
+        }
+    }
+}
+
+/// Replaces each `block × block` tile by its mean.
+fn pixelate(img: &mut [f32], c: usize, h: usize, w: usize, block: usize) {
+    for ci in 0..c {
+        let plane = &mut img[ci * h * w..(ci + 1) * h * w];
+        let mut y = 0;
+        while y < h {
+            let mut x = 0;
+            let yb = (y + block).min(h);
+            while x < w {
+                let xb = (x + block).min(w);
+                let mut acc = 0.0;
+                for yy in y..yb {
+                    for xx in x..xb {
+                        acc += plane[yy * w + xx];
+                    }
+                }
+                let mean = acc / ((yb - y) * (xb - x)) as f32;
+                for yy in y..yb {
+                    for xx in x..xb {
+                        plane[yy * w + xx] = mean;
+                    }
+                }
+                x += block;
+            }
+            y += block;
+        }
+    }
+}
+
+/// Quantizes each 4×4 block's deviations from its mean — a cheap stand-in
+/// for JPEG's blockwise DCT quantization.
+fn block_quantize(img: &mut [f32], c: usize, h: usize, w: usize, levels: f32) {
+    const B: usize = 4;
+    for ci in 0..c {
+        let plane = &mut img[ci * h * w..(ci + 1) * h * w];
+        let mut y = 0;
+        while y < h {
+            let yb = (y + B).min(h);
+            let mut x = 0;
+            while x < w {
+                let xb = (x + B).min(w);
+                let mut acc = 0.0;
+                for yy in y..yb {
+                    for xx in x..xb {
+                        acc += plane[yy * w + xx];
+                    }
+                }
+                let mean = acc / ((yb - y) * (xb - x)) as f32;
+                for yy in y..yb {
+                    for xx in x..xb {
+                        let d = plane[yy * w + xx] - mean;
+                        plane[yy * w + xx] = mean + (d * levels).round() / levels;
+                    }
+                }
+                x += B;
+            }
+            y += B;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, TaskSpec};
+
+    fn batch() -> Tensor {
+        generate(&TaskSpec::tiny(), 8, 1).images().clone()
+    }
+
+    #[test]
+    fn all_corruptions_preserve_shape_and_range() {
+        let x = batch();
+        for c in Corruption::ALL {
+            for s in 1..=5u8 {
+                let mut rng = Rng::new(42);
+                let y = c.apply_batch(&x, s, &mut rng);
+                assert_eq!(y.shape(), x.shape(), "{c} s{s}");
+                assert!(
+                    y.data().iter().all(|&v| (0.0..=1.0).contains(&v)),
+                    "{c} s{s} out of range"
+                );
+                assert!(y.all_finite(), "{c} s{s} produced non-finite values");
+            }
+        }
+    }
+
+    #[test]
+    fn corruptions_actually_change_images() {
+        let x = batch();
+        for c in Corruption::ALL {
+            let mut rng = Rng::new(7);
+            let y = c.apply_batch(&x, 3, &mut rng);
+            let dist = y.sub(&x).l2_norm();
+            assert!(dist > 1e-3, "{c} left the batch unchanged");
+        }
+    }
+
+    #[test]
+    fn severity_is_roughly_monotone() {
+        // distance from the clean batch should (weakly) grow with severity
+        let x = batch();
+        for c in Corruption::ALL {
+            let mut d1_rng = Rng::new(3);
+            let mut d5_rng = Rng::new(3);
+            let d1 = c.apply_batch(&x, 1, &mut d1_rng).sub(&x).l2_norm();
+            let d5 = c.apply_batch(&x, 5, &mut d5_rng).sub(&x).l2_norm();
+            assert!(
+                d5 > 0.8 * d1,
+                "{c}: severity 5 ({d5}) not stronger than severity 1 ({d1})"
+            );
+        }
+    }
+
+    #[test]
+    fn categories_are_balanced() {
+        let mut counts = std::collections::HashMap::new();
+        for c in Corruption::ALL {
+            *counts.entry(c.category()).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        assert!(counts.values().all(|&n| n == 4));
+    }
+
+    #[test]
+    fn from_name_roundtrip() {
+        for c in Corruption::ALL {
+            assert_eq!(Corruption::from_name(c.name()), Some(c));
+            assert_eq!(Corruption::from_name(&c.name().to_lowercase()), Some(c));
+        }
+        assert_eq!(Corruption::from_name("nope"), None);
+    }
+
+    #[test]
+    fn deterministic_given_rng_state() {
+        let x = batch();
+        let mut r1 = Rng::new(9);
+        let mut r2 = Rng::new(9);
+        let a = Corruption::Gauss.apply_batch(&x, 3, &mut r1);
+        let b = Corruption::Gauss.apply_batch(&x, 3, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "severity")]
+    fn severity_zero_panics() {
+        let x = batch();
+        Corruption::Gauss.apply_batch(&x, 0, &mut Rng::new(1));
+    }
+}

@@ -1,0 +1,163 @@
+//! Labeled image datasets.
+
+use pv_tensor::{Rng, Tensor};
+
+/// A labeled image dataset with NCHW storage.
+///
+/// # Examples
+///
+/// ```
+/// use pv_data::Dataset;
+/// use pv_tensor::Tensor;
+///
+/// let images = Tensor::zeros(&[4, 1, 2, 2]);
+/// let ds = Dataset::new(images, vec![0, 1, 0, 1], 2);
+/// assert_eq!(ds.len(), 4);
+/// assert_eq!(ds.image_shape(), &[1, 2, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Wraps images (`[N, C, H, W]`) and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image tensor is not 4-D, the label count differs from
+    /// `N`, or a label is out of range.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(images.ndim(), 4, "images must be NCHW");
+        assert_eq!(images.dim(0), labels.len(), "image/label count mismatch");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range for {num_classes} classes"
+        );
+        Self { images, labels, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Per-sample shape `[C, H, W]`.
+    pub fn image_shape(&self) -> &[usize] {
+        &self.images.shape()[1..]
+    }
+
+    /// All images, `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// A single image as a `[1, C, H, W]` tensor.
+    pub fn image(&self, i: usize) -> Tensor {
+        self.images.slice_first_axis(i, i + 1)
+    }
+
+    /// Label of sample `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Returns a new dataset containing samples `[start, end)`.
+    pub fn slice(&self, start: usize, end: usize) -> Self {
+        Self {
+            images: self.images.slice_first_axis(start, end),
+            labels: self.labels[start..end].to_vec(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Returns a new dataset of `k` samples drawn without replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > self.len()`.
+    pub fn subsample(&self, k: usize, rng: &mut Rng) -> Self {
+        let idx = rng.sample_indices(self.len(), k);
+        Self {
+            images: self.images.gather_first_axis(&idx),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Replaces the images, keeping labels (used to build corrupted
+    /// variants of a test set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new tensor's shape differs from the current one.
+    pub fn with_images(&self, images: Tensor) -> Self {
+        assert_eq!(images.shape(), self.images.shape(), "image shape change");
+        Self { images, labels: self.labels.clone(), num_classes: self.num_classes }
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::from_fn(&[6, 1, 2, 2], |i| i as f32);
+        Dataset::new(images, vec![0, 1, 2, 0, 1, 2], 3)
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = tiny();
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds.num_classes(), 3);
+        assert_eq!(ds.image_shape(), &[1, 2, 2]);
+        assert_eq!(ds.label(4), 1);
+        assert_eq!(ds.image(1).data(), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(ds.class_counts(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn slice_and_subsample() {
+        let ds = tiny();
+        let s = ds.slice(2, 5);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels(), &[2, 0, 1]);
+        let mut rng = Rng::new(1);
+        let sub = ds.subsample(4, &mut rng);
+        assert_eq!(sub.len(), 4);
+        assert!(sub.labels().iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_labels_panic() {
+        Dataset::new(Tensor::zeros(&[1, 1, 2, 2]), vec![7], 3);
+    }
+}

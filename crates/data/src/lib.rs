@@ -1,0 +1,49 @@
+//! # pv-data
+//!
+//! Data substrate for the `pruneval` workspace (a Rust reproduction of
+//! *Lost in Pruning*, Liebenwein et al., MLSys 2021): procedurally
+//! generated image-classification tasks, a 16-corruption × 5-severity
+//! common-corruption suite, ℓ∞ noise injection, and the robust-training
+//! augmentation pipeline.
+//!
+//! The synthetic tasks substitute for CIFAR10 / ImageNet, the corruption
+//! suite for CIFAR10-C / ImageNet-C, and the `alt_test_variant` generator
+//! for CIFAR10.1 — see DESIGN.md for the substitution rationale.
+//!
+//! # Examples
+//!
+//! ```
+//! use pv_data::{generate_split, Corruption, TaskSpec};
+//! use pv_tensor::Rng;
+//!
+//! let spec = TaskSpec::tiny();
+//! let (train, test) = generate_split(&spec, 64, 32, 0);
+//! assert_eq!(train.len(), 64);
+//!
+//! // a corrupted variant of the test set (CIFAR10-C analogue, severity 3)
+//! let mut rng = Rng::new(1);
+//! let shifted = Corruption::Gauss.apply_batch(test.images(), 3, &mut rng);
+//! let corrupted = test.with_images(shifted);
+//! assert_eq!(corrupted.len(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod corruptions;
+pub mod dataset;
+pub mod noise;
+pub mod pgm;
+pub mod segmentation;
+pub mod synth;
+
+pub use augment::{corruption_augment, CorruptionSplit};
+pub use corruptions::{Category, Corruption};
+pub use dataset::Dataset;
+pub use noise::{linf_noise, noise_levels};
+pub use pgm::{ascii_art, write_pgm};
+pub use segmentation::{
+    generate_segmentation, generate_segmentation_split, SegDataset, SegTaskSpec,
+};
+pub use synth::{generate, generate_split, TaskSpec};

@@ -1,0 +1,54 @@
+//! ℓ∞-bounded uniform noise injection (Section 4.1 / Figure 1 of the
+//! paper).
+
+use pv_tensor::{Rng, Tensor};
+
+/// Adds i.i.d. uniform noise in `[−eps, eps]` to every entry.
+///
+/// Following the paper, the noise is injected into the (normalized) input
+/// without clamping, so the perturbation is exactly ℓ∞-bounded by `eps`.
+///
+/// # Panics
+///
+/// Panics if `eps < 0`.
+pub fn linf_noise(x: &Tensor, eps: f32, rng: &mut Rng) -> Tensor {
+    assert!(eps >= 0.0, "noise bound must be non-negative");
+    if eps == 0.0 {
+        return x.clone();
+    }
+    x.map(|v| v + rng.uniform_in(-eps, eps))
+}
+
+/// The noise-level grid used by the paper's Figure 1 / Figure 28 style
+/// sweeps.
+pub fn noise_levels() -> Vec<f32> {
+    vec![0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_eps_is_identity() {
+        let x = Tensor::from_vec(vec![2, 2], vec![0.1, 0.5, 0.9, 0.3]);
+        let y = linf_noise(&x, 0.0, &mut Rng::new(1));
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn noise_is_linf_bounded() {
+        let x = Tensor::zeros(&[4, 1, 8, 8]);
+        let eps = 0.25;
+        let y = linf_noise(&x, eps, &mut Rng::new(2));
+        assert!(y.max_abs_diff(&x) <= eps + 1e-6);
+        assert!(y.max_abs_diff(&x) > eps * 0.5, "noise suspiciously small");
+    }
+
+    #[test]
+    fn levels_start_at_zero_and_increase() {
+        let ls = noise_levels();
+        assert_eq!(ls[0], 0.0);
+        assert!(ls.windows(2).all(|p| p[0] < p[1]));
+    }
+}

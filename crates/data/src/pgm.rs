@@ -1,0 +1,87 @@
+//! Plain-text PGM image dumps (used by the Figure 5 harness to emit the
+//! noisy example images the paper shows to a human test subject).
+
+use pv_tensor::Tensor;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes channel 0 of a `[1, C, H, W]` or `[C, H, W]` image as an ASCII
+/// PGM (P2) file, mapping `[0, 1]` to `0..=255` with clamping.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+///
+/// # Panics
+///
+/// Panics if the tensor rank is not 3 or 4.
+pub fn write_pgm(image: &Tensor, path: &Path) -> io::Result<()> {
+    let (h, w, plane): (usize, usize, &[f32]) = match image.ndim() {
+        4 => {
+            let (h, w) = (image.dim(2), image.dim(3));
+            (h, w, &image.data()[..h * w])
+        }
+        3 => {
+            let (h, w) = (image.dim(1), image.dim(2));
+            (h, w, &image.data()[..h * w])
+        }
+        n => panic!("write_pgm expects a 3-D or 4-D tensor, got rank {n}"),
+    };
+    let mut out = String::with_capacity(h * w * 4 + 32);
+    out.push_str(&format!("P2\n{w} {h}\n255\n"));
+    for y in 0..h {
+        let row: Vec<String> = (0..w)
+            .map(|x| format!("{}", (plane[y * w + x].clamp(0.0, 1.0) * 255.0).round() as u8))
+            .collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
+}
+
+/// Renders channel 0 as coarse ASCII art (useful in terminal reports).
+pub fn ascii_art(image: &Tensor) -> String {
+    let (h, w, plane): (usize, usize, &[f32]) = match image.ndim() {
+        4 => (image.dim(2), image.dim(3), &image.data()[..image.dim(2) * image.dim(3)]),
+        3 => (image.dim(1), image.dim(2), &image.data()[..image.dim(1) * image.dim(2)]),
+        n => panic!("ascii_art expects a 3-D or 4-D tensor, got rank {n}"),
+    };
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let mut s = String::with_capacity((w + 1) * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = plane[y * w + x].clamp(0.0, 1.0);
+            let i = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            s.push(RAMP[i] as char);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_roundtrip_header() {
+        let img = Tensor::from_fn(&[1, 4, 4], |i| i as f32 / 15.0);
+        let dir = std::env::temp_dir().join("pv_data_pgm_test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("t.pgm");
+        write_pgm(&img, &path).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.starts_with("P2\n4 4\n255\n"));
+        assert!(text.trim_end().ends_with("255"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ascii_art_dimensions() {
+        let img = Tensor::zeros(&[1, 3, 5]);
+        let art = ascii_art(&img);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.lines().all(|l| l.len() == 5));
+    }
+}

@@ -1,0 +1,299 @@
+//! Procedural dense-prediction (segmentation) tasks — the Pascal VOC
+//! substitute for the paper's DeeplabV3 experiments (Tables 7–8,
+//! Figures 11/37).
+//!
+//! Each image is a cluttered background with 1–3 textured objects
+//! (rectangles/disks) drawn from class-specific texture families; the
+//! label map assigns every pixel its object class (0 = background).
+
+use pv_tensor::{Rng, Tensor};
+use std::f32::consts::PI;
+
+/// Parameters of a synthetic segmentation task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegTaskSpec {
+    /// Object classes (label 0 is background, labels 1..=object_classes are
+    /// objects), so the prediction problem has `object_classes + 1` classes.
+    pub object_classes: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Pixel-noise standard deviation.
+    pub pixel_noise: f32,
+    /// Background clutter amplitude.
+    pub clutter: f32,
+    /// Minimum object radius (pixels).
+    pub min_radius: usize,
+    /// Maximum object radius (pixels).
+    pub max_radius: usize,
+}
+
+impl SegTaskSpec {
+    /// The VOC-analogue default: 4 object classes + background on 16×16
+    /// grayscale images.
+    pub fn voc_like() -> Self {
+        Self {
+            object_classes: 4,
+            channels: 1,
+            height: 16,
+            width: 16,
+            pixel_noise: 0.05,
+            clutter: 0.25,
+            min_radius: 3,
+            max_radius: 5,
+        }
+    }
+
+    /// A smaller variant for tests.
+    pub fn tiny() -> Self {
+        Self {
+            object_classes: 2,
+            channels: 1,
+            height: 8,
+            width: 8,
+            pixel_noise: 0.04,
+            clutter: 0.2,
+            min_radius: 2,
+            max_radius: 3,
+        }
+    }
+
+    /// Total prediction classes (objects + background).
+    pub fn num_classes(&self) -> usize {
+        self.object_classes + 1
+    }
+
+    /// Per-sample image shape `[C, H, W]`.
+    pub fn image_shape(&self) -> Vec<usize> {
+        vec![self.channels, self.height, self.width]
+    }
+}
+
+/// A dense-prediction dataset: images plus per-pixel label maps.
+#[derive(Debug, Clone)]
+pub struct SegDataset {
+    images: Tensor,
+    /// Flattened label maps, row-major `[N * H * W]`.
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl SegDataset {
+    /// Wraps images (`[N, C, H, W]`) and flattened per-pixel labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape/label inconsistencies.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(images.ndim(), 4, "images must be NCHW");
+        let (n, h, w) = (images.dim(0), images.dim(2), images.dim(3));
+        assert_eq!(labels.len(), n * h * w, "label map size mismatch");
+        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
+        Self { images, labels, num_classes }
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.images.dim(0)
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of prediction classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// All images.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// Flattened per-pixel labels (`[N * H * W]`).
+    pub fn pixel_labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-sample image shape `[C, H, W]`.
+    pub fn image_shape(&self) -> &[usize] {
+        &self.images.shape()[1..]
+    }
+
+    /// Replaces the images (e.g. with a corrupted variant), keeping the
+    /// label maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape changes.
+    pub fn with_images(&self, images: Tensor) -> Self {
+        assert_eq!(images.shape(), self.images.shape(), "image shape change");
+        Self { images, labels: self.labels.clone(), num_classes: self.num_classes }
+    }
+
+    /// Fraction of background pixels (diagnostic).
+    pub fn background_fraction(&self) -> f64 {
+        self.labels.iter().filter(|&&l| l == 0).count() as f64 / self.labels.len() as f64
+    }
+}
+
+/// Class-specific object texture at local coordinates.
+fn object_texture(class: usize, y: f32, x: f32, phase: f32) -> f32 {
+    match (class - 1) % 4 {
+        0 => 0.5 + 0.45 * (2.0 * PI * 0.35 * y + phase).sin(),
+        1 => 0.5 + 0.45 * (2.0 * PI * 0.35 * x + phase).sin(),
+        2 => {
+            if ((y * 0.7 + phase).sin() * (x * 0.7 + phase).sin()) > 0.0 {
+                0.9
+            } else {
+                0.2
+            }
+        }
+        _ => 0.85,
+    }
+}
+
+/// Generates `n` images with per-pixel labels.
+pub fn generate_segmentation(spec: &SegTaskSpec, n: usize, seed: u64) -> SegDataset {
+    let mut rng = Rng::new(seed);
+    let (c, h, w) = (spec.channels, spec.height, spec.width);
+    let mut images = Tensor::zeros(&[n, c, h, w]);
+    let mut labels = vec![0usize; n * h * w];
+    for i in 0..n {
+        // background clutter
+        let cl_fy = rng.uniform_in(0.5, 1.5);
+        let cl_fx = rng.uniform_in(0.5, 1.5);
+        let cl_ph = rng.uniform_in(0.0, 2.0 * PI);
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let v = 0.3
+                        + spec.clutter
+                            * 0.5
+                            * (2.0 * PI * (cl_fy * y as f32 / h as f32 + cl_fx * x as f32 / w as f32)
+                                + cl_ph)
+                                .sin();
+                    images.set4(i, ci, y, x, v);
+                }
+            }
+        }
+        // 1..=3 objects
+        let n_objects = 1 + rng.below(3);
+        for _ in 0..n_objects {
+            let class = 1 + rng.below(spec.object_classes);
+            let radius = spec.min_radius + rng.below(spec.max_radius - spec.min_radius + 1);
+            let cy = rng.below(h) as isize;
+            let cx = rng.below(w) as isize;
+            let phase = rng.uniform_in(0.0, 2.0 * PI);
+            let disk = rng.chance(0.5);
+            for y in 0..h as isize {
+                for x in 0..w as isize {
+                    let inside = if disk {
+                        (y - cy).pow(2) + (x - cx).pow(2) <= (radius as isize).pow(2)
+                    } else {
+                        (y - cy).abs() <= radius as isize && (x - cx).abs() <= radius as isize
+                    };
+                    if inside {
+                        labels[(i * h + y as usize) * w + x as usize] = class;
+                        let t = object_texture(class, y as f32, x as f32, phase);
+                        for ci in 0..c {
+                            images.set4(i, ci, y as usize, x as usize, t);
+                        }
+                    }
+                }
+            }
+        }
+        // pixel noise
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let v = images.at4(i, ci, y, x) + spec.pixel_noise * rng.normal() as f32;
+                    images.set4(i, ci, y, x, v.clamp(0.0, 1.0));
+                }
+            }
+        }
+    }
+    SegDataset::new(images, labels, spec.num_classes())
+}
+
+/// Generates disjoint train/test splits.
+pub fn generate_segmentation_split(
+    spec: &SegTaskSpec,
+    n_train: usize,
+    n_test: usize,
+    seed: u64,
+) -> (SegDataset, SegDataset) {
+    (
+        generate_segmentation(spec, n_train, seed.wrapping_mul(2).wrapping_add(21)),
+        generate_segmentation(spec, n_test, seed.wrapping_mul(2).wrapping_add(22)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_ranges() {
+        let spec = SegTaskSpec::tiny();
+        let ds = generate_segmentation(&spec, 8, 1);
+        assert_eq!(ds.len(), 8);
+        assert_eq!(ds.image_shape(), &[1, 8, 8]);
+        assert_eq!(ds.pixel_labels().len(), 8 * 64);
+        assert!(ds.pixel_labels().iter().all(|&l| l < 3));
+        assert!(ds.images().data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn objects_and_background_both_present() {
+        let ds = generate_segmentation(&SegTaskSpec::voc_like(), 16, 2);
+        let bg = ds.background_fraction();
+        assert!(bg > 0.2 && bg < 0.95, "background fraction {bg}");
+        // every object class appears somewhere in a 16-image batch
+        for class in 1..ds.num_classes() {
+            assert!(
+                ds.pixel_labels().iter().any(|&l| l == class),
+                "class {class} never appears"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = SegTaskSpec::tiny();
+        let a = generate_segmentation(&spec, 4, 9);
+        let b = generate_segmentation(&spec, 4, 9);
+        assert_eq!(a.images(), b.images());
+        assert_eq!(a.pixel_labels(), b.pixel_labels());
+    }
+
+    #[test]
+    fn object_pixels_differ_from_background() {
+        // labeled pixels should be textured distinctly from clutter: the
+        // mean intensity inside objects differs from background mean
+        let ds = generate_segmentation(&SegTaskSpec::voc_like(), 8, 3);
+        let (h, w) = (16usize, 16usize);
+        let mut obj = (0.0f64, 0usize);
+        let mut bg = (0.0f64, 0usize);
+        for i in 0..ds.len() {
+            for y in 0..h {
+                for x in 0..w {
+                    let v = f64::from(ds.images().at4(i, 0, y, x));
+                    if ds.pixel_labels()[(i * h + y) * w + x] == 0 {
+                        bg = (bg.0 + v, bg.1 + 1);
+                    } else {
+                        obj = (obj.0 + v, obj.1 + 1);
+                    }
+                }
+            }
+        }
+        let obj_mean = obj.0 / obj.1 as f64;
+        let bg_mean = bg.0 / bg.1 as f64;
+        assert!((obj_mean - bg_mean).abs() > 0.05, "objects invisible: {obj_mean} vs {bg_mean}");
+    }
+}

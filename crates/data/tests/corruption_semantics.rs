@@ -1,0 +1,128 @@
+//! Semantic tests of individual corruptions: each operator must do what
+//! its name says, not merely "change the image".
+
+use pv_data::{generate, Corruption, TaskSpec};
+use pv_tensor::{Rng, Tensor};
+
+fn batch() -> Tensor {
+    generate(&TaskSpec::cifar_like(), 6, 11).images().clone()
+}
+
+/// Total variation (sum of absolute horizontal neighbour differences) —
+/// blurs must reduce it.
+fn total_variation(x: &Tensor) -> f32 {
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let mut tv = 0.0;
+    for i in 0..n {
+        for ci in 0..c {
+            for y in 0..h {
+                for xx in 1..w {
+                    tv += (x.at4(i, ci, y, xx) - x.at4(i, ci, y, xx - 1)).abs();
+                }
+            }
+        }
+    }
+    tv
+}
+
+#[test]
+fn blurs_reduce_total_variation() {
+    let x = batch();
+    let tv0 = total_variation(&x);
+    for c in [Corruption::Defocus, Corruption::Motion, Corruption::Zoom, Corruption::Pixelate] {
+        let mut rng = Rng::new(1);
+        let y = c.apply_batch(&x, 3, &mut rng);
+        let tv = total_variation(&y);
+        assert!(tv < tv0, "{c} raised total variation: {tv0} -> {tv}");
+    }
+}
+
+#[test]
+fn noise_corruptions_raise_total_variation() {
+    let x = batch();
+    let tv0 = total_variation(&x);
+    for c in [Corruption::Gauss, Corruption::Impulse, Corruption::Speckle] {
+        let mut rng = Rng::new(2);
+        let y = c.apply_batch(&x, 3, &mut rng);
+        let tv = total_variation(&y);
+        assert!(tv > tv0, "{c} lowered total variation: {tv0} -> {tv}");
+    }
+}
+
+#[test]
+fn brightness_raises_mean_fog_raises_mean() {
+    let x = batch();
+    let mean0 = x.mean();
+    for c in [Corruption::Brightness, Corruption::Fog, Corruption::Snow] {
+        let mut rng = Rng::new(3);
+        let y = c.apply_batch(&x, 3, &mut rng);
+        assert!(y.mean() > mean0, "{c} did not brighten: {mean0} -> {}", y.mean());
+    }
+}
+
+#[test]
+fn frost_darkens() {
+    let x = batch();
+    let mut rng = Rng::new(4);
+    let y = Corruption::Frost.apply_batch(&x, 3, &mut rng);
+    assert!(y.mean() < x.mean(), "frost did not darken");
+}
+
+#[test]
+fn contrast_compresses_dynamic_range() {
+    let x = batch();
+    let range0 = x.max() - x.min();
+    let mut rng = Rng::new(5);
+    let y = Corruption::Contrast.apply_batch(&x, 4, &mut rng);
+    let range = y.max() - y.min();
+    assert!(range < range0, "contrast did not compress range: {range0} -> {range}");
+    // and preserves the mean approximately
+    assert!((y.mean() - x.mean()).abs() < 0.02);
+}
+
+#[test]
+fn jpeg_quantizes_within_blocks() {
+    let x = batch();
+    let mut rng = Rng::new(6);
+    let y = Corruption::Jpeg.apply_batch(&x, 5, &mut rng);
+    // quantization collapses nearby values: the number of distinct values
+    // within any 4x4 block is bounded by the level count (plus clamping)
+    let distinct = |t: &Tensor| -> usize {
+        let mut vals: Vec<i64> = t.data().iter().map(|&v| (v * 1e6) as i64).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals.len()
+    };
+    assert!(distinct(&y) < distinct(&x), "jpeg did not reduce value diversity");
+}
+
+#[test]
+fn glass_preserves_value_multiset_mostly() {
+    // glass blur swaps pixels: per-channel mean must be (nearly) unchanged
+    let x = batch();
+    let mut rng = Rng::new(7);
+    let y = Corruption::Glass.apply_batch(&x, 3, &mut rng);
+    assert!((y.mean() - x.mean()).abs() < 1e-4);
+    assert!(y.sub(&x).l2_norm() > 0.1, "glass did nothing");
+}
+
+#[test]
+fn elastic_preserves_mean_roughly() {
+    let x = batch();
+    let mut rng = Rng::new(8);
+    let y = Corruption::Elastic.apply_batch(&x, 3, &mut rng);
+    assert!((y.mean() - x.mean()).abs() < 0.03);
+    assert!(y.sub(&x).l2_norm() > 0.1, "elastic did nothing");
+}
+
+#[test]
+fn shot_noise_scales_with_intensity() {
+    // darker pixels get less shot noise than brighter ones
+    let dark = Tensor::full(&[1, 1, 16, 16], 0.05);
+    let bright = Tensor::full(&[1, 1, 16, 16], 0.9);
+    let mut r1 = Rng::new(9);
+    let mut r2 = Rng::new(9);
+    let dn = Corruption::Shot.apply_batch(&dark, 4, &mut r1).sub(&dark).l2_norm();
+    let bn = Corruption::Shot.apply_batch(&bright, 4, &mut r2).sub(&bright).l2_norm();
+    assert!(bn > dn, "shot noise not intensity-dependent: dark {dn} vs bright {bn}");
+}

@@ -1,0 +1,163 @@
+//! Adversarial attacks (FGSM, PGD) and adversarial prune potential.
+//!
+//! The paper's related-work section surveys conflicting evidence on the
+//! adversarial robustness of pruned networks, and Section 6 conjectures
+//! that *adversarial* inputs would show even larger prune-potential
+//! trade-offs than common corruptions. This module provides the attacks
+//! needed to test that conjecture (the `ext_adversarial_potential` bench
+//! target runs it).
+//!
+//! Gradients w.r.t. the input come from the network's exact backward pass.
+//! Note: the gradient is computed through a training-mode forward (the
+//! backward pass requires cached activations), so batch statistics are
+//! used in place of running statistics while crafting the attack; the
+//! *evaluation* of the attacked batch uses normal eval mode.
+
+use pv_nn::{cross_entropy, Mode, Network};
+use pv_tensor::Tensor;
+
+/// Gradient of the mean cross-entropy loss w.r.t. the input batch.
+///
+/// # Panics
+///
+/// Panics if `images`/`labels` disagree in length.
+pub fn input_gradient(net: &mut Network, images: &Tensor, labels: &[usize]) -> Tensor {
+    assert_eq!(images.dim(0), labels.len(), "label count mismatch");
+    net.zero_grads();
+    let logits = net.forward(images, Mode::Train);
+    let out = cross_entropy(&logits, labels);
+    let grad = net.backward(&out.grad_logits);
+    // attack crafting must not leave parameter-gradient residue behind
+    net.zero_grads();
+    grad
+}
+
+/// Fast Gradient Sign Method (Goodfellow et al.): one ℓ∞ step of size
+/// `eps` in the direction that increases the loss, clamped to `[0, 1]`.
+pub fn fgsm(net: &mut Network, images: &Tensor, labels: &[usize], eps: f32) -> Tensor {
+    assert!(eps >= 0.0, "attack budget must be non-negative");
+    let grad = input_gradient(net, images, labels);
+    let mut adv = images.zip_map(&grad, |x, g| x + eps * g.signum());
+    adv.clamp_in_place(0.0, 1.0);
+    adv
+}
+
+/// Projected Gradient Descent (Madry et al.): `iters` steps of size
+/// `step`, each projected back into the ℓ∞ ball of radius `eps` around the
+/// clean input (and into `[0, 1]`).
+///
+/// # Panics
+///
+/// Panics if `iters == 0` or the budgets are negative.
+pub fn pgd(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    eps: f32,
+    step: f32,
+    iters: usize,
+) -> Tensor {
+    assert!(iters > 0, "PGD needs at least one iteration");
+    assert!(eps >= 0.0 && step >= 0.0, "attack budgets must be non-negative");
+    let mut adv = images.clone();
+    for _ in 0..iters {
+        let grad = input_gradient(net, &adv, labels);
+        adv = adv.zip_map(&grad, |x, g| x + step * g.signum());
+        // project into the eps-ball around the clean input, then into [0,1]
+        adv = adv.zip_map(images, |a, x| a.clamp(x - eps, x + eps));
+        adv.clamp_in_place(0.0, 1.0);
+    }
+    adv
+}
+
+/// White-box adversarial test error (%): each network is attacked with
+/// FGSM against *itself*, then evaluated on its own adversarial examples.
+pub fn fgsm_error_pct(net: &mut Network, images: &Tensor, labels: &[usize], eps: f32) -> f64 {
+    let adv = fgsm(net, images, labels, eps);
+    net.test_error_pct(&adv, labels, 128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_nn::{models, train, Schedule, TrainConfig};
+    use pv_tensor::Rng;
+
+    fn trained_toy() -> (Network, Tensor, Vec<usize>) {
+        let mut rng = Rng::new(1);
+        let n = 256;
+        let mut xs = Vec::with_capacity(n * 8);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            ys.push(class);
+            for d in 0..8 {
+                let c = if d % 2 == class { 0.62 } else { 0.38 };
+                xs.push((c + 0.15 * rng.normal() as f32).clamp(0.0, 1.0));
+            }
+        }
+        let x = Tensor::from_vec(vec![n, 8], xs);
+        let mut net = models::mlp("m", 8, &[16], 2, false, 2);
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            schedule: Schedule::constant(0.1),
+            momentum: 0.9,
+            nesterov: false,
+            weight_decay: 1e-4,
+            seed: 3,
+        };
+        train(&mut net, &x, &ys, &cfg, None);
+        (net, x, ys)
+    }
+
+    #[test]
+    fn fgsm_respects_the_linf_budget() {
+        let (mut net, x, y) = trained_toy();
+        let eps = 0.1;
+        let adv = fgsm(&mut net, &x, &y, eps);
+        assert!(adv.max_abs_diff(&x) <= eps + 1e-6);
+        assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn attacks_increase_error() {
+        let (mut net, x, y) = trained_toy();
+        let clean = net.test_error_pct(&x, &y, 128);
+        let fgsm_err = fgsm_error_pct(&mut net, &x, &y, 0.2);
+        assert!(
+            fgsm_err > clean + 5.0,
+            "FGSM did not hurt: clean {clean}% vs adv {fgsm_err}%"
+        );
+    }
+
+    #[test]
+    fn pgd_is_at_least_as_strong_as_fgsm() {
+        let (mut net, x, y) = trained_toy();
+        let eps = 0.12;
+        let fgsm_err = fgsm_error_pct(&mut net, &x, &y, eps);
+        let adv = pgd(&mut net, &x, &y, eps, eps / 3.0, 6);
+        assert!(adv.max_abs_diff(&x) <= eps + 1e-6, "PGD left the budget");
+        let pgd_err = net.test_error_pct(&adv, &y, 128);
+        assert!(
+            pgd_err >= fgsm_err - 3.0,
+            "PGD ({pgd_err}%) much weaker than FGSM ({fgsm_err}%)"
+        );
+    }
+
+    #[test]
+    fn zero_eps_attack_is_clean_data() {
+        let (mut net, x, y) = trained_toy();
+        let adv = fgsm(&mut net, &x, &y, 0.0);
+        assert!(adv.max_abs_diff(&x) < 1e-7);
+    }
+
+    #[test]
+    fn attack_leaves_no_gradient_residue() {
+        let (mut net, x, y) = trained_toy();
+        let _ = fgsm(&mut net, &x, &y, 0.1);
+        let mut residue = 0.0f32;
+        net.visit_params(&mut |p| residue += p.grad.l1_norm());
+        assert_eq!(residue, 0.0);
+    }
+}

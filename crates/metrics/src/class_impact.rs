@@ -1,0 +1,144 @@
+//! Per-class pruning impact ("selective brain damage", Hooker et al.,
+//! 2019 — discussed in the paper's related work): even when aggregate
+//! accuracy is commensurate, pruning can concentrate its damage on a few
+//! classes. This module measures per-class error deltas between a pruned
+//! network and its parent.
+
+use pv_nn::{Mode, Network};
+use pv_tensor::Tensor;
+
+/// Per-class error rates of one network on a labeled batch.
+///
+/// Returns `(per_class_error, per_class_count)`; classes absent from the
+/// batch have error 0 and count 0.
+pub fn per_class_error(net: &mut Network, images: &Tensor, labels: &[usize]) -> (Vec<f64>, Vec<usize>) {
+    assert_eq!(images.dim(0), labels.len(), "label count mismatch");
+    let k = net.num_classes();
+    let mut wrong = vec![0usize; k];
+    let mut count = vec![0usize; k];
+    let n = labels.len();
+    let batch = 128;
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch).min(n);
+        let xb = images.slice_first_axis(start, end);
+        let preds = net.forward(&xb, Mode::Eval).argmax_rows();
+        for (p, &l) in preds.iter().zip(&labels[start..end]) {
+            count[l] += 1;
+            if *p != l {
+                wrong[l] += 1;
+            }
+        }
+        start = end;
+    }
+    let error = wrong
+        .iter()
+        .zip(&count)
+        .map(|(&w, &c)| if c == 0 { 0.0 } else { 100.0 * w as f64 / c as f64 })
+        .collect();
+    (error, count)
+}
+
+/// The per-class impact of pruning: for every class, the error increase of
+/// the pruned network over the parent (percentage points).
+#[derive(Debug, Clone)]
+pub struct ClassImpact {
+    /// Per-class error delta (pruned − parent), in percentage points.
+    pub deltas: Vec<f64>,
+    /// Aggregate error delta.
+    pub aggregate_delta: f64,
+}
+
+impl ClassImpact {
+    /// Classes whose error increased by more than `threshold` percentage
+    /// points beyond the aggregate delta — Hooker et al.'s
+    /// disproportionately affected classes.
+    pub fn disproportionate(&self, threshold: f64) -> Vec<usize> {
+        self.deltas
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > self.aggregate_delta + threshold)
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Largest per-class delta.
+    pub fn worst_delta(&self) -> f64 {
+        self.deltas.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Spread between the most- and least-affected class.
+    pub fn spread(&self) -> f64 {
+        let max = self.worst_delta();
+        let min = self.deltas.iter().copied().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+}
+
+/// Measures the per-class impact of a pruned network relative to its
+/// parent on a labeled batch.
+pub fn class_impact(
+    parent: &mut Network,
+    pruned: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+) -> ClassImpact {
+    let (parent_err, counts) = per_class_error(parent, images, labels);
+    let (pruned_err, _) = per_class_error(pruned, images, labels);
+    let deltas: Vec<f64> =
+        parent_err.iter().zip(&pruned_err).map(|(&a, &b)| b - a).collect();
+    let total: usize = counts.iter().sum();
+    let aggregate_delta = if total == 0 {
+        0.0
+    } else {
+        deltas
+            .iter()
+            .zip(&counts)
+            .map(|(&d, &c)| d * c as f64)
+            .sum::<f64>()
+            / total as f64
+    };
+    ClassImpact { deltas, aggregate_delta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_nn::models;
+    use pv_tensor::Rng;
+
+    #[test]
+    fn per_class_error_counts() {
+        let mut net = models::mlp("m", 8, &[8], 3, false, 1);
+        let mut rng = Rng::new(2);
+        let x = Tensor::rand_uniform(&[30, 8], 0.0, 1.0, &mut rng);
+        // use the net's own predictions as labels: per-class error must be 0
+        let labels = net.predict(&x);
+        let (err, count) = per_class_error(&mut net, &x, &labels);
+        assert_eq!(err.len(), 3);
+        assert_eq!(count.iter().sum::<usize>(), 30);
+        assert!(err.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn identical_networks_have_zero_impact() {
+        let mut parent = models::mlp("m", 8, &[8], 3, false, 3);
+        let mut pruned = parent.clone();
+        let mut rng = Rng::new(4);
+        let x = Tensor::rand_uniform(&[24, 8], 0.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..24).map(|i| i % 3).collect();
+        let impact = class_impact(&mut parent, &mut pruned, &x, &labels);
+        assert!(impact.deltas.iter().all(|&d| d == 0.0));
+        assert_eq!(impact.aggregate_delta, 0.0);
+        assert!(impact.disproportionate(0.1).is_empty());
+        assert_eq!(impact.spread(), 0.0);
+    }
+
+    #[test]
+    fn disproportionate_flags_outlier_classes() {
+        let impact = ClassImpact { deltas: vec![0.0, 1.0, 12.0], aggregate_delta: 2.0 };
+        assert_eq!(impact.disproportionate(5.0), vec![2]);
+        assert_eq!(impact.worst_delta(), 12.0);
+        assert_eq!(impact.spread(), 12.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Functional-distance metrics under ℓ∞ random noise (Section 4.1,
+//! "Noise similarities").
+//!
+//! Two networks are compared on noise-perturbed test points by (a) the
+//! fraction of matching label predictions and (b) the ℓ₂ distance of their
+//! softmax outputs.
+
+use pv_data::linf_noise;
+use pv_nn::{Mode, Network};
+use pv_tensor::{Rng, Tensor};
+
+/// Result of one noise-similarity comparison between two networks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseSimilarity {
+    /// Fraction of perturbed inputs on which both networks predict the same
+    /// label, in `[0, 1]`.
+    pub matching_predictions: f64,
+    /// Mean ℓ₂ distance between the networks' softmax outputs.
+    pub softmax_l2: f64,
+}
+
+/// Compares two networks on `repeats` rounds of ℓ∞ noise injected into
+/// `images` (shape `[N, ...]`), as in the paper's Figure 4.
+///
+/// With `eps = 0` this degenerates to a clean-data comparison.
+///
+/// # Panics
+///
+/// Panics if `images` is empty or `repeats == 0`.
+pub fn noise_similarity(
+    a: &mut Network,
+    b: &mut Network,
+    images: &Tensor,
+    eps: f32,
+    repeats: usize,
+    rng: &mut Rng,
+) -> NoiseSimilarity {
+    assert!(images.dim(0) > 0, "no images to compare on");
+    assert!(repeats > 0, "need at least one noise repetition");
+    let n = images.dim(0);
+    let mut match_count = 0usize;
+    let mut l2_sum = 0.0f64;
+    for _ in 0..repeats {
+        let noisy = linf_noise(images, eps, rng);
+        let pa = a.forward(&noisy, Mode::Eval).softmax_rows();
+        let pb = b.forward(&noisy, Mode::Eval).softmax_rows();
+        let la = pa.argmax_rows();
+        let lb = pb.argmax_rows();
+        match_count += la.iter().zip(&lb).filter(|(x, y)| x == y).count();
+        for r in 0..n {
+            let d: f32 = pa
+                .row(r)
+                .iter()
+                .zip(pb.row(r))
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum();
+            l2_sum += f64::from(d.sqrt());
+        }
+    }
+    let total = (n * repeats) as f64;
+    NoiseSimilarity {
+        matching_predictions: match_count as f64 / total,
+        softmax_l2: l2_sum / total,
+    }
+}
+
+/// A row of the Figure 4-style sweep: similarity of one comparison network
+/// to the reference across noise levels.
+#[derive(Debug, Clone)]
+pub struct SimilaritySweep {
+    /// Label of the comparison network (e.g. `"PR 0.85"` or `"separate"`).
+    pub label: String,
+    /// `(noise level, similarity)` pairs.
+    pub points: Vec<(f32, NoiseSimilarity)>,
+}
+
+/// Sweeps noise levels, comparing `reference` to each labeled network —
+/// the full data behind Figure 4 / Figures 16–27.
+pub fn similarity_sweep(
+    reference: &mut Network,
+    others: &mut [(String, Network)],
+    images: &Tensor,
+    levels: &[f32],
+    repeats: usize,
+    seed: u64,
+) -> Vec<SimilaritySweep> {
+    others
+        .iter_mut()
+        .map(|(label, net)| {
+            let mut points = Vec::with_capacity(levels.len());
+            for &eps in levels {
+                // fresh deterministic noise per (network, level) pair
+                let mut rng = Rng::new(seed ^ (u64::from(eps.to_bits()) << 1));
+                points.push((eps, noise_similarity(reference, net, images, eps, repeats, &mut rng)));
+            }
+            SimilaritySweep { label: label.clone(), points }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_nn::models;
+
+    #[test]
+    fn identical_networks_match_perfectly() {
+        let mut a = models::mlp("a", 8, &[16], 4, false, 1);
+        let mut b = a.clone();
+        let mut rng = Rng::new(2);
+        let x = Tensor::rand_uniform(&[16, 8], 0.0, 1.0, &mut rng);
+        let sim = noise_similarity(&mut a, &mut b, &x, 0.1, 3, &mut rng);
+        assert_eq!(sim.matching_predictions, 1.0);
+        assert!(sim.softmax_l2 < 1e-6);
+    }
+
+    #[test]
+    fn different_networks_are_less_similar() {
+        let mut a = models::mlp("a", 8, &[16], 4, false, 1);
+        let mut b = models::mlp("b", 8, &[16], 4, false, 99);
+        let mut rng = Rng::new(3);
+        let x = Tensor::rand_uniform(&[32, 8], 0.0, 1.0, &mut rng);
+        let sim = noise_similarity(&mut a, &mut b, &x, 0.05, 2, &mut rng);
+        assert!(sim.matching_predictions < 1.0);
+        assert!(sim.softmax_l2 > 1e-4);
+    }
+
+    #[test]
+    fn sweep_has_expected_shape() {
+        let mut reference = models::mlp("r", 8, &[8], 3, false, 5);
+        let mut others = vec![
+            ("clone".to_string(), reference.clone()),
+            ("separate".to_string(), models::mlp("s", 8, &[8], 3, false, 77)),
+        ];
+        let mut rng = Rng::new(6);
+        let x = Tensor::rand_uniform(&[8, 8], 0.0, 1.0, &mut rng);
+        let sweeps = similarity_sweep(&mut reference, &mut others, &x, &[0.0, 0.1], 2, 7);
+        assert_eq!(sweeps.len(), 2);
+        assert_eq!(sweeps[0].points.len(), 2);
+        // the clone should dominate the separately initialized network
+        for (i, _) in [0, 1].iter().enumerate() {
+            let clone_sim = sweeps[0].points[i].1.matching_predictions;
+            let sep_sim = sweeps[1].points[i].1.matching_predictions;
+            assert!(clone_sim >= sep_sim, "clone {clone_sim} vs separate {sep_sim}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "repetition")]
+    fn zero_repeats_panics() {
+        let mut a = models::mlp("a", 4, &[4], 2, false, 1);
+        let mut b = a.clone();
+        let x = Tensor::zeros(&[1, 4]);
+        noise_similarity(&mut a, &mut b, &x, 0.1, 0, &mut Rng::new(1));
+    }
+}

@@ -1,0 +1,48 @@
+//! # pv-metrics
+//!
+//! Evaluation *beyond test accuracy* — the measurement toolkit of the
+//! `pruneval` workspace (a Rust reproduction of *Lost in Pruning*,
+//! Liebenwein et al., MLSys 2021):
+//!
+//! * [`noise_similarity`] / [`similarity_sweep`] — functional distance
+//!   between networks under ℓ∞ input noise (Section 4: matching
+//!   predictions, softmax ℓ₂ difference);
+//! * [`backselect_order`] / [`confidence_heatmap`] — informative-pixel
+//!   analysis à la Carter et al. (Section 4, Figure 3);
+//! * [`PruneAccuracyCurve::prune_potential`] — Definition 1;
+//! * [`excess_error`] / [`excess_error_difference`] — Definition 2 and the
+//!   paper's `ê − e` statistic;
+//! * [`fit_through_origin`] — the OLS + bootstrap fit of Appendix D.5;
+//! * [`TextTable`] / [`mean_std_cell`] — the paper's table formatting.
+//!
+//! # Examples
+//!
+//! ```
+//! use pv_metrics::PruneAccuracyCurve;
+//!
+//! let curve = PruneAccuracyCurve::new(8.0, vec![(0.5, 8.2), (0.9, 9.5)]);
+//! assert_eq!(curve.prune_potential(0.5), 0.5); // δ = 0.5%
+//! assert_eq!(curve.prune_potential(2.0), 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod backselect;
+pub mod class_impact;
+pub mod function_distance;
+pub mod prune_potential;
+pub mod regression;
+pub mod report;
+
+pub use adversarial::{fgsm, fgsm_error_pct, input_gradient, pgd};
+pub use class_impact::{class_impact, per_class_error, ClassImpact};
+pub use backselect::{
+    apply_pixel_mask, backselect_order, confidence, confidence_heatmap, keep_top_fraction,
+    ConfidenceHeatmap, SelectionMode,
+};
+pub use function_distance::{noise_similarity, similarity_sweep, NoiseSimilarity, SimilaritySweep};
+pub use prune_potential::{excess_error, excess_error_difference, PruneAccuracyCurve};
+pub use regression::{fit_through_origin, OriginFit};
+pub use report::{mean_std_cell, series_lines, TextTable};

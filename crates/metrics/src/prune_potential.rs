@@ -1,0 +1,177 @@
+//! Prune potential (Definition 1) and excess error (Definition 2).
+
+/// A measured prune-accuracy curve: test error (percent) of pruned networks
+/// at increasing prune ratios, plus the unpruned reference error on the
+/// same distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneAccuracyCurve {
+    /// Test error (%) of the unpruned parent on this distribution.
+    pub unpruned_error_pct: f64,
+    /// `(prune ratio, test error %)` points, sorted ascending by ratio.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl PruneAccuracyCurve {
+    /// Creates a curve, sorting points by prune ratio.
+    pub fn new(unpruned_error_pct: f64, mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN prune ratio"));
+        Self { unpruned_error_pct, points }
+    }
+
+    /// The prune potential `P(θ, D)` for margin `delta_pct` (Definition 1):
+    /// the largest measured prune ratio whose error exceeds the unpruned
+    /// error by at most `delta_pct` percentage points; `0` if no pruned
+    /// point qualifies.
+    pub fn prune_potential(&self, delta_pct: f64) -> f64 {
+        self.points
+            .iter()
+            .rev()
+            .find(|&&(_, err)| err - self.unpruned_error_pct <= delta_pct)
+            .map_or(0.0, |&(ratio, _)| ratio)
+    }
+
+    /// Linear interpolation of the error at an arbitrary ratio (clamped to
+    /// the measured range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve has no points.
+    pub fn error_at(&self, ratio: f64) -> f64 {
+        assert!(!self.points.is_empty(), "empty prune-accuracy curve");
+        if ratio <= self.points[0].0 {
+            return self.points[0].1;
+        }
+        for pair in self.points.windows(2) {
+            let (r0, e0) = pair[0];
+            let (r1, e1) = pair[1];
+            if ratio <= r1 {
+                if r1 == r0 {
+                    return e1;
+                }
+                let t = (ratio - r0) / (r1 - r0);
+                return e0 + t * (e1 - e0);
+            }
+        }
+        self.points.last().expect("nonempty").1
+    }
+}
+
+/// Excess error `e(θ, D')` (Definition 2): the error increase of one
+/// network when moving from the train distribution to a shifted test
+/// distribution, in percentage points.
+pub fn excess_error(error_shifted_pct: f64, error_nominal_pct: f64) -> f64 {
+    error_shifted_pct - error_nominal_pct
+}
+
+/// The paper's *difference in excess error* `ê − e` at each prune ratio:
+/// how much more a pruned network loses under distribution shift than the
+/// unpruned network does.
+///
+/// `nominal` and `shifted` must be measured at the same prune ratios (the
+/// unpruned errors are taken from the curves' references).
+///
+/// # Panics
+///
+/// Panics if the two curves were measured at different ratios.
+pub fn excess_error_difference(
+    nominal: &PruneAccuracyCurve,
+    shifted: &PruneAccuracyCurve,
+) -> Vec<(f64, f64)> {
+    assert_eq!(
+        nominal.points.len(),
+        shifted.points.len(),
+        "curves measured at different ratio grids"
+    );
+    let e_unpruned = excess_error(shifted.unpruned_error_pct, nominal.unpruned_error_pct);
+    nominal
+        .points
+        .iter()
+        .zip(&shifted.points)
+        .map(|(&(rn, en), &(rs, es))| {
+            assert!(
+                (rn - rs).abs() < 1e-9,
+                "ratio grids differ: {rn} vs {rs}"
+            );
+            let e_pruned = excess_error(es, en);
+            (rn, e_pruned - e_unpruned)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> PruneAccuracyCurve {
+        PruneAccuracyCurve::new(
+            8.0,
+            vec![(0.2, 8.1), (0.5, 8.3), (0.8, 8.6), (0.95, 12.0)],
+        )
+    }
+
+    #[test]
+    fn prune_potential_respects_delta() {
+        let c = curve();
+        assert_eq!(c.prune_potential(0.5), 0.5); // 8.3-8.0 <= 0.5 but 8.6-8.0 > 0.5
+        assert_eq!(c.prune_potential(0.7), 0.8);
+        assert_eq!(c.prune_potential(5.0), 0.95);
+        assert_eq!(c.prune_potential(0.05), 0.0); // nothing qualifies
+    }
+
+    #[test]
+    fn prune_potential_monotone_in_delta() {
+        let c = curve();
+        let mut last = 0.0;
+        for delta in [0.0, 0.1, 0.3, 0.5, 1.0, 2.0, 5.0] {
+            let p = c.prune_potential(delta);
+            assert!(p >= last, "potential decreased at delta {delta}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn error_interpolation() {
+        let c = curve();
+        assert_eq!(c.error_at(0.0), 8.1); // clamped low
+        assert_eq!(c.error_at(0.99), 12.0); // clamped high
+        let mid = c.error_at(0.35);
+        assert!(mid > 8.1 && mid < 8.3);
+    }
+
+    #[test]
+    fn excess_error_difference_zero_when_parallel() {
+        // shifted curve = nominal + constant => pruned nets suffer no more
+        // than the unpruned one; difference must be ~0 everywhere
+        let nominal = curve();
+        let shifted = PruneAccuracyCurve::new(
+            nominal.unpruned_error_pct + 5.0,
+            nominal.points.iter().map(|&(r, e)| (r, e + 5.0)).collect(),
+        );
+        for (_, d) in excess_error_difference(&nominal, &shifted) {
+            assert!(d.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn excess_error_difference_grows_when_pruned_suffers_more() {
+        let nominal = curve();
+        // shifted errors grow with ratio beyond the unpruned shift
+        let shifted = PruneAccuracyCurve::new(
+            nominal.unpruned_error_pct + 5.0,
+            nominal
+                .points
+                .iter()
+                .map(|&(r, e)| (r, e + 5.0 + 4.0 * r))
+                .collect(),
+        );
+        let diffs = excess_error_difference(&nominal, &shifted);
+        assert!(diffs.windows(2).all(|p| p[1].1 >= p[0].1), "not increasing: {diffs:?}");
+        assert!(diffs.last().expect("nonempty").1 > 3.0);
+    }
+
+    #[test]
+    fn points_get_sorted() {
+        let c = PruneAccuracyCurve::new(1.0, vec![(0.9, 3.0), (0.1, 1.0)]);
+        assert_eq!(c.points[0].0, 0.1);
+    }
+}

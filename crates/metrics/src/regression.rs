@@ -1,0 +1,101 @@
+//! Ordinary least squares through the origin with bootstrap confidence
+//! intervals — the fit used in the paper's excess-error figures (Appendix
+//! D.5: "The y-intercept is set to 0 since by definition the difference in
+//! excess error is 0% for a prune ratio of 0%").
+
+use pv_tensor::Rng;
+
+/// An OLS-through-origin fit `y ≈ slope · x` with a bootstrap 95%
+/// confidence interval on the slope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OriginFit {
+    /// Least-squares slope.
+    pub slope: f64,
+    /// Lower end of the bootstrap 95% CI.
+    pub ci_low: f64,
+    /// Upper end of the bootstrap 95% CI.
+    pub ci_high: f64,
+}
+
+impl OriginFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x
+    }
+}
+
+fn slope_of(points: &[(f64, f64)]) -> f64 {
+    let sxy: f64 = points.iter().map(|&(x, y)| x * y).sum();
+    let sxx: f64 = points.iter().map(|&(x, _)| x * x).sum();
+    if sxx == 0.0 {
+        0.0
+    } else {
+        sxy / sxx
+    }
+}
+
+/// Fits `y = slope·x` and bootstraps a 95% CI over `n_boot` resamples.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `n_boot == 0`.
+pub fn fit_through_origin(points: &[(f64, f64)], n_boot: usize, seed: u64) -> OriginFit {
+    assert!(!points.is_empty(), "regression needs at least one point");
+    assert!(n_boot > 0, "need at least one bootstrap resample");
+    let slope = slope_of(points);
+    let mut rng = Rng::new(seed);
+    let mut slopes = Vec::with_capacity(n_boot);
+    let mut resample = Vec::with_capacity(points.len());
+    for _ in 0..n_boot {
+        resample.clear();
+        for _ in 0..points.len() {
+            resample.push(points[rng.below(points.len())]);
+        }
+        slopes.push(slope_of(&resample));
+    }
+    slopes.sort_by(|a, b| a.partial_cmp(b).expect("NaN slope"));
+    let lo_idx = ((n_boot as f64) * 0.025).floor() as usize;
+    let hi_idx = (((n_boot as f64) * 0.975).ceil() as usize).min(n_boot - 1);
+    OriginFit { slope, ci_low: slopes[lo_idx], ci_high: slopes[hi_idx] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        let fit = fit_through_origin(&pts, 200, 1);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.ci_low - 3.0).abs() < 1e-9);
+        assert!((fit.ci_high - 3.0).abs() < 1e-9);
+        assert!((fit.predict(2.0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_ci_contains_truth() {
+        let mut rng = Rng::new(2);
+        let pts: Vec<(f64, f64)> = (1..=50)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                (x, 2.0 * x + 0.3 * rng.normal())
+            })
+            .collect();
+        let fit = fit_through_origin(&pts, 500, 3);
+        assert!(fit.ci_low <= 2.0 && 2.0 <= fit.ci_high, "CI [{}, {}]", fit.ci_low, fit.ci_high);
+        assert!(fit.ci_low < fit.ci_high);
+    }
+
+    #[test]
+    fn zero_x_gives_zero_slope() {
+        let fit = fit_through_origin(&[(0.0, 5.0)], 10, 4);
+        assert_eq!(fit.slope, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_points_panic() {
+        fit_through_origin(&[], 10, 1);
+    }
+}

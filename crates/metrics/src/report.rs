@@ -1,0 +1,138 @@
+//! Plain-text report formatting: aligned tables, `mean ± std` cells, CSV.
+
+use pv_tensor::stats::{mean, std_dev};
+
+/// Formats repeated measurements as `mean ± std` with one decimal, the
+/// paper's table convention.
+pub fn mean_std_cell(values: &[f64]) -> String {
+    format!("{:.1} ± {:.1}", mean(values), std_dev(values))
+}
+
+/// A simple aligned text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting — cells are expected to be simple).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders an xy-series as a compact `x=..: y` listing used by the figure
+/// harnesses (one line per point, fixed precision).
+pub fn series_lines(name: &str, points: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    for &(x, y) in points {
+        out.push_str(&format!("{name}  x={x:>8.4}  y={y:>9.4}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_formatting() {
+        assert_eq!(mean_std_cell(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]), "5.0 ± 2.0");
+        assert_eq!(mean_std_cell(&[3.25]), "3.2 ± 0.0");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["model", "PR"]);
+        t.add_row(vec!["resnet".into(), "84.9".into()]);
+        t.add_row(vec!["vgg".into(), "98.0".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("model"));
+        assert!(lines[2].contains("resnet"));
+        // all rows same width
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.add_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        TextTable::new(&["a"]).add_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn series_lines_format() {
+        let s = series_lines("curve", &[(0.5, 8.25)]);
+        assert!(s.contains("x=  0.5000"));
+        assert!(s.contains("y=   8.2500"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the curve/statistics layer.
+
+use proptest::prelude::*;
+use pv_metrics::{excess_error_difference, fit_through_origin, PruneAccuracyCurve};
+
+fn arbitrary_curve() -> impl Strategy<Value = PruneAccuracyCurve> {
+    (
+        0.0f64..40.0,
+        proptest::collection::vec((0.01f64..0.99, 0.0f64..100.0), 1..10),
+    )
+        .prop_map(|(unpruned, pts)| PruneAccuracyCurve::new(unpruned, pts))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Points come out sorted by ratio regardless of input order.
+    #[test]
+    fn curve_points_sorted(curve in arbitrary_curve()) {
+        prop_assert!(curve.points.windows(2).all(|p| p[0].0 <= p[1].0));
+    }
+
+    /// The prune potential is always either 0 or one of the measured
+    /// ratios, and it satisfies the defining constraint.
+    #[test]
+    fn potential_is_feasible(curve in arbitrary_curve(), delta in 0.0f64..20.0) {
+        let p = curve.prune_potential(delta);
+        if p == 0.0 {
+            // no measured point with ratio <= anything qualifies at exactly p=0
+            prop_assert!(curve
+                .points
+                .iter()
+                .all(|&(r, e)| r != p || e - curve.unpruned_error_pct > delta || r == 0.0)
+                || true);
+        } else {
+            // p must be a measured ratio whose error is within delta
+            let q = curve
+                .points
+                .iter()
+                .find(|&&(r, _)| (r - p).abs() < 1e-12)
+                .expect("potential must be a measured ratio");
+            prop_assert!(q.1 - curve.unpruned_error_pct <= delta + 1e-12);
+            // and no larger measured ratio qualifies
+            for &(r, e) in &curve.points {
+                if r > p {
+                    prop_assert!(e - curve.unpruned_error_pct > delta);
+                }
+            }
+        }
+    }
+
+    /// Interpolated errors never leave the measured range.
+    #[test]
+    fn error_at_is_bounded(curve in arbitrary_curve(), ratio in 0.0f64..=1.0) {
+        let lo = curve.points.iter().map(|&(_, e)| e).fold(f64::INFINITY, f64::min);
+        let hi = curve.points.iter().map(|&(_, e)| e).fold(f64::NEG_INFINITY, f64::max);
+        let e = curve.error_at(ratio);
+        prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9);
+    }
+
+    /// Excess-error difference of a curve against itself is identically 0.
+    #[test]
+    fn excess_error_self_difference_zero(curve in arbitrary_curve()) {
+        for (_, d) in excess_error_difference(&curve, &curve) {
+            prop_assert!(d.abs() < 1e-12);
+        }
+    }
+
+    /// Scaling both coordinates of a dataset scales the OLS slope
+    /// accordingly: slope(a·x, b·y) = (b/a)·slope(x, y).
+    #[test]
+    fn ols_slope_scales(
+        pts in proptest::collection::vec((0.1f64..5.0, -5.0f64..5.0), 2..10),
+        a in 0.5f64..2.0,
+        b in 0.5f64..2.0,
+    ) {
+        let base = fit_through_origin(&pts, 10, 1).slope;
+        let scaled: Vec<(f64, f64)> = pts.iter().map(|&(x, y)| (a * x, b * y)).collect();
+        let s = fit_through_origin(&scaled, 10, 1).slope;
+        prop_assert!((s - b / a * base).abs() < 1e-9 * (1.0 + base.abs()));
+    }
+}

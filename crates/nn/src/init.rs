@@ -1,0 +1,45 @@
+//! Weight initialization helpers.
+
+/// He (Kaiming) initialization standard deviation for ReLU networks:
+/// `sqrt(2 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn he_std(fan_in: usize) -> f32 {
+    assert!(fan_in > 0, "he_std requires fan_in > 0");
+    (2.0 / fan_in as f32).sqrt()
+}
+
+/// Xavier/Glorot initialization standard deviation: `sqrt(2 / (fan_in +
+/// fan_out))`.
+///
+/// # Panics
+///
+/// Panics if both fans are zero.
+pub fn xavier_std(fan_in: usize, fan_out: usize) -> f32 {
+    assert!(fan_in + fan_out > 0, "xavier_std requires nonzero fans");
+    (2.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_matches_formula() {
+        assert!((he_std(8) - 0.5).abs() < 1e-7);
+        assert!((he_std(2) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn xavier_matches_formula() {
+        assert!((xavier_std(3, 1) - (0.5f32).sqrt()).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in > 0")]
+    fn he_zero_fan_panics() {
+        he_std(0);
+    }
+}

@@ -1,0 +1,120 @@
+//! The [`Layer`] abstraction: forward/backward with cached state, parameter
+//! visitation, and structured-pruning hooks.
+
+use crate::param::Param;
+use pv_tensor::Tensor;
+
+/// Whether a forward pass is part of training (batch statistics, caching for
+/// backward) or evaluation (running statistics, no caching requirements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: batch-norm uses batch statistics and layers cache
+    /// activations for the next backward pass.
+    Train,
+    /// Inference: batch-norm uses running statistics.
+    Eval,
+}
+
+/// What kind of computation a prunable leaf performs; structured pruning
+/// treats rows of the weight matrix as neurons (linear) or filters (conv).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitKind {
+    /// A fully connected layer; a "unit" is an output neuron.
+    Linear,
+    /// A convolution; a "unit" is an output filter/channel.
+    Conv,
+}
+
+/// A leaf layer that pruning methods can operate on.
+///
+/// Both unstructured methods (WT, SiPP — scoring individual weight entries)
+/// and structured methods (FT, PFP — scoring whole rows, i.e.
+/// filters/neurons) address layers through this interface. The weight is
+/// always a 2-D matrix whose rows are output units.
+pub trait PrunableLayer {
+    /// Human-readable identifier (unique within a network by construction).
+    fn label(&self) -> &str;
+
+    /// The layer's weight parameter, shape `[out_units, unit_len]`.
+    fn weight(&self) -> &Param;
+
+    /// Mutable access to the weight parameter.
+    fn weight_mut(&mut self) -> &mut Param;
+
+    /// The bias parameter, if present (`[out_units]`).
+    fn bias_mut(&mut self) -> Option<&mut Param>;
+
+    /// Batch-norm affine parameters coupled to this layer's output units
+    /// (masked together with pruned rows in structured pruning).
+    fn coupled_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Number of output units (rows of the weight matrix).
+    fn out_units(&self) -> usize;
+
+    /// Length of one unit's weight row.
+    fn unit_len(&self) -> usize;
+
+    /// Whether this is the final classifier layer (never pruned
+    /// structurally, as in the reference torchprune implementation).
+    fn is_classifier(&self) -> bool;
+
+    /// The layer kind (linear or convolution).
+    fn unit_kind(&self) -> UnitKind;
+
+    /// Dense multiply-accumulate count per input sample.
+    fn dense_flops(&self) -> u64;
+
+    /// Mean absolute activation of each *input* coordinate, cached from the
+    /// most recent forward pass — the `a(x)` term used by the data-informed
+    /// methods SiPP and PFP. Length `unit_len`. `None` if no forward pass
+    /// ran since construction.
+    fn input_sensitivity(&self) -> Option<&Tensor>;
+}
+
+/// A differentiable network component.
+///
+/// Layers own their parameters and cache whatever they need during
+/// [`Layer::forward`] in `Train` mode so that the next [`Layer::backward`]
+/// call can produce exact gradients.
+///
+/// The visitation methods are the only way external code (optimizer, pruning
+/// methods, statistics) reaches the parameters, which keeps containers free
+/// to nest arbitrarily.
+pub trait Layer: Send {
+    /// Computes the layer output. In `Train` mode the layer caches its
+    /// inputs/intermediates for the following `backward`.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad_out` (gradient w.r.t. this layer's output) to the
+    /// gradient w.r.t. its input, accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a preceding `Train`
+    /// forward pass.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Calls `f` on every parameter of the layer (depth-first, forward
+    /// order).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Calls `f` on every prunable leaf in forward order.
+    fn visit_prunable(&mut self, f: &mut dyn FnMut(&mut dyn PrunableLayer));
+
+    /// Dense multiply-accumulate count per input sample, summed over all
+    /// leaves.
+    fn flops_per_sample(&self) -> u64;
+
+    /// Short human-readable description, e.g. `conv3x3(16->32)/s2`.
+    fn describe(&self) -> String;
+
+    /// Clones the layer behind a box (layers are used as trait objects, so
+    /// `Clone` cannot be required directly).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}

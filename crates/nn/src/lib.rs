@@ -1,0 +1,72 @@
+//! # pv-nn
+//!
+//! A from-scratch neural-network library with exact layer-wise
+//! backpropagation — the training substrate of the `pruneval` workspace
+//! (a Rust reproduction of *Lost in Pruning*, Liebenwein et al., MLSys
+//! 2021).
+//!
+//! Highlights:
+//!
+//! * [`Layer`] — forward/backward with cached state; containers
+//!   ([`Sequential`], [`Residual`], [`DenseBlock`]) nest arbitrarily.
+//! * [`PrunableLayer`] — the hook pruning methods use: every linear /
+//!   convolution block exposes its weight matrix (`[units, unit_len]`), its
+//!   coupled batch-norm parameters, and a cached data-informed input
+//!   sensitivity `a(x)`.
+//! * [`Param`] — value + gradient + pruning mask + momentum; masked
+//!   coordinates stay exactly zero through training.
+//! * [`models`] — scaled-down analogues of the paper's architecture
+//!   families (ResNet, VGG, WideResNet, DenseNet, MLP).
+//! * [`train`] — SGD with momentum/Nesterov/weight decay, LR warmup and the
+//!   paper's decay schedules, plus an augmentation hook for robust
+//!   (re)training.
+//!
+//! # Examples
+//!
+//! ```
+//! use pv_nn::{models, train, Mode, TrainConfig};
+//! use pv_tensor::{Rng, Tensor};
+//!
+//! // A tiny MLP on random data: one call to build, one to train.
+//! let mut net = models::mlp("demo", 8, &[16], 3, false, 0);
+//! let mut rng = Rng::new(1);
+//! let x = Tensor::rand_uniform(&[32, 8], -1.0, 1.0, &mut rng);
+//! let y: Vec<usize> = (0..32).map(|i| i % 3).collect();
+//! let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+//! let report = train(&mut net, &x, &y, &cfg, None);
+//! assert_eq!(report.epoch_losses.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batchnorm;
+pub mod container;
+pub mod convblock;
+pub mod init;
+pub mod layer;
+pub mod linear;
+pub mod loss;
+pub mod models;
+pub mod network;
+pub mod optim;
+pub mod param;
+pub mod pool;
+pub mod seg;
+pub mod upsample;
+
+pub use batchnorm::BatchNormCore;
+pub use container::{DenseBlock, Residual, Sequential};
+pub use convblock::ConvBlock;
+pub use layer::{Layer, Mode, PrunableLayer, UnitKind};
+pub use linear::LinearBlock;
+pub use loss::{accuracy, cross_entropy, LossOutput};
+pub use network::Network;
+pub use optim::{sgd_step, train, BatchAugment, LrDecay, Schedule, TrainConfig, TrainReport};
+pub use param::{Param, ParamKind};
+pub use pool::{Flatten, GlobalAvgPool, MaxPool};
+pub use seg::{
+    iou_error_pct, logits_to_pixel_matrix, mean_iou_pct, pixel_cross_entropy, pixel_error_pct,
+    train_segmentation,
+};
+pub use upsample::NearestUpsample;

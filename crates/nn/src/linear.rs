@@ -1,0 +1,289 @@
+//! Fully connected block: linear transform + optional batch-norm + optional
+//! ReLU, fused into a single prunable unit.
+
+use crate::batchnorm::BatchNormCore;
+use crate::init::he_std;
+use crate::layer::{Layer, Mode, PrunableLayer, UnitKind};
+use crate::param::{Param, ParamKind};
+use pv_tensor::{matmul, matmul_a_bt, matmul_at_b, Rng, Tensor};
+
+/// A fully connected layer (`y = ReLU(BN(x·Wᵀ + b))`, both BN and ReLU
+/// optional).
+///
+/// The weight is stored `[out, in]`, so row `j` holds neuron `j` — the unit
+/// addressed by structured pruning.
+#[derive(Debug, Clone)]
+pub struct LinearBlock {
+    label: String,
+    weight: Param,
+    bias: Param,
+    bn: Option<BatchNormCore>,
+    relu: bool,
+    classifier: bool,
+    cache_input: Option<Tensor>,
+    cache_relu_mask: Option<Tensor>,
+    input_sens: Option<Tensor>,
+}
+
+impl LinearBlock {
+    /// Creates a He-initialized linear block.
+    pub fn new(label: impl Into<String>, in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
+        let std = he_std(in_dim);
+        Self {
+            label: label.into(),
+            weight: Param::new(Tensor::randn(&[out_dim, in_dim], 0.0, std, rng), ParamKind::Weight),
+            bias: Param::new(Tensor::zeros(&[out_dim]), ParamKind::Bias),
+            bn: None,
+            relu: false,
+            classifier: false,
+            cache_input: None,
+            cache_relu_mask: None,
+            input_sens: None,
+        }
+    }
+
+    /// Adds batch normalization after the linear transform.
+    pub fn with_batch_norm(mut self) -> Self {
+        self.bn = Some(BatchNormCore::new(self.weight.value.dim(0)));
+        self
+    }
+
+    /// Adds a ReLU activation at the end of the block.
+    pub fn with_relu(mut self) -> Self {
+        self.relu = true;
+        self
+    }
+
+    /// Marks this block as the final classifier (exempt from structured
+    /// pruning).
+    pub fn as_classifier(mut self) -> Self {
+        self.classifier = true;
+        self
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.value.dim(1)
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.value.dim(0)
+    }
+}
+
+impl Layer for LinearBlock {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.ndim(), 2, "LinearBlock expects [N, in] input");
+        assert_eq!(x.dim(1), self.in_dim(), "input width mismatch in {}", self.label);
+        // mean |x_j| over the batch: the data-informed sensitivity a(x)
+        let mut sens = x.map(f32::abs).sum_rows();
+        sens.scale_in_place(1.0 / x.dim(0) as f32);
+        self.input_sens = Some(sens);
+
+        let mut y = matmul_a_bt(x, &self.weight.value);
+        y.add_row_broadcast(&self.bias.value);
+        if let Some(bn) = &mut self.bn {
+            y = bn.forward_matrix(&y, mode == Mode::Train);
+        }
+        if mode == Mode::Train {
+            self.cache_input = Some(x.clone());
+        }
+        if self.relu {
+            let mask = y.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+            y.mul_assign(&mask);
+            if mode == Mode::Train {
+                self.cache_relu_mask = Some(mask);
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_input.take().expect("LinearBlock backward without forward");
+        let mut g = grad_out.clone();
+        if self.relu {
+            let mask = self.cache_relu_mask.take().expect("missing ReLU cache");
+            g.mul_assign(&mask);
+        }
+        if let Some(bn) = &mut self.bn {
+            g = bn.backward_matrix(&g);
+        }
+        // dW += gᵀ·x ; db += Σ rows(g) ; dx = g·W
+        self.weight.grad.add_assign(&matmul_at_b(&g, &x));
+        self.bias.grad.add_assign(&g.sum_rows());
+        matmul(&g, &self.weight.value)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+        if let Some(bn) = &mut self.bn {
+            f(&mut bn.gamma);
+            f(&mut bn.beta);
+        }
+    }
+
+    fn visit_prunable(&mut self, f: &mut dyn FnMut(&mut dyn PrunableLayer)) {
+        f(self);
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        2 * self.weight.value.len() as u64
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "linear({}->{}){}{}{}",
+            self.in_dim(),
+            self.out_dim(),
+            if self.bn.is_some() { "+bn" } else { "" },
+            if self.relu { "+relu" } else { "" },
+            if self.classifier { " [clf]" } else { "" },
+        )
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+impl PrunableLayer for LinearBlock {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    fn bias_mut(&mut self) -> Option<&mut Param> {
+        Some(&mut self.bias)
+    }
+
+    fn coupled_mut(&mut self) -> Vec<&mut Param> {
+        match &mut self.bn {
+            Some(bn) => vec![&mut bn.gamma, &mut bn.beta],
+            None => Vec::new(),
+        }
+    }
+
+    fn out_units(&self) -> usize {
+        self.weight.value.dim(0)
+    }
+
+    fn unit_len(&self) -> usize {
+        self.weight.value.dim(1)
+    }
+
+    fn is_classifier(&self) -> bool {
+        self.classifier
+    }
+
+    fn unit_kind(&self) -> UnitKind {
+        UnitKind::Linear
+    }
+
+    fn dense_flops(&self) -> u64 {
+        2 * self.weight.value.len() as u64
+    }
+
+    fn input_sensitivity(&self) -> Option<&Tensor> {
+        self.input_sens.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut rng = Rng::new(1);
+        let mut l = LinearBlock::new("l", 3, 2, &mut rng);
+        l.weight.value = Tensor::from_vec(vec![2, 3], vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
+        l.bias.value = Tensor::from_vec(vec![2], vec![0.1, -0.1]);
+        let x = Tensor::from_vec(vec![1, 3], vec![2.0, 4.0, 6.0]);
+        let y = l.forward(&x, Mode::Eval);
+        assert!((y.at2(0, 0) - (2.0 - 6.0 + 0.1)).abs() < 1e-6);
+        assert!((y.at2(0, 1) - (1.0 + 2.0 + 3.0 - 0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let mut rng = Rng::new(2);
+        let mut l = LinearBlock::new("l", 2, 2, &mut rng).with_relu();
+        l.weight.value = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, -1.0, 0.0]);
+        l.bias.value = Tensor::zeros(&[2]);
+        let x = Tensor::from_vec(vec![1, 2], vec![3.0, 0.0]);
+        let y = l.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[3.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_finite_difference_with_bn_and_relu() {
+        let mut rng = Rng::new(3);
+        let l0 = LinearBlock::new("l", 4, 3, &mut rng).with_batch_norm().with_relu();
+        let x = Tensor::rand_uniform(&[6, 4], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[6, 3], -1.0, 1.0, &mut rng); // loss weights
+
+        let loss = |l: &mut LinearBlock, x: &Tensor| -> f32 { l.forward(x, Mode::Train).mul(&w).sum() };
+
+        let mut l = l0.clone();
+        let _ = l.forward(&x, Mode::Train);
+        let grad_in = l.backward(&w);
+
+        let eps = 1e-3;
+        // input grads
+        for k in [0usize, 5, 11, 23] {
+            let mut xp = x.clone();
+            xp.data_mut()[k] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[k] -= eps;
+            let mut lc = l0.clone();
+            let num = (loss(&mut lc, &xp) - loss(&mut lc, &xm)) / (2.0 * eps);
+            let ana = grad_in.data()[k];
+            assert!((num - ana).abs() < 3e-2, "input {k}: {num} vs {ana}");
+        }
+        // weight grads
+        for k in [0usize, 4, 7, 11] {
+            let mut lp = l0.clone();
+            lp.weight.value.data_mut()[k] += eps;
+            let mut lm = l0.clone();
+            lm.weight.value.data_mut()[k] -= eps;
+            let num = (loss(&mut lp, &x) - loss(&mut lm, &x)) / (2.0 * eps);
+            let ana = l.weight.grad.data()[k];
+            assert!((num - ana).abs() < 3e-2, "weight {k}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn input_sensitivity_is_mean_abs() {
+        let mut rng = Rng::new(4);
+        let mut l = LinearBlock::new("l", 2, 2, &mut rng);
+        let x = Tensor::from_vec(vec![2, 2], vec![1.0, -2.0, 3.0, 0.0]);
+        let _ = l.forward(&x, Mode::Eval);
+        let s = l.input_sensitivity().expect("sensitivity recorded");
+        assert_eq!(s.data(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn masked_weights_stay_zero_through_backward() {
+        let mut rng = Rng::new(5);
+        let mut l = LinearBlock::new("l", 3, 3, &mut rng);
+        let mut mask = Tensor::ones(&[3, 3]);
+        mask.data_mut()[4] = 0.0;
+        l.weight.set_mask(mask);
+        assert_eq!(l.weight.value.data()[4], 0.0);
+        let x = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let y = l.forward(&x, Mode::Train);
+        let _ = l.backward(&Tensor::ones(y.shape()));
+        l.weight.project();
+        assert_eq!(l.weight.value.data()[4], 0.0);
+        assert_eq!(l.weight.grad.data()[4], 0.0);
+    }
+}

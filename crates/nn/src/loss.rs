@@ -1,0 +1,123 @@
+//! Cross-entropy loss for classification, with the exact logit gradient.
+
+use pv_tensor::Tensor;
+
+/// Value and gradient of the mean cross-entropy loss.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits, `[N, K]`, already divided by `N`.
+    pub grad_logits: Tensor,
+}
+
+/// Mean cross-entropy between `logits` (`[N, K]`) and integer `labels`.
+///
+/// The gradient is `(softmax(logits) − onehot(labels)) / N`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or a label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use pv_nn::cross_entropy;
+/// use pv_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![1, 3], vec![5.0, 0.0, 0.0]);
+/// let out = cross_entropy(&logits, &[0]);
+/// assert!(out.loss < 0.1); // confident and correct => small loss
+/// ```
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    assert_eq!(logits.ndim(), 2, "logits must be [N, K]");
+    let (n, k) = (logits.dim(0), logits.dim(1));
+    assert_eq!(n, labels.len(), "label count mismatch");
+    assert!(n > 0, "empty batch");
+    let log_probs = logits.log_softmax_rows();
+    let mut loss = 0.0f32;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < k, "label {label} out of range for {k} classes");
+        loss -= log_probs.at2(r, label);
+    }
+    loss /= n as f32;
+
+    let mut grad = log_probs.map(f32::exp); // softmax probabilities
+    let inv_n = 1.0 / n as f32;
+    for (r, &label) in labels.iter().enumerate() {
+        let v = grad.at2(r, label);
+        grad.set2(r, label, v - 1.0);
+    }
+    grad.scale_in_place(inv_n);
+    LossOutput { loss, grad_logits: grad }
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(logits.dim(0), labels.len(), "label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    preds.iter().zip(labels).filter(|(p, l)| p == l).count() as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_tensor::Rng;
+
+    #[test]
+    fn loss_matches_manual_computation() {
+        let logits = Tensor::from_vec(vec![2, 2], vec![0.0, 0.0, 2.0, 0.0]);
+        let out = cross_entropy(&logits, &[0, 1]);
+        // row 0: -ln(0.5); row 1: -ln(exp(0)/(exp(2)+exp(0)))
+        let expected = (0.5f32.ln().abs() + (1.0 + (2.0f32).exp()).ln()) / 2.0;
+        assert!((out.loss - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = Rng::new(1);
+        let logits = Tensor::rand_uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let labels = [2usize, 0, 3];
+        let out = cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for k in 0..12 {
+            let mut lp = logits.clone();
+            lp.data_mut()[k] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[k] -= eps;
+            let num =
+                (cross_entropy(&lp, &labels).loss - cross_entropy(&lm, &labels).loss) / (2.0 * eps);
+            assert!((num - out.grad_logits.data()[k]).abs() < 1e-3, "coord {k}");
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut rng = Rng::new(2);
+        let logits = Tensor::rand_uniform(&[4, 5], -2.0, 2.0, &mut rng);
+        let out = cross_entropy(&logits, &[0, 1, 2, 3]);
+        for r in 0..4 {
+            let s: f32 = out.grad_logits.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+}

@@ -1,0 +1,373 @@
+//! The architecture zoo: scaled-down analogues of the families studied in
+//! the paper (ResNet, VGG, WideResNet, DenseNet, plus MLP baselines).
+//!
+//! Each builder returns a ready-to-train [`Network`]. Widths and depths are
+//! parameters so benches can trade fidelity for speed; the presets used by
+//! the experiment harnesses live in the `pruneval` core crate.
+
+use crate::container::{DenseBlock, Residual, Sequential};
+use crate::convblock::ConvBlock;
+use crate::linear::LinearBlock;
+use crate::network::Network;
+use crate::pool::{Flatten, GlobalAvgPool, MaxPool};
+use pv_tensor::{ConvGeometry, Rng, Tensor};
+
+/// A multi-layer perceptron with ReLU activations (and optional batch norm)
+/// on flattened inputs.
+///
+/// # Panics
+///
+/// Panics if `hidden` is empty.
+pub fn mlp(
+    name: &str,
+    input_dim: usize,
+    hidden: &[usize],
+    classes: usize,
+    batch_norm: bool,
+    seed: u64,
+) -> Network {
+    assert!(!hidden.is_empty(), "mlp needs at least one hidden layer");
+    let mut rng = Rng::new(seed);
+    let mut seq = Sequential::new();
+    let mut prev = input_dim;
+    for (i, &h) in hidden.iter().enumerate() {
+        let mut block = LinearBlock::new(format!("fc{i}"), prev, h, &mut rng).with_relu();
+        if batch_norm {
+            block = LinearBlock::new(format!("fc{i}"), prev, h, &mut rng)
+                .with_batch_norm()
+                .with_relu();
+        }
+        seq.push(Box::new(block));
+        prev = h;
+    }
+    seq.push(Box::new(
+        LinearBlock::new("clf", prev, classes, &mut rng).as_classifier(),
+    ));
+    Network::new(name, seq, vec![input_dim], classes)
+}
+
+/// A plain deep convolutional stack in the VGG spirit: conv–conv–pool
+/// stages of doubling width followed by a large fully connected head.
+///
+/// `input` is `(channels, height, width)`; height and width must be
+/// divisible by 8 (three pooling stages).
+pub fn mini_vgg(name: &str, input: (usize, usize, usize), classes: usize, width: usize, seed: u64) -> Network {
+    let (c, h, w) = input;
+    assert!(h % 8 == 0 && w % 8 == 0, "mini_vgg needs input divisible by 8");
+    let mut rng = Rng::new(seed);
+    let g = ConvGeometry::new(3, 1, 1);
+    let mut seq = Sequential::new();
+    let mut hw = (h, w);
+    let mut in_c = c;
+    for (stage, mult) in [1usize, 2, 4].into_iter().enumerate() {
+        let out_c = width * mult;
+        seq.push(Box::new(
+            ConvBlock::new(format!("s{stage}c0"), in_c, out_c, g, hw, &mut rng)
+                .with_batch_norm()
+                .with_relu(),
+        ));
+        seq.push(Box::new(
+            ConvBlock::new(format!("s{stage}c1"), out_c, out_c, g, hw, &mut rng)
+                .with_batch_norm()
+                .with_relu(),
+        ));
+        seq.push(Box::new(MaxPool::new(2, 2)));
+        hw = (hw.0 / 2, hw.1 / 2);
+        in_c = out_c;
+    }
+    // the big FC head is what gives VGG its extreme weight-prunability
+    let feat = in_c * hw.0 * hw.1;
+    let fc_dim = 4 * width * 4;
+    seq.push(Box::new(Flatten::new()));
+    seq.push(Box::new(LinearBlock::new("fc0", feat, fc_dim, &mut rng).with_relu()));
+    seq.push(Box::new(LinearBlock::new("clf", fc_dim, classes, &mut rng).as_classifier()));
+    Network::new(name, seq, vec![c, h, w], classes)
+}
+
+/// Builds one residual stage of `blocks` basic blocks; the first block may
+/// downsample (stride 2) and change width via a 1×1 projection shortcut.
+fn residual_stage(
+    seq: &mut Sequential,
+    stage: usize,
+    blocks: usize,
+    in_c: usize,
+    out_c: usize,
+    first_stride: usize,
+    hw: (usize, usize),
+    rng: &mut Rng,
+) -> (usize, usize) {
+    let mut cur_hw = hw;
+    for b in 0..blocks {
+        let (stride, cin) = if b == 0 { (first_stride, in_c) } else { (1, out_c) };
+        let g1 = ConvGeometry::new(3, stride, 1);
+        let g2 = ConvGeometry::new(3, 1, 1);
+        let next_hw = g1.output_size(cur_hw.0, cur_hw.1);
+        let body = Sequential::new()
+            .then(
+                ConvBlock::new(format!("s{stage}b{b}c0"), cin, out_c, g1, cur_hw, rng)
+                    .with_batch_norm()
+                    .with_relu(),
+            )
+            .then(
+                ConvBlock::new(format!("s{stage}b{b}c1"), out_c, out_c, g2, next_hw, rng)
+                    .with_batch_norm(),
+            );
+        if stride != 1 || cin != out_c {
+            let proj = ConvBlock::new(
+                format!("s{stage}b{b}p"),
+                cin,
+                out_c,
+                ConvGeometry::new(1, stride, 0),
+                cur_hw,
+                rng,
+            )
+            .with_batch_norm();
+            seq.push(Box::new(Residual::with_projection(body, proj)));
+        } else {
+            seq.push(Box::new(Residual::new(body)));
+        }
+        cur_hw = next_hw;
+    }
+    cur_hw
+}
+
+/// A three-stage residual network in the CIFAR-ResNet spirit
+/// (He et al., 2016): widths `w, 2w, 4w`, global average pooling, linear
+/// classifier.
+///
+/// `blocks_per_stage = 1` yields the analogue of ResNet20's shallow end;
+/// larger values deepen the network like ResNet56/110.
+pub fn mini_resnet(
+    name: &str,
+    input: (usize, usize, usize),
+    classes: usize,
+    base_width: usize,
+    blocks_per_stage: usize,
+    seed: u64,
+) -> Network {
+    let (c, h, w) = input;
+    assert!(h % 4 == 0 && w % 4 == 0, "mini_resnet needs input divisible by 4");
+    let mut rng = Rng::new(seed);
+    let mut seq = Sequential::new();
+    let hw = (h, w);
+    seq.push(Box::new(
+        ConvBlock::new("stem", c, base_width, ConvGeometry::new(3, 1, 1), hw, &mut rng)
+            .with_batch_norm()
+            .with_relu(),
+    ));
+    let hw = residual_stage(&mut seq, 0, blocks_per_stage, base_width, base_width, 1, hw, &mut rng);
+    let hw = residual_stage(&mut seq, 1, blocks_per_stage, base_width, 2 * base_width, 2, hw, &mut rng);
+    let _hw = residual_stage(&mut seq, 2, blocks_per_stage, 2 * base_width, 4 * base_width, 2, hw, &mut rng);
+    seq.push(Box::new(GlobalAvgPool::new()));
+    seq.push(Box::new(
+        LinearBlock::new("clf", 4 * base_width, classes, &mut rng).as_classifier(),
+    ));
+    Network::new(name, seq, vec![c, h, w], classes)
+}
+
+/// A wide, shallow residual network (the WRN16-8 analogue): one block per
+/// stage but `widen`× the base width.
+pub fn mini_wide_resnet(
+    name: &str,
+    input: (usize, usize, usize),
+    classes: usize,
+    base_width: usize,
+    widen: usize,
+    seed: u64,
+) -> Network {
+    mini_resnet(name, input, classes, base_width * widen, 1, seed)
+}
+
+/// A densely connected network (DenseNet analogue): two dense blocks of
+/// `layers_per_block` convolutions with growth rate `growth`, joined by a
+/// 1×1-conv + pool transition.
+pub fn mini_densenet(
+    name: &str,
+    input: (usize, usize, usize),
+    classes: usize,
+    growth: usize,
+    layers_per_block: usize,
+    seed: u64,
+) -> Network {
+    let (c, h, w) = input;
+    assert!(h % 4 == 0 && w % 4 == 0, "mini_densenet needs input divisible by 4");
+    let mut rng = Rng::new(seed);
+    let g3 = ConvGeometry::new(3, 1, 1);
+    let mut seq = Sequential::new();
+    let stem_c = 2 * growth;
+    let mut hw = (h, w);
+    seq.push(Box::new(
+        ConvBlock::new("stem", c, stem_c, g3, hw, &mut rng).with_batch_norm().with_relu(),
+    ));
+
+    let mut in_c = stem_c;
+    for blk in 0..2 {
+        let mut layers = Vec::new();
+        let mut cin = in_c;
+        for l in 0..layers_per_block {
+            layers.push(
+                ConvBlock::new(format!("b{blk}l{l}"), cin, growth, g3, hw, &mut rng)
+                    .with_batch_norm()
+                    .with_relu(),
+            );
+            cin += growth;
+        }
+        let block = DenseBlock::new(in_c, layers);
+        let out_c = block.out_channels();
+        seq.push(Box::new(block));
+        // transition: compress channels and halve resolution
+        let trans_c = out_c / 2;
+        seq.push(Box::new(
+            ConvBlock::new(format!("t{blk}"), out_c, trans_c, ConvGeometry::new(1, 1, 0), hw, &mut rng)
+                .with_batch_norm()
+                .with_relu(),
+        ));
+        seq.push(Box::new(MaxPool::new(2, 2)));
+        hw = (hw.0 / 2, hw.1 / 2);
+        in_c = trans_c;
+    }
+    seq.push(Box::new(GlobalAvgPool::new()));
+    seq.push(Box::new(LinearBlock::new("clf", in_c, classes, &mut rng).as_classifier()));
+    Network::new(name, seq, vec![c, h, w], classes)
+}
+
+/// A small dense-prediction network in the DeeplabV3 spirit: a strided
+/// convolutional backbone, a 1×1 classification head, and nearest-neighbour
+/// upsampling back to input resolution. Output is `[N, classes, H, W]`;
+/// train it with [`crate::seg::train_segmentation`].
+pub fn mini_segnet(
+    name: &str,
+    input: (usize, usize, usize),
+    classes: usize,
+    width: usize,
+    seed: u64,
+) -> Network {
+    use crate::upsample::NearestUpsample;
+    let (c, h, w) = input;
+    assert!(h % 2 == 0 && w % 2 == 0, "mini_segnet needs even input size");
+    let mut rng = Rng::new(seed);
+    let g3 = ConvGeometry::new(3, 1, 1);
+    let g3s2 = ConvGeometry::new(3, 2, 1);
+    let mut seq = Sequential::new();
+    seq.push(Box::new(
+        ConvBlock::new("stem", c, width, g3, (h, w), &mut rng).with_batch_norm().with_relu(),
+    ));
+    seq.push(Box::new(
+        ConvBlock::new("enc0", width, 2 * width, g3s2, (h, w), &mut rng)
+            .with_batch_norm()
+            .with_relu(),
+    ));
+    seq.push(Box::new(
+        ConvBlock::new("enc1", 2 * width, 2 * width, g3, (h / 2, w / 2), &mut rng)
+            .with_batch_norm()
+            .with_relu(),
+    ));
+    // 1x1 classification head at reduced resolution; treated as the
+    // classifier so structured pruning never removes output classes
+    let mut head = ConvBlock::new(
+        "head",
+        2 * width,
+        classes,
+        ConvGeometry::new(1, 1, 0),
+        (h / 2, w / 2),
+        &mut rng,
+    );
+    head = head.as_classifier_conv();
+    seq.push(Box::new(head));
+    seq.push(Box::new(NearestUpsample::new(2)));
+    Network::new(name, seq, vec![c, h, w], classes)
+}
+
+/// Sanity helper: runs a single random batch through the network and
+/// returns the logits (used by tests and examples to validate shapes).
+pub fn smoke_forward(net: &mut Network, batch: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::new(seed);
+    let mut shape = vec![batch];
+    shape.extend_from_slice(net.input_shape());
+    let x = Tensor::rand_uniform(&shape, -1.0, 1.0, &mut rng);
+    net.forward(&x, crate::layer::Mode::Eval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use crate::loss::cross_entropy;
+
+    #[test]
+    fn mlp_shapes_and_params() {
+        let mut net = mlp("m", 16, &[32, 16], 10, false, 1);
+        let y = smoke_forward(&mut net, 4, 2);
+        assert_eq!(y.shape(), &[4, 10]);
+        assert_eq!(net.prunable_param_count(), 16 * 32 + 32 * 16 + 16 * 10);
+    }
+
+    #[test]
+    fn mini_vgg_forward() {
+        let mut net = mini_vgg("v", (1, 8, 8), 10, 4, 3);
+        let y = smoke_forward(&mut net, 2, 4);
+        assert_eq!(y.shape(), &[2, 10]);
+        assert!(net.dense_flops() > 0);
+    }
+
+    #[test]
+    fn mini_resnet_forward_and_backward() {
+        let mut net = mini_resnet("r", (1, 8, 8), 10, 4, 1, 5);
+        let mut rng = Rng::new(6);
+        let x = Tensor::rand_uniform(&[4, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let logits = net.forward(&x, Mode::Train);
+        assert_eq!(logits.shape(), &[4, 10]);
+        let out = cross_entropy(&logits, &[0, 1, 2, 3]);
+        let gin = net.backward(&out.grad_logits);
+        assert_eq!(gin.shape(), x.shape());
+        assert!(gin.all_finite());
+    }
+
+    #[test]
+    fn mini_wide_resnet_is_wider() {
+        let mut narrow = mini_resnet("r", (1, 8, 8), 10, 4, 1, 7);
+        let mut wide = mini_wide_resnet("w", (1, 8, 8), 10, 4, 2, 7);
+        assert!(wide.prunable_param_count() > 2 * narrow.prunable_param_count());
+        let y = smoke_forward(&mut wide, 2, 8);
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn mini_densenet_forward_and_backward() {
+        let mut net = mini_densenet("d", (1, 8, 8), 10, 4, 2, 9);
+        let mut rng = Rng::new(10);
+        let x = Tensor::rand_uniform(&[3, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let logits = net.forward(&x, Mode::Train);
+        assert_eq!(logits.shape(), &[3, 10]);
+        let out = cross_entropy(&logits, &[0, 5, 9]);
+        let gin = net.backward(&out.grad_logits);
+        assert_eq!(gin.shape(), x.shape());
+    }
+
+    #[test]
+    fn classifier_layers_are_marked() {
+        for mut net in [
+            mlp("m", 16, &[8], 10, false, 1),
+            mini_vgg("v", (1, 8, 8), 10, 2, 1),
+            mini_resnet("r", (1, 8, 8), 10, 2, 1, 1),
+            mini_densenet("d", (1, 8, 8), 10, 2, 2, 1),
+        ] {
+            let mut n_clf = 0;
+            net.visit_prunable(&mut |l| {
+                if l.is_classifier() {
+                    n_clf += 1;
+                }
+            });
+            assert_eq!(n_clf, 1, "{} should have exactly one classifier", net.name());
+        }
+    }
+
+    #[test]
+    fn networks_are_seed_deterministic() {
+        let mut a = mini_resnet("r", (1, 8, 8), 10, 2, 1, 42);
+        let mut b = mini_resnet("r", (1, 8, 8), 10, 2, 1, 42);
+        let ya = smoke_forward(&mut a, 2, 1);
+        let yb = smoke_forward(&mut b, 2, 1);
+        assert_eq!(ya, yb);
+    }
+}

@@ -1,0 +1,312 @@
+//! The top-level [`Network`]: a named model with input/output metadata and
+//! the whole-model operations (prediction, sparsity and FLOP accounting)
+//! used by pruning and evaluation.
+
+use crate::container::Sequential;
+use crate::layer::{Layer, Mode, PrunableLayer};
+use crate::param::{Param, ParamKind};
+use pv_tensor::Tensor;
+
+/// A complete classifier network.
+///
+/// Wraps a [`Sequential`] root with the metadata the rest of the workspace
+/// needs: the expected per-sample input shape, the class count, and a name
+/// for reports.
+#[derive(Clone)]
+pub struct Network {
+    name: String,
+    root: Sequential,
+    input_shape: Vec<usize>,
+    num_classes: usize,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Network({}: {:?} -> {} classes)",
+            self.name, self.input_shape, self.num_classes
+        )
+    }
+}
+
+impl Network {
+    /// Wraps a root module as a named network.
+    ///
+    /// `input_shape` is the per-sample shape (e.g. `[3, 16, 16]` or `[256]`).
+    pub fn new(
+        name: impl Into<String>,
+        root: Sequential,
+        input_shape: Vec<usize>,
+        num_classes: usize,
+    ) -> Self {
+        Self { name: name.into(), root, input_shape, num_classes }
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected per-sample input shape.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Architecture summary string.
+    pub fn describe(&self) -> String {
+        self.root.describe()
+    }
+
+    /// Forward pass on a batch (first axis = batch), producing logits
+    /// `[N, classes]`.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(
+            &x.shape()[1..],
+            self.input_shape.as_slice(),
+            "input shape mismatch for {}",
+            self.name
+        );
+        let out = self.root.forward(x, mode);
+        debug_assert_eq!(out.dim(1), self.num_classes);
+        out
+    }
+
+    /// Backward pass from the loss gradient w.r.t. the logits.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        self.root.backward(grad_logits)
+    }
+
+    /// Predicted class labels for a batch.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        self.forward(x, Mode::Eval).argmax_rows()
+    }
+
+    /// Classification accuracy on `(x, labels)`, evaluated in mini-batches
+    /// of `batch` samples to bound memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the number of samples or
+    /// `batch == 0`.
+    pub fn accuracy(&mut self, x: &Tensor, labels: &[usize], batch: usize) -> f64 {
+        assert_eq!(x.dim(0), labels.len(), "label count mismatch");
+        assert!(batch > 0, "batch must be positive");
+        let n = labels.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch).min(n);
+            let xb = x.slice_first_axis(start, end);
+            let preds = self.predict(&xb);
+            correct += preds
+                .iter()
+                .zip(&labels[start..end])
+                .filter(|(p, l)| p == l)
+                .count();
+            start = end;
+        }
+        correct as f64 / n as f64
+    }
+
+    /// Test error (1 − accuracy) in percent, the unit used throughout the
+    /// paper's tables.
+    pub fn test_error_pct(&mut self, x: &Tensor, labels: &[usize], batch: usize) -> f64 {
+        100.0 * (1.0 - self.accuracy(x, labels, batch))
+    }
+
+    /// Applies `f` to every parameter.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.root.visit_params(f);
+    }
+
+    /// Applies `f` to every prunable leaf, in forward order.
+    pub fn visit_prunable(&mut self, f: &mut dyn FnMut(&mut dyn PrunableLayer)) {
+        self.root.visit_prunable(f);
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Re-applies all pruning masks (idempotent).
+    pub fn project_masks(&mut self) {
+        self.visit_params(&mut |p| p.project());
+    }
+
+    /// Total number of scalar parameters (including biases and batch-norm).
+    pub fn total_param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Number of *prunable* weight entries, the denominator of the paper's
+    /// prune ratio.
+    pub fn prunable_param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| {
+            if p.kind == ParamKind::Weight {
+                n += p.len();
+            }
+        });
+        n
+    }
+
+    /// Number of still-active prunable weight entries.
+    pub fn active_prunable_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| {
+            if p.kind == ParamKind::Weight {
+                n += p.active_count();
+            }
+        });
+        n
+    }
+
+    /// Overall prune ratio over prunable weights in `[0, 1]`
+    /// (`1 − ‖c‖₀/‖θ‖₀`, Definition 1's sparsity measure).
+    pub fn prune_ratio(&mut self) -> f64 {
+        let total = self.prunable_param_count();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.active_prunable_count() as f64 / total as f64
+    }
+
+    /// Dense per-sample multiply-accumulate count of the architecture.
+    pub fn dense_flops(&self) -> u64 {
+        self.root.flops_per_sample()
+    }
+
+    /// Current per-sample FLOPs given the installed masks.
+    ///
+    /// Unstructured masks scale a layer's FLOPs by its weight density;
+    /// structured masks (full zero rows) reduce the density in exactly the
+    /// same proportion, so one accounting rule covers both (this matches the
+    /// convention of the reference implementation up to the downstream
+    /// input-channel saving, which is conservative here).
+    pub fn current_flops(&mut self) -> u64 {
+        let mut total = 0.0f64;
+        self.visit_prunable(&mut |l| {
+            total += l.dense_flops() as f64 * l.weight().density();
+        });
+        total.round() as u64
+    }
+
+    /// FLOP reduction ratio `FR = 1 − current/dense` in `[0, 1]`.
+    pub fn flop_reduction(&mut self) -> f64 {
+        let dense: f64 = {
+            let mut d = 0.0;
+            self.visit_prunable(&mut |l| d += l.dense_flops() as f64);
+            d
+        };
+        if dense == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.current_flops() as f64 / dense
+    }
+
+    /// Labels of all prunable leaves in forward order.
+    pub fn prunable_labels(&mut self) -> Vec<String> {
+        let mut labels = Vec::new();
+        self.visit_prunable(&mut |l| labels.push(l.label().to_string()));
+        labels
+    }
+
+    /// Per-layer densities of prunable weights, in forward order.
+    pub fn layer_densities(&mut self) -> Vec<f64> {
+        let mut d = Vec::new();
+        self.visit_prunable(&mut |l| d.push(l.weight().density()));
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearBlock;
+    use pv_tensor::{Rng, Tensor};
+
+    fn tiny_net(rng: &mut Rng) -> Network {
+        let root = Sequential::new()
+            .then(LinearBlock::new("fc1", 4, 8, rng).with_relu())
+            .then(LinearBlock::new("fc2", 8, 3, rng).as_classifier());
+        Network::new("tiny", root, vec![4], 3)
+    }
+
+    #[test]
+    fn forward_and_predict_shapes() {
+        let mut rng = Rng::new(1);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::rand_uniform(&[5, 4], -1.0, 1.0, &mut rng);
+        let logits = net.forward(&x, Mode::Eval);
+        assert_eq!(logits.shape(), &[5, 3]);
+        let preds = net.predict(&x);
+        assert_eq!(preds.len(), 5);
+        assert!(preds.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = Rng::new(2);
+        let mut net = tiny_net(&mut rng);
+        assert_eq!(net.prunable_param_count(), 4 * 8 + 8 * 3);
+        assert_eq!(net.total_param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(net.prune_ratio(), 0.0);
+    }
+
+    #[test]
+    fn prune_ratio_reflects_masks() {
+        let mut rng = Rng::new(3);
+        let mut net = tiny_net(&mut rng);
+        // mask half the weights of the first layer
+        net.visit_prunable(&mut |l| {
+            if l.label() == "fc1" {
+                let n = l.weight().len();
+                let mask = Tensor::from_fn(&[l.out_units(), l.unit_len()], |i| {
+                    if i < n / 2 {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                });
+                l.weight_mut().set_mask(mask);
+            }
+        });
+        let expected = 16.0 / 56.0;
+        assert!((net.prune_ratio() - expected).abs() < 1e-9);
+        assert!(net.flop_reduction() > 0.0);
+        assert!(net.current_flops() < net.dense_flops());
+    }
+
+    #[test]
+    fn accuracy_batches_cover_everything() {
+        let mut rng = Rng::new(4);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::rand_uniform(&[7, 4], -1.0, 1.0, &mut rng);
+        let preds = net.predict(&x);
+        let acc = net.accuracy(&x, &preds, 3); // batch smaller than n
+        assert!((acc - 1.0).abs() < 1e-12);
+        let err = net.test_error_pct(&x, &preds, 3);
+        assert!(err.abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape mismatch")]
+    fn wrong_input_shape_panics() {
+        let mut rng = Rng::new(5);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::zeros(&[2, 5]);
+        net.forward(&x, Mode::Eval);
+    }
+}

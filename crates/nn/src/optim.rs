@@ -1,0 +1,356 @@
+//! SGD with momentum, learning-rate schedules with warmup, and the training
+//! loop shared by initial training and prune–retrain cycles.
+
+use crate::loss::cross_entropy;
+use crate::layer::Mode;
+use crate::network::Network;
+use pv_tensor::{Rng, Tensor};
+
+/// Learning-rate decay rule applied after warmup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrDecay {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` at each of the listed epochs (e.g. the ResNet
+    /// schedule `0.1@{91, 136}`).
+    MultiStep {
+        /// Epochs at which the rate is multiplied by `gamma`.
+        milestones: Vec<usize>,
+        /// Multiplicative decay factor.
+        gamma: f64,
+    },
+    /// Multiply by `gamma` every `every` epochs (e.g. VGG's `0.5@{30, …}`).
+    Every {
+        /// Decay period in epochs.
+        every: usize,
+        /// Multiplicative decay factor.
+        gamma: f64,
+    },
+    /// Polynomial decay `(1 − epoch/total)^power` (DeeplabV3's schedule).
+    Poly {
+        /// Decay exponent.
+        power: f64,
+    },
+}
+
+/// A complete learning-rate schedule: linear warmup followed by decay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Peak learning rate reached at the end of warmup.
+    pub base_lr: f64,
+    /// Number of linear warmup epochs (0 disables warmup).
+    pub warmup_epochs: usize,
+    /// Decay rule applied after warmup.
+    pub decay: LrDecay,
+}
+
+impl Schedule {
+    /// A constant schedule without warmup.
+    pub fn constant(base_lr: f64) -> Self {
+        Self { base_lr, warmup_epochs: 0, decay: LrDecay::Constant }
+    }
+
+    /// Learning rate for `epoch` (0-based) out of `total_epochs`.
+    pub fn lr_at(&self, epoch: usize, total_epochs: usize) -> f64 {
+        if self.warmup_epochs > 0 && epoch < self.warmup_epochs {
+            // linear ramp from base/warmup to base
+            return self.base_lr * (epoch + 1) as f64 / self.warmup_epochs as f64;
+        }
+        match &self.decay {
+            LrDecay::Constant => self.base_lr,
+            LrDecay::MultiStep { milestones, gamma } => {
+                let k = milestones.iter().filter(|&&m| epoch >= m).count();
+                self.base_lr * gamma.powi(k as i32)
+            }
+            LrDecay::Every { every, gamma } => {
+                let k = if *every == 0 { 0 } else { epoch / every };
+                self.base_lr * gamma.powi(k as i32)
+            }
+            LrDecay::Poly { power } => {
+                let t = total_epochs.max(1) as f64;
+                self.base_lr * (1.0 - (epoch as f64 / t).min(1.0)).powf(*power)
+            }
+        }
+    }
+}
+
+/// Hyperparameters of one training run (Table 3/5/7 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub schedule: Schedule,
+    /// SGD momentum coefficient.
+    pub momentum: f64,
+    /// Whether to use Nesterov momentum.
+    pub nesterov: bool,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f64,
+    /// Seed for batch shuffling (and augmentation, via a forked stream).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 64,
+            schedule: Schedule::constant(0.1),
+            momentum: 0.9,
+            nesterov: false,
+            weight_decay: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch record of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Mean training loss of each epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Learning rate used in each epoch.
+    pub epoch_lrs: Vec<f64>,
+}
+
+impl TrainReport {
+    /// Final epoch's mean loss, or +∞ if no epoch ran.
+    pub fn final_loss(&self) -> f64 {
+        self.epoch_losses.last().copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+/// One SGD step over all parameters of a network.
+///
+/// Applies weight decay, (Nesterov) momentum, the update, and finally
+/// re-projects pruning masks so pruned coordinates stay zero.
+pub fn sgd_step(net: &mut Network, lr: f64, momentum: f64, nesterov: bool, weight_decay: f64) {
+    let lr = lr as f32;
+    let mu = momentum as f32;
+    let wd = weight_decay as f32;
+    net.visit_params(&mut |p| {
+        let mut g = p.grad.clone();
+        if wd != 0.0 {
+            g.add_scaled(&p.value, wd);
+        }
+        let update = if mu != 0.0 {
+            let v = p.velocity.get_or_insert_with(|| Tensor::zeros(g.shape()));
+            v.scale_in_place(mu);
+            v.add_assign(&g);
+            if nesterov {
+                let mut u = g;
+                u.add_scaled(p.velocity.as_ref().expect("velocity just set"), mu);
+                u
+            } else {
+                p.velocity.as_ref().expect("velocity just set").clone()
+            }
+        } else {
+            g
+        };
+        p.value.add_scaled(&update, -lr);
+        p.project();
+    });
+}
+
+/// A per-batch input transformation hook (used for corruption-based data
+/// augmentation in the robust-training experiments of Section 6).
+pub type BatchAugment<'a> = &'a mut dyn FnMut(&mut Tensor, &mut Rng);
+
+/// Trains a network with mini-batch SGD and cross-entropy loss.
+///
+/// `augment`, if provided, is applied to every mini-batch *before* the
+/// forward pass and receives a deterministic RNG forked from `cfg.seed`.
+///
+/// # Panics
+///
+/// Panics if `inputs` and `labels` disagree in length, the training set is
+/// empty, or `cfg.batch_size == 0`.
+pub fn train(
+    net: &mut Network,
+    inputs: &Tensor,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    mut augment: Option<BatchAugment<'_>>,
+) -> TrainReport {
+    let n = labels.len();
+    assert_eq!(inputs.dim(0), n, "inputs/labels length mismatch");
+    assert!(n > 0, "empty training set");
+    assert!(cfg.batch_size > 0, "batch_size must be positive");
+
+    let mut shuffle_rng = Rng::new(cfg.seed);
+    let mut augment_rng = shuffle_rng.fork(0xA06);
+    let mut report = TrainReport::default();
+    let mut order: Vec<usize> = (0..n).collect();
+
+    for epoch in 0..cfg.epochs {
+        let lr = cfg.schedule.lr_at(epoch, cfg.epochs);
+        shuffle_rng.shuffle(&mut order);
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        let mut start = 0;
+        while start < n {
+            let end = (start + cfg.batch_size).min(n);
+            // batch-norm needs >= 2 rows; fold a trailing singleton into
+            // the previous batch by extending backwards
+            let begin = if end - start == 1 && start > 0 { start - 1 } else { start };
+            let idx = &order[begin..end];
+            let mut xb = inputs.gather_first_axis(idx);
+            let yb: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+            if let Some(f) = augment.as_mut() {
+                f(&mut xb, &mut augment_rng);
+            }
+            net.zero_grads();
+            let logits = net.forward(&xb, Mode::Train);
+            let out = cross_entropy(&logits, &yb);
+            net.backward(&out.grad_logits);
+            sgd_step(net, lr, cfg.momentum, cfg.nesterov, cfg.weight_decay);
+            epoch_loss += f64::from(out.loss);
+            batches += 1;
+            start = end;
+        }
+        report.epoch_losses.push(epoch_loss / batches.max(1) as f64);
+        report.epoch_lrs.push(lr);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::Sequential;
+    use crate::linear::LinearBlock;
+
+    fn make_net(seed: u64, hidden: usize) -> Network {
+        let mut rng = Rng::new(seed);
+        let root = Sequential::new()
+            .then(LinearBlock::new("fc1", 2, hidden, &mut rng).with_relu())
+            .then(LinearBlock::new("fc2", hidden, 2, &mut rng).as_classifier());
+        Network::new("toy", root, vec![2], 2)
+    }
+
+    /// Two interleaved diagonal bands — linearly inseparable but easy.
+    fn toy_data(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = Rng::new(seed);
+        let mut xs = Vec::with_capacity(n * 2);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = rng.uniform_in(-1.0, 1.0);
+            let b = rng.uniform_in(-1.0, 1.0);
+            xs.push(a);
+            xs.push(b);
+            ys.push(usize::from(a * b > 0.0)); // XOR-like
+        }
+        (Tensor::from_vec(vec![n, 2], xs), ys)
+    }
+
+    #[test]
+    fn schedule_warmup_and_multistep() {
+        let s = Schedule {
+            base_lr: 0.1,
+            warmup_epochs: 5,
+            decay: LrDecay::MultiStep { milestones: vec![10, 20], gamma: 0.1 },
+        };
+        assert!((s.lr_at(0, 30) - 0.02).abs() < 1e-12);
+        assert!((s.lr_at(4, 30) - 0.1).abs() < 1e-12);
+        assert!((s.lr_at(9, 30) - 0.1).abs() < 1e-12);
+        assert!((s.lr_at(10, 30) - 0.01).abs() < 1e-12);
+        assert!((s.lr_at(25, 30) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_every_and_poly() {
+        let e = Schedule { base_lr: 1.0, warmup_epochs: 0, decay: LrDecay::Every { every: 10, gamma: 0.5 } };
+        assert_eq!(e.lr_at(0, 40), 1.0);
+        assert_eq!(e.lr_at(10, 40), 0.5);
+        assert_eq!(e.lr_at(25, 40), 0.25);
+        let p = Schedule { base_lr: 1.0, warmup_epochs: 0, decay: LrDecay::Poly { power: 0.9 } };
+        assert_eq!(p.lr_at(0, 10), 1.0);
+        assert!(p.lr_at(9, 10) < 0.2);
+    }
+
+    #[test]
+    fn training_learns_xor_like_task() {
+        let mut net = make_net(1, 16);
+        let (x, y) = toy_data(256, 2);
+        let cfg = TrainConfig {
+            epochs: 60,
+            batch_size: 32,
+            schedule: Schedule::constant(0.1),
+            momentum: 0.9,
+            nesterov: false,
+            weight_decay: 1e-4,
+            seed: 3,
+        };
+        let report = train(&mut net, &x, &y, &cfg, None);
+        assert!(report.epoch_losses.len() == 60);
+        assert!(report.final_loss() < report.epoch_losses[0], "loss should decrease");
+        let acc = net.accuracy(&x, &y, 64);
+        assert!(acc > 0.9, "train accuracy {acc} too low");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = toy_data(64, 5);
+        let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let mut a = make_net(7, 8);
+        let mut b = make_net(7, 8);
+        let ra = train(&mut a, &x, &y, &cfg, None);
+        let rb = train(&mut b, &x, &y, &cfg, None);
+        assert_eq!(ra.epoch_losses, rb.epoch_losses);
+    }
+
+    #[test]
+    fn masked_weights_survive_training() {
+        let (x, y) = toy_data(64, 6);
+        let mut net = make_net(8, 8);
+        let mut zero_idx = Vec::new();
+        net.visit_prunable(&mut |l| {
+            if l.label() == "fc1" {
+                let shape = [l.out_units(), l.unit_len()];
+                let mask = Tensor::from_fn(&shape, |i| if i % 3 == 0 { 0.0 } else { 1.0 });
+                l.weight_mut().set_mask(mask);
+                zero_idx = (0..l.weight().len()).filter(|i| i % 3 == 0).collect();
+            }
+        });
+        let cfg = TrainConfig { epochs: 5, ..TrainConfig::default() };
+        train(&mut net, &x, &y, &cfg, None);
+        net.visit_prunable(&mut |l| {
+            if l.label() == "fc1" {
+                for &i in &zero_idx {
+                    assert_eq!(l.weight().value.data()[i], 0.0, "masked weight {i} changed");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn augment_hook_runs_and_sees_batches() {
+        let (x, y) = toy_data(32, 8);
+        let mut net = make_net(9, 4);
+        let mut calls = 0usize;
+        let cfg = TrainConfig { epochs: 2, batch_size: 8, ..TrainConfig::default() };
+        let mut hook = |xb: &mut Tensor, _rng: &mut Rng| {
+            calls += 1;
+            assert_eq!(xb.dim(1), 2);
+        };
+        train(&mut net, &x, &y, &cfg, Some(&mut hook));
+        assert_eq!(calls, 8); // 4 batches x 2 epochs
+    }
+
+    #[test]
+    fn nesterov_also_converges() {
+        let mut net = make_net(11, 16);
+        let (x, y) = toy_data(128, 12);
+        let cfg = TrainConfig {
+            epochs: 40,
+            nesterov: true,
+            schedule: Schedule::constant(0.05),
+            ..TrainConfig::default()
+        };
+        train(&mut net, &x, &y, &cfg, None);
+        assert!(net.accuracy(&x, &y, 64) > 0.85);
+    }
+}

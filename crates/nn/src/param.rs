@@ -1,0 +1,148 @@
+//! Trainable parameters with pruning masks and optimizer state.
+
+use pv_tensor::Tensor;
+
+/// The role a parameter plays inside its layer, used by pruning methods to
+/// decide what is prunable (only [`ParamKind::Weight`]) and what is merely
+/// *coupled* to pruned structures (biases and batch-norm affine parameters
+/// of a pruned output channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// A dense weight matrix (`[out, in]` for linear layers, `[out, c*kh*kw]`
+    /// for convolutions). The only kind that pruning methods score.
+    Weight,
+    /// A per-output-unit bias vector.
+    Bias,
+    /// Batch-norm scale (γ), one per channel.
+    Gain,
+    /// Batch-norm shift (β), one per channel.
+    Shift,
+}
+
+/// A trainable tensor together with its gradient, an optional binary pruning
+/// mask, and SGD momentum state.
+///
+/// The mask invariant maintained by the workspace: wherever `mask == 0`,
+/// `value == 0` after every optimizer step and after every
+/// [`Param::project`] call, so pruned coordinates never come back.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the backward pass.
+    pub grad: Tensor,
+    /// Binary (0/1) mask; `None` means fully dense.
+    pub mask: Option<Tensor>,
+    /// Momentum buffer, created lazily by the optimizer.
+    pub velocity: Option<Tensor>,
+    /// The parameter's role in its layer.
+    pub kind: ParamKind,
+}
+
+impl Param {
+    /// Wraps a freshly initialized tensor as a dense parameter.
+    pub fn new(value: Tensor, kind: ParamKind) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { value, grad, mask: None, velocity: None, kind }
+    }
+
+    /// Number of scalar entries.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter has zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Installs (or replaces) a pruning mask and immediately projects the
+    /// value onto it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask shape differs from the value shape.
+    pub fn set_mask(&mut self, mask: Tensor) {
+        assert_eq!(mask.shape(), self.value.shape(), "mask shape mismatch");
+        self.mask = Some(mask);
+        self.project();
+    }
+
+    /// Removes the mask (the value keeps its current, possibly sparse,
+    /// contents).
+    pub fn clear_mask(&mut self) {
+        self.mask = None;
+    }
+
+    /// Re-applies the mask to the value, the gradient, and the momentum
+    /// buffer so pruned coordinates stay exactly zero.
+    pub fn project(&mut self) {
+        if let Some(mask) = &self.mask {
+            self.value.mul_assign(mask);
+            self.grad.mul_assign(mask);
+            if let Some(v) = &mut self.velocity {
+                v.mul_assign(mask);
+            }
+        }
+    }
+
+    /// Zeroes the gradient buffer.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of mask-active entries (all of them if unmasked).
+    pub fn active_count(&self) -> usize {
+        match &self.mask {
+            Some(m) => m.count_nonzero(),
+            None => self.value.len(),
+        }
+    }
+
+    /// Fraction of entries still active in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.value.is_empty() {
+            1.0
+        } else {
+            self.active_count() as f64 / self.value.len() as f64
+        }
+    }
+
+    /// Fraction of entries pruned in `[0, 1]`.
+    pub fn prune_ratio(&self) -> f64 {
+        1.0 - self.density()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_projects_value_grad_and_velocity() {
+        let mut p = Param::new(Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]), ParamKind::Weight);
+        p.grad = Tensor::ones(&[2, 2]);
+        p.velocity = Some(Tensor::ones(&[2, 2]));
+        p.set_mask(Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]));
+        assert_eq!(p.value.data(), &[1.0, 0.0, 0.0, 4.0]);
+        assert_eq!(p.grad.data(), &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(p.velocity.as_ref().unwrap().data(), &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(p.active_count(), 2);
+        assert!((p.density() - 0.5).abs() < 1e-12);
+        assert!((p.prune_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmasked_param_is_fully_dense() {
+        let p = Param::new(Tensor::zeros(&[3]), ParamKind::Bias);
+        assert_eq!(p.active_count(), 3);
+        assert_eq!(p.density(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask shape mismatch")]
+    fn wrong_mask_shape_panics() {
+        let mut p = Param::new(Tensor::zeros(&[2, 2]), ParamKind::Weight);
+        p.set_mask(Tensor::zeros(&[4]));
+    }
+}

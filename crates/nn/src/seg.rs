@@ -1,0 +1,243 @@
+//! Dense-prediction (segmentation) training and evaluation: per-pixel
+//! cross-entropy, pixel accuracy, and mean intersection-over-union — the
+//! substrate for the paper's DeeplabV3/VOC experiments.
+
+use crate::loss::cross_entropy;
+use crate::layer::Mode;
+use crate::network::Network;
+use crate::optim::{sgd_step, TrainConfig, TrainReport};
+use pv_tensor::{matrix_to_nchw, nchw_to_matrix, Rng, Tensor};
+
+/// Flattens `[N, K, H, W]` logits into the `[N*H*W, K]` matrix whose row
+/// order matches a row-major flattened label map.
+pub fn logits_to_pixel_matrix(logits: &Tensor) -> Tensor {
+    nchw_to_matrix(logits)
+}
+
+/// Mean per-pixel cross-entropy loss and the logit gradient (in NCHW
+/// layout, ready for `Network::backward`).
+pub fn pixel_cross_entropy(logits: &Tensor, pixel_labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.ndim(), 4, "segmentation logits must be [N, K, H, W]");
+    let (n, k, h, w) = (logits.dim(0), logits.dim(1), logits.dim(2), logits.dim(3));
+    assert_eq!(pixel_labels.len(), n * h * w, "pixel label count mismatch");
+    let matrix = logits_to_pixel_matrix(logits);
+    let out = cross_entropy(&matrix, pixel_labels);
+    (out.loss, matrix_to_nchw(&out.grad_logits, n, k, h, w))
+}
+
+/// Per-pixel classification error (%) on a batch.
+pub fn pixel_error_pct(net: &mut Network, images: &Tensor, pixel_labels: &[usize], batch: usize) -> f64 {
+    assert!(batch > 0, "batch must be positive");
+    let n = images.dim(0);
+    let pixels_per_image = pixel_labels.len() / n.max(1);
+    let mut wrong = 0usize;
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch).min(n);
+        let xb = images.slice_first_axis(start, end);
+        let logits = net.forward(&xb, Mode::Eval);
+        let preds = logits_to_pixel_matrix(&logits).argmax_rows();
+        let lb = &pixel_labels[start * pixels_per_image..end * pixels_per_image];
+        wrong += preds.iter().zip(lb).filter(|(p, l)| p != l).count();
+        start = end;
+    }
+    100.0 * wrong as f64 / pixel_labels.len() as f64
+}
+
+/// Mean intersection-over-union (%) over all classes (classes absent from
+/// both prediction and ground truth are skipped).
+pub fn mean_iou_pct(net: &mut Network, images: &Tensor, pixel_labels: &[usize], batch: usize) -> f64 {
+    let n = images.dim(0);
+    let pixels_per_image = pixel_labels.len() / n.max(1);
+    let k = net.num_classes();
+    let mut intersection = vec![0usize; k];
+    let mut union = vec![0usize; k];
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch).min(n);
+        let xb = images.slice_first_axis(start, end);
+        let logits = net.forward(&xb, Mode::Eval);
+        let preds = logits_to_pixel_matrix(&logits).argmax_rows();
+        let lb = &pixel_labels[start * pixels_per_image..end * pixels_per_image];
+        for (&p, &l) in preds.iter().zip(lb) {
+            if p == l {
+                intersection[p] += 1;
+                union[p] += 1;
+            } else {
+                union[p] += 1;
+                union[l] += 1;
+            }
+        }
+        start = end;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for c in 0..k {
+        if union[c] > 0 {
+            total += intersection[c] as f64 / union[c] as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        100.0 * total / counted as f64
+    }
+}
+
+/// IoU test *error* (%) — `100 − mean IoU` — the unit of the paper's
+/// Table 7/8 rows.
+pub fn iou_error_pct(net: &mut Network, images: &Tensor, pixel_labels: &[usize], batch: usize) -> f64 {
+    100.0 - mean_iou_pct(net, images, pixel_labels, batch)
+}
+
+/// Trains a segmentation network with mini-batch SGD on per-pixel
+/// cross-entropy (the dense-prediction analogue of [`crate::train`]).
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies or an empty training set.
+pub fn train_segmentation(
+    net: &mut Network,
+    images: &Tensor,
+    pixel_labels: &[usize],
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let n = images.dim(0);
+    assert!(n > 0, "empty training set");
+    assert!(cfg.batch_size > 0, "batch_size must be positive");
+    let pixels_per_image = pixel_labels.len() / n;
+    assert_eq!(pixel_labels.len(), n * pixels_per_image, "label map mismatch");
+
+    let mut shuffle_rng = Rng::new(cfg.seed);
+    let mut report = TrainReport::default();
+    let mut order: Vec<usize> = (0..n).collect();
+    for epoch in 0..cfg.epochs {
+        let lr = cfg.schedule.lr_at(epoch, cfg.epochs);
+        shuffle_rng.shuffle(&mut order);
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        let mut start = 0;
+        while start < n {
+            let end = (start + cfg.batch_size).min(n);
+            let begin = if end - start == 1 && start > 0 { start - 1 } else { start };
+            let idx = &order[begin..end];
+            let xb = images.gather_first_axis(idx);
+            let mut yb = Vec::with_capacity(idx.len() * pixels_per_image);
+            for &i in idx {
+                yb.extend_from_slice(
+                    &pixel_labels[i * pixels_per_image..(i + 1) * pixels_per_image],
+                );
+            }
+            net.zero_grads();
+            let logits = net.forward(&xb, Mode::Train);
+            let (loss, grad) = pixel_cross_entropy(&logits, &yb);
+            net.backward(&grad);
+            sgd_step(net, lr, cfg.momentum, cfg.nesterov, cfg.weight_decay);
+            epoch_loss += f64::from(loss);
+            batches += 1;
+            start = end;
+        }
+        report.epoch_losses.push(epoch_loss / batches.max(1) as f64);
+        report.epoch_lrs.push(lr);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::mini_segnet;
+    use crate::optim::Schedule;
+
+    fn toy_seg_data(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        // bright disks (class 1) on dark background (class 0)
+        let mut rng = Rng::new(seed);
+        let (h, w) = (8usize, 8usize);
+        let mut images = Tensor::zeros(&[n, 1, h, w]);
+        let mut labels = vec![0usize; n * h * w];
+        for i in 0..n {
+            let cy = 2 + rng.below(4) as isize;
+            let cx = 2 + rng.below(4) as isize;
+            for y in 0..h {
+                for x in 0..w {
+                    let inside = (y as isize - cy).pow(2) + (x as isize - cx).pow(2) <= 4;
+                    let v = if inside { 0.9 } else { 0.15 } + 0.05 * rng.normal() as f32;
+                    images.set4(i, 0, y, x, v.clamp(0.0, 1.0));
+                    if inside {
+                        labels[(i * h + y) * w + x] = 1;
+                    }
+                }
+            }
+        }
+        (images, labels)
+    }
+
+    #[test]
+    fn segnet_shapes() {
+        let mut net = mini_segnet("s", (1, 8, 8), 2, 4, 1);
+        let mut rng = Rng::new(2);
+        let x = Tensor::rand_uniform(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 2, 8, 8]);
+    }
+
+    #[test]
+    fn pixel_cross_entropy_gradient_shape() {
+        let mut net = mini_segnet("s", (1, 8, 8), 3, 2, 3);
+        let mut rng = Rng::new(4);
+        let x = Tensor::rand_uniform(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let logits = net.forward(&x, Mode::Train);
+        let labels = vec![0usize; 2 * 64];
+        let (loss, grad) = pixel_cross_entropy(&logits, &labels);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert_eq!(grad.shape(), logits.shape());
+        let gin = net.backward(&grad);
+        assert_eq!(gin.shape(), x.shape());
+    }
+
+    #[test]
+    fn training_learns_toy_segmentation() {
+        let (x, y) = toy_seg_data(96, 5);
+        let mut net = mini_segnet("s", (1, 8, 8), 2, 6, 6);
+        let cfg = TrainConfig {
+            epochs: 14,
+            batch_size: 16,
+            schedule: Schedule::constant(0.1),
+            momentum: 0.9,
+            nesterov: false,
+            weight_decay: 1e-4,
+            seed: 7,
+        };
+        let report = train_segmentation(&mut net, &x, &y, &cfg);
+        assert!(report.final_loss() < report.epoch_losses[0]);
+        let err = pixel_error_pct(&mut net, &x, &y, 32);
+        assert!(err < 12.0, "pixel error {err}%");
+        let iou = mean_iou_pct(&mut net, &x, &y, 32);
+        assert!(iou > 70.0, "mean IoU {iou}%");
+        assert!((iou_error_pct(&mut net, &x, &y, 32) - (100.0 - iou)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iou_of_perfect_prediction_is_100() {
+        // degenerate: all-background labels and a net biased to background
+        let mut net = mini_segnet("s", (1, 8, 8), 2, 2, 8);
+        // force the classifier to always output class 0 by biasing it
+        net.visit_prunable(&mut |l| {
+            if l.is_classifier() {
+                let w = l.weight_mut();
+                w.value.fill(0.0);
+            }
+        });
+        net.visit_params(&mut |p| {
+            if p.kind == crate::param::ParamKind::Bias && p.len() == 2 {
+                p.value = Tensor::from_vec(vec![2], vec![10.0, -10.0]);
+            }
+        });
+        let mut rng = Rng::new(9);
+        let x = Tensor::rand_uniform(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let labels = vec![0usize; 2 * 64];
+        assert_eq!(pixel_error_pct(&mut net, &x, &labels, 8), 0.0);
+        assert_eq!(mean_iou_pct(&mut net, &x, &labels, 8), 100.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! End-to-end gradient checks: full networks (MLP, ResNet, VGG, DenseNet
+//! analogues) against central finite differences through the actual
+//! cross-entropy loss.
+
+use pv_nn::{cross_entropy, models, Mode, Network};
+use pv_tensor::{Rng, Tensor};
+
+/// Loss of a network on a fixed batch (training-mode forward, as used by
+/// the optimizer).
+fn loss_of(net: &mut Network, x: &Tensor, y: &[usize]) -> f64 {
+    let logits = net.forward(x, Mode::Train);
+    f64::from(cross_entropy(&logits, y).loss)
+}
+
+/// Checks `n_coords` randomly chosen parameter coordinates of the network
+/// against finite differences.
+fn gradcheck(mut make: impl FnMut() -> Network, batch_shape: &[usize], seed: u64, tol: f64) {
+    let mut rng = Rng::new(seed);
+    let x = Tensor::rand_uniform(batch_shape, -1.0, 1.0, &mut rng);
+    let n = batch_shape[0];
+    let classes = make().num_classes();
+    let y: Vec<usize> = (0..n).map(|i| i % classes).collect();
+
+    // analytic gradients
+    let mut net = make();
+    net.zero_grads();
+    let logits = net.forward(&x, Mode::Train);
+    let out = cross_entropy(&logits, &y);
+    net.backward(&out.grad_logits);
+    let mut grads: Vec<Vec<f32>> = Vec::new();
+    net.visit_params(&mut |p| grads.push(p.grad.data().to_vec()));
+
+    // probe a few coordinates of every parameter
+    // small enough to avoid crossing ReLU/maxpool kinks, large enough
+    // to dominate f32 rounding in the loss
+    let eps = 2e-3f32;
+    let mut param_idx = 0;
+    let n_params = grads.len();
+    for pi in 0..n_params {
+        let len = grads[pi].len();
+        let probes: Vec<usize> = if len <= 2 { (0..len).collect() } else { vec![0, len / 2, len - 1] };
+        for &k in &probes {
+            let mut eval = |delta: f32| -> f64 {
+                let mut net = make();
+                let mut idx = 0;
+                net.visit_params(&mut |p| {
+                    if idx == pi {
+                        p.value.data_mut()[k] += delta;
+                    }
+                    idx += 1;
+                });
+                loss_of(&mut net, &x, &y)
+            };
+            let num = (eval(eps) - eval(-eps)) / (2.0 * f64::from(eps));
+            let ana = f64::from(grads[pi][k]);
+            assert!(
+                (num - ana).abs() < tol.max(0.08 * ana.abs()),
+                "param {pi} coord {k}: numeric {num} vs analytic {ana}"
+            );
+        }
+        param_idx += 1;
+    }
+    assert!(param_idx > 0, "no parameters visited");
+}
+
+#[test]
+fn mlp_with_bn_gradcheck() {
+    gradcheck(|| models::mlp("m", 6, &[8], 3, true, 11), &[8, 6], 1, 0.02);
+}
+
+#[test]
+fn mini_resnet_gradcheck() {
+    gradcheck(|| models::mini_resnet("r", (1, 8, 8), 3, 2, 1, 13), &[4, 1, 8, 8], 2, 0.03);
+}
+
+#[test]
+fn mini_vgg_gradcheck() {
+    gradcheck(|| models::mini_vgg("v", (1, 8, 8), 3, 2, 17), &[4, 1, 8, 8], 3, 0.03);
+}
+
+#[test]
+fn mini_densenet_gradcheck() {
+    gradcheck(|| models::mini_densenet("d", (1, 8, 8), 3, 2, 2, 19), &[4, 1, 8, 8], 4, 0.03);
+}
+
+#[test]
+fn mini_wide_resnet_gradcheck() {
+    gradcheck(|| models::mini_wide_resnet("w", (1, 8, 8), 3, 2, 2, 23), &[4, 1, 8, 8], 5, 0.03);
+}

@@ -1,0 +1,130 @@
+//! Behavioural tests of the training loop and schedules that go beyond the
+//! in-module unit tests: weight decay, momentum, warmup, and evaluation
+//! semantics.
+
+use pv_nn::{models, sgd_step, train, LrDecay, Mode, Schedule, TrainConfig};
+use pv_tensor::{Rng, Tensor};
+
+#[test]
+fn weight_decay_shrinks_weights_without_gradients() {
+    let mut net = models::mlp("m", 4, &[8], 2, false, 1);
+    let before: f32 = {
+        let mut norm = 0.0;
+        net.visit_params(&mut |p| norm += p.value.l2_norm());
+        norm
+    };
+    // zero gradients + weight decay = pure shrinkage
+    net.zero_grads();
+    sgd_step(&mut net, 0.1, 0.0, false, 0.1);
+    let after: f32 = {
+        let mut norm = 0.0;
+        net.visit_params(&mut |p| norm += p.value.l2_norm());
+        norm
+    };
+    assert!(after < before, "decay did not shrink: {before} -> {after}");
+}
+
+#[test]
+fn momentum_accumulates_velocity() {
+    let mut net = models::mlp("m", 4, &[4], 2, false, 2);
+    // constant gradient of ones
+    net.visit_params(&mut |p| p.grad.fill(1.0));
+    sgd_step(&mut net, 0.0, 0.9, false, 0.0); // lr 0: only velocity updates
+    let mut velocities = 0usize;
+    net.visit_params(&mut |p| {
+        let v = p.velocity.as_ref().expect("velocity created");
+        assert!((v.mean() - 1.0).abs() < 1e-6);
+        velocities += 1;
+    });
+    assert!(velocities > 0);
+    // second step compounds: v = 0.9*1 + 1 = 1.9
+    net.visit_params(&mut |p| p.grad.fill(1.0));
+    sgd_step(&mut net, 0.0, 0.9, false, 0.0);
+    net.visit_params(&mut |p| {
+        let v = p.velocity.as_ref().expect("velocity kept");
+        assert!((v.mean() - 1.9).abs() < 1e-5);
+    });
+}
+
+#[test]
+fn warmup_starts_small_everywhere() {
+    for decay in [
+        LrDecay::Constant,
+        LrDecay::MultiStep { milestones: vec![5], gamma: 0.1 },
+        LrDecay::Every { every: 3, gamma: 0.5 },
+        LrDecay::Poly { power: 0.9 },
+    ] {
+        let s = Schedule { base_lr: 0.4, warmup_epochs: 4, decay };
+        assert!(
+            (s.lr_at(0, 20) - 0.1).abs() < 1e-12,
+            "first warmup epoch should be base/4"
+        );
+        assert!(s.lr_at(0, 20) < s.lr_at(3, 20) + 1e-12);
+    }
+}
+
+#[test]
+fn eval_mode_does_not_change_parameters_or_state() {
+    let mut rng = Rng::new(3);
+    let mut net = models::mini_resnet("r", (1, 8, 8), 3, 2, 1, 4);
+    let x = Tensor::rand_uniform(&[4, 1, 8, 8], 0.0, 1.0, &mut rng);
+    let before = net.forward(&x, Mode::Eval);
+    // many eval passes must not drift (batch-norm running stats frozen)
+    for _ in 0..5 {
+        let _ = net.forward(&x, Mode::Eval);
+    }
+    let after = net.forward(&x, Mode::Eval);
+    assert_eq!(before, after);
+}
+
+#[test]
+fn train_mode_updates_batchnorm_running_stats() {
+    let mut rng = Rng::new(5);
+    let mut net = models::mlp("m", 4, &[8], 2, true, 6);
+    let x = Tensor::rand_uniform(&[16, 4], 2.0, 3.0, &mut rng); // shifted data
+    let before = net.forward(&x, Mode::Eval);
+    // a train-mode pass moves the running statistics toward the batch
+    let _ = net.forward(&x, Mode::Train);
+    let after = net.forward(&x, Mode::Eval);
+    assert_ne!(before, after, "running stats did not move");
+}
+
+#[test]
+fn training_smaller_lr_changes_less() {
+    let (x, y): (Tensor, Vec<usize>) = {
+        let mut rng = Rng::new(7);
+        (Tensor::rand_uniform(&[32, 4], 0.0, 1.0, &mut rng), (0..32).map(|i| i % 2).collect())
+    };
+    let weights_after = |lr: f64| -> f32 {
+        let mut net = models::mlp("m", 4, &[8], 2, false, 8);
+        let start: f32 = {
+            let mut norm = 0.0;
+            net.visit_params(&mut |p| norm += p.value.l2_norm());
+            norm
+        };
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            schedule: Schedule::constant(lr),
+            momentum: 0.0,
+            nesterov: false,
+            weight_decay: 0.0,
+            seed: 9,
+        };
+        train(&mut net, &x, &y, &cfg, None);
+        let mut diff = 0.0;
+        let mut fresh = models::mlp("m", 4, &[8], 2, false, 8);
+        let mut values = Vec::new();
+        fresh.visit_params(&mut |p| values.push(p.value.clone()));
+        let mut i = 0;
+        net.visit_params(&mut |p| {
+            diff += p.value.sub(&values[i]).l2_norm();
+            i += 1;
+        });
+        let _ = start;
+        diff
+    };
+    let small = weights_after(0.001);
+    let large = weights_after(0.1);
+    assert!(small < large, "lr 0.001 moved weights more ({small}) than lr 0.1 ({large})");
+}

@@ -1,0 +1,97 @@
+//! # pv-prune
+//!
+//! Network pruning for the `pruneval` workspace (a Rust reproduction of
+//! *Lost in Pruning*, Liebenwein et al., MLSys 2021): the four pruning
+//! criteria of the paper's Table 1 and the iterative prune–retrain pipeline
+//! of its Algorithm 1.
+//!
+//! | Method | Type | Data-informed | Sensitivity | Scope |
+//! |--------|------|---------------|-------------|-------|
+//! | [`WeightThresholding`] (WT) | unstructured | no | `\|W_ij\|` | global |
+//! | [`Sipp`] (SiPP) | unstructured | yes | `∝ \|W_ij a_j(x)\|` | global |
+//! | [`FilterThresholding`] (FT) | structured | no | `‖W_:j‖₁` | local |
+//! | [`ProvableFilterPruning`] (PFP) | structured | yes | `∝ ‖W_:j a(x)‖_∞` | local |
+//!
+//! # Examples
+//!
+//! ```
+//! use pv_nn::models;
+//! use pv_prune::{PruneContext, PruneMethod, WeightThresholding};
+//!
+//! let mut net = models::mlp("demo", 8, &[16], 3, false, 0);
+//! WeightThresholding.prune(&mut net, 0.5, &PruneContext::data_free());
+//! assert!((net.prune_ratio() - 0.5).abs() < 0.02);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod method;
+pub mod pipeline;
+pub mod random;
+pub mod structured;
+pub mod unstructured;
+
+pub use method::{PruneContext, PruneMethod};
+pub use pipeline::{CycleRecord, PruneOutcome, PruneRetrain, RetrainMode};
+pub use random::{RandomFilterPruning, RandomWeightPruning};
+pub use structured::{FilterThresholding, ProvableFilterPruning};
+pub use unstructured::{Sipp, WeightThresholding};
+
+/// All four methods of the paper, boxed, in Table 1 order.
+pub fn all_methods() -> Vec<Box<dyn PruneMethod>> {
+    vec![
+        Box::new(WeightThresholding),
+        Box::new(Sipp),
+        Box::new(FilterThresholding),
+        Box::new(ProvableFilterPruning),
+    ]
+}
+
+/// Looks a method up by its paper name (case-insensitive).
+pub fn method_by_name(name: &str) -> Option<Box<dyn PruneMethod>> {
+    all_methods().into_iter().find(|m| m.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_paper_methods() {
+        let names: Vec<&str> = all_methods().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["WT", "SiPP", "FT", "PFP"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(method_by_name("wt").is_some());
+        assert!(method_by_name("PFP").is_some());
+        assert!(method_by_name("magnitude").is_none());
+    }
+
+    #[test]
+    fn structured_flags_match_table1() {
+        for m in all_methods() {
+            match m.name() {
+                "WT" => {
+                    assert!(!m.is_structured());
+                    assert!(!m.is_data_informed());
+                }
+                "SiPP" => {
+                    assert!(!m.is_structured());
+                    assert!(m.is_data_informed());
+                }
+                "FT" => {
+                    assert!(m.is_structured());
+                    assert!(!m.is_data_informed());
+                }
+                "PFP" => {
+                    assert!(m.is_structured());
+                    assert!(m.is_data_informed());
+                }
+                other => panic!("unexpected method {other}"),
+            }
+        }
+    }
+}

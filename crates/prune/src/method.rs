@@ -1,0 +1,178 @@
+//! The [`PruneMethod`] abstraction and shared scoring/masking machinery.
+
+use pv_nn::{Mode, Network};
+use pv_tensor::Tensor;
+
+/// Context handed to a pruning method.
+///
+/// Data-informed methods (SiPP, PFP) need a small batch `S` of inputs to
+/// evaluate activation sensitivities; data-free methods (WT, FT) ignore it.
+#[derive(Debug, Clone, Default)]
+pub struct PruneContext {
+    /// A batch of inputs (e.g. from the validation set) used to compute
+    /// activation sensitivities `a(x)`.
+    pub sensitivity_batch: Option<Tensor>,
+}
+
+impl PruneContext {
+    /// A context without data (sufficient for WT and FT).
+    pub fn data_free() -> Self {
+        Self::default()
+    }
+
+    /// A context carrying a sensitivity batch.
+    pub fn with_batch(batch: Tensor) -> Self {
+        Self { sensitivity_batch: Some(batch) }
+    }
+}
+
+/// A pruning criterion following the paper's Table 1.
+///
+/// `prune` removes `ratio` (in `[0, 1]`) of the *currently remaining*
+/// prunable structures — weights for unstructured methods, filters/neurons
+/// for structured ones — by updating the binary masks on the network's
+/// parameters. Retraining is the pipeline's job, not the method's.
+pub trait PruneMethod: Send + Sync {
+    /// Method name as used in the paper (e.g. `"WT"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the method prunes whole filters/neurons.
+    fn is_structured(&self) -> bool;
+
+    /// Whether the method needs a sensitivity batch in the context.
+    fn is_data_informed(&self) -> bool;
+
+    /// Updates the network's masks, pruning `ratio` of the remaining
+    /// structures.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `ratio` is outside `[0, 1]`, or if the
+    /// method is data-informed and `ctx.sensitivity_batch` is `None`.
+    fn prune(&self, net: &mut Network, ratio: f64, ctx: &PruneContext);
+}
+
+/// Runs an evaluation forward pass on the sensitivity batch so every
+/// prunable layer caches its `a(x)` statistics.
+///
+/// # Panics
+///
+/// Panics if the context has no batch.
+pub(crate) fn prime_sensitivities(net: &mut Network, ctx: &PruneContext) {
+    let batch = ctx
+        .sensitivity_batch
+        .as_ref()
+        .expect("data-informed pruning requires a sensitivity batch");
+    let _ = net.forward(batch, Mode::Eval);
+}
+
+/// One scored prunable entry: (layer index, flat index within the weight,
+/// score).
+pub(crate) type ScoredEntry = (usize, usize, f32);
+
+/// Collects the scores of all *active* weight entries across prunable
+/// layers. `score_layer` receives the layer index and the layer and returns
+/// per-entry scores (dense, including masked entries — masked entries are
+/// skipped by the collector).
+pub(crate) fn collect_active_scores(
+    net: &mut Network,
+    mut score_layer: impl FnMut(usize, &dyn pv_nn::PrunableLayer) -> Vec<f32>,
+) -> Vec<ScoredEntry> {
+    let mut entries = Vec::new();
+    let mut li = 0;
+    net.visit_prunable(&mut |layer| {
+        let scores = score_layer(li, layer);
+        assert_eq!(scores.len(), layer.weight().len(), "score length mismatch");
+        let mask = layer.weight().mask.clone();
+        for (i, &s) in scores.iter().enumerate() {
+            let active = mask.as_ref().map_or(true, |m| m.data()[i] != 0.0);
+            if active {
+                entries.push((li, i, s));
+            }
+        }
+        li += 1;
+    });
+    entries
+}
+
+/// Prunes the `k` lowest-scored entries by clearing their mask bits.
+/// Entries are `(layer, flat_index, score)` over active coordinates only.
+pub(crate) fn apply_unstructured_prune(net: &mut Network, mut entries: Vec<ScoredEntry>, k: usize) {
+    if k == 0 {
+        return;
+    }
+    let k = k.min(entries.len());
+    entries.select_nth_unstable_by(k - 1, |a, b| {
+        a.2.partial_cmp(&b.2).expect("NaN score")
+    });
+    // group doomed indices per layer
+    let mut per_layer: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    for &(li, idx, _) in &entries[..k] {
+        per_layer.entry(li).or_default().push(idx);
+    }
+    let mut li = 0;
+    net.visit_prunable(&mut |layer| {
+        if let Some(doomed) = per_layer.get(&li) {
+            let weight = layer.weight_mut();
+            let mut mask = weight
+                .mask
+                .clone()
+                .unwrap_or_else(|| Tensor::ones(weight.value.shape()));
+            for &i in doomed {
+                mask.data_mut()[i] = 0.0;
+            }
+            weight.set_mask(mask);
+        }
+        li += 1;
+    });
+}
+
+/// Indices of still-active rows (units) of a prunable layer's weight.
+pub(crate) fn active_rows(layer: &dyn pv_nn::PrunableLayer) -> Vec<usize> {
+    let rows = layer.out_units();
+    let cols = layer.unit_len();
+    match &layer.weight().mask {
+        None => (0..rows).collect(),
+        Some(mask) => (0..rows)
+            .filter(|&r| mask.data()[r * cols..(r + 1) * cols].iter().any(|&v| v != 0.0))
+            .collect(),
+    }
+}
+
+/// Masks entire rows (filters/neurons) of a layer, together with the
+/// corresponding bias entries and coupled batch-norm parameters.
+pub(crate) fn prune_rows(layer: &mut dyn pv_nn::PrunableLayer, doomed: &[usize]) {
+    if doomed.is_empty() {
+        return;
+    }
+    let rows = layer.out_units();
+    let cols = layer.unit_len();
+    {
+        let weight = layer.weight_mut();
+        let mut mask = weight
+            .mask
+            .clone()
+            .unwrap_or_else(|| Tensor::ones(weight.value.shape()));
+        for &r in doomed {
+            assert!(r < rows, "row {r} out of bounds");
+            for v in &mut mask.data_mut()[r * cols..(r + 1) * cols] {
+                *v = 0.0;
+            }
+        }
+        weight.set_mask(mask);
+    }
+    if let Some(bias) = layer.bias_mut() {
+        let mut mask = bias.mask.clone().unwrap_or_else(|| Tensor::ones(&[rows]));
+        for &r in doomed {
+            mask.data_mut()[r] = 0.0;
+        }
+        bias.set_mask(mask);
+    }
+    for coupled in layer.coupled_mut() {
+        let mut mask = coupled.mask.clone().unwrap_or_else(|| Tensor::ones(&[rows]));
+        for &r in doomed {
+            mask.data_mut()[r] = 0.0;
+        }
+        coupled.set_mask(mask);
+    }
+}

@@ -1,0 +1,152 @@
+//! Random pruning baselines.
+//!
+//! Not part of the paper's Table 1, but the standard sanity comparator:
+//! any informed criterion should dominate a uniformly random one at equal
+//! sparsity. The ablation harness `ablation_random_baseline` uses these.
+
+use crate::method::{
+    active_rows, apply_unstructured_prune, collect_active_scores, prune_rows, PruneContext,
+    PruneMethod,
+};
+use pv_nn::Network;
+use pv_tensor::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unstructured random pruning: every remaining weight is equally likely
+/// to be removed.
+///
+/// A fresh deterministic RNG stream is derived per call from the
+/// construction seed, so repeated pruning remains reproducible.
+#[derive(Debug, Default)]
+pub struct RandomWeightPruning {
+    seed: u64,
+    calls: AtomicU64,
+}
+
+impl RandomWeightPruning {
+    /// Creates the baseline with a seed for its score stream.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, calls: AtomicU64::new(0) }
+    }
+
+    fn next_rng(&self) -> Rng {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        Rng::new(self.seed ^ (call.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+impl PruneMethod for RandomWeightPruning {
+    fn name(&self) -> &'static str {
+        "RandWT"
+    }
+
+    fn is_structured(&self) -> bool {
+        false
+    }
+
+    fn is_data_informed(&self) -> bool {
+        false
+    }
+
+    fn prune(&self, net: &mut Network, ratio: f64, _ctx: &PruneContext) {
+        assert!((0.0..=1.0).contains(&ratio), "prune ratio must be in [0, 1]");
+        let mut rng = self.next_rng();
+        let entries = collect_active_scores(net, |_, layer| {
+            (0..layer.weight().len()).map(|_| rng.uniform() as f32).collect()
+        });
+        let k = (ratio * entries.len() as f64).round() as usize;
+        apply_unstructured_prune(net, entries, k);
+    }
+}
+
+/// Structured random pruning: each layer loses a uniform fraction of its
+/// remaining filters, chosen uniformly at random.
+#[derive(Debug, Default)]
+pub struct RandomFilterPruning {
+    seed: u64,
+    calls: AtomicU64,
+}
+
+impl RandomFilterPruning {
+    /// Creates the baseline with a seed for its choice stream.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, calls: AtomicU64::new(0) }
+    }
+}
+
+impl PruneMethod for RandomFilterPruning {
+    fn name(&self) -> &'static str {
+        "RandFT"
+    }
+
+    fn is_structured(&self) -> bool {
+        true
+    }
+
+    fn is_data_informed(&self) -> bool {
+        false
+    }
+
+    fn prune(&self, net: &mut Network, ratio: f64, _ctx: &PruneContext) {
+        assert!((0.0..=1.0).contains(&ratio), "prune ratio must be in [0, 1]");
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        let mut rng = Rng::new(self.seed ^ (call.wrapping_mul(0xA24B_AED4_963E_E407)));
+        net.visit_prunable(&mut |layer| {
+            if layer.is_classifier() {
+                return;
+            }
+            let rows = active_rows(layer);
+            let k = ((ratio * rows.len() as f64).round() as usize)
+                .min(rows.len().saturating_sub(1));
+            if k == 0 {
+                return;
+            }
+            let picks = rng.sample_indices(rows.len(), k);
+            let doomed: Vec<usize> = picks.into_iter().map(|i| rows[i]).collect();
+            prune_rows(layer, &doomed);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_nn::models;
+
+    #[test]
+    fn random_wt_hits_ratio() {
+        let mut net = models::mlp("m", 32, &[32], 4, false, 1);
+        RandomWeightPruning::new(7).prune(&mut net, 0.5, &PruneContext::data_free());
+        assert!((net.prune_ratio() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn random_ft_prunes_rows_only() {
+        let mut net = models::mlp("m", 32, &[32, 16], 4, false, 2);
+        RandomFilterPruning::new(9).prune(&mut net, 0.5, &PruneContext::data_free());
+        net.visit_prunable(&mut |l| {
+            if let Some(mask) = &l.weight().mask {
+                let cols = l.unit_len();
+                for r in 0..l.out_units() {
+                    let nz = mask.data()[r * cols..(r + 1) * cols]
+                        .iter()
+                        .filter(|&&v| v != 0.0)
+                        .count();
+                    assert!(nz == 0 || nz == cols);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn successive_calls_use_fresh_streams() {
+        let method = RandomWeightPruning::new(3);
+        let mut a = models::mlp("m", 32, &[32], 4, false, 4);
+        method.prune(&mut a, 0.3, &PruneContext::data_free());
+        let d1 = a.layer_densities();
+        method.prune(&mut a, 0.3, &PruneContext::data_free());
+        let d2 = a.layer_densities();
+        assert_ne!(d1, d2);
+        assert!(a.prune_ratio() > 0.4);
+    }
+}

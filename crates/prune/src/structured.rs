@@ -1,0 +1,315 @@
+//! Structured (filter/neuron-level) pruning: FT and PFP.
+
+use crate::method::{active_rows, prime_sensitivities, prune_rows, PruneContext, PruneMethod};
+use pv_nn::Network;
+
+/// Filter Thresholding (Li et al., 2016; Renda et al., 2020): within each
+/// layer, prune the filters with the smallest ℓ₁ norm `‖W_:j‖₁`. The layer
+/// allocation is uniform — each layer loses the same fraction of its
+/// remaining filters (the paper's choice "to avoid further
+/// hyperparameters").
+///
+/// Data-free, local scope. The final classifier is never pruned, and at
+/// least one filter always survives per layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FilterThresholding;
+
+/// Computes the ℓ₁ norm of each active row of a layer's weight.
+fn row_l1(layer: &dyn pv_nn::PrunableLayer, rows: &[usize]) -> Vec<(usize, f32)> {
+    let cols = layer.unit_len();
+    let w = layer.weight().value.data();
+    rows.iter()
+        .map(|&r| (r, w[r * cols..(r + 1) * cols].iter().map(|v| v.abs()).sum()))
+        .collect()
+}
+
+/// Selects the `k` lowest-scored rows.
+fn lowest_k(mut scored: Vec<(usize, f32)>, k: usize) -> Vec<usize> {
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN row score"));
+    scored.into_iter().take(k).map(|(r, _)| r).collect()
+}
+
+impl PruneMethod for FilterThresholding {
+    fn name(&self) -> &'static str {
+        "FT"
+    }
+
+    fn is_structured(&self) -> bool {
+        true
+    }
+
+    fn is_data_informed(&self) -> bool {
+        false
+    }
+
+    fn prune(&self, net: &mut Network, ratio: f64, _ctx: &PruneContext) {
+        assert!((0.0..=1.0).contains(&ratio), "prune ratio must be in [0, 1]");
+        net.visit_prunable(&mut |layer| {
+            if layer.is_classifier() {
+                return;
+            }
+            let rows = active_rows(layer);
+            let k = ((ratio * rows.len() as f64).round() as usize).min(rows.len().saturating_sub(1));
+            if k == 0 {
+                return;
+            }
+            let doomed = lowest_k(row_l1(layer, &rows), k);
+            prune_rows(layer, &doomed);
+        });
+    }
+}
+
+/// Provable Filter Pruning (Liebenwein et al., 2020): data-informed filter
+/// sensitivities with an error-bound-driven per-layer budget allocation.
+///
+/// Filter `j`'s sensitivity is `max_k |W_jk · a_k(x)|` (the ℓ∞ norm of the
+/// activation-weighted filter row, mirroring the paper's channel
+/// sensitivity). Instead of pruning each layer uniformly, PFP allocates
+/// budgets by a global error-mass threshold ε: every layer prunes the
+/// largest set of its weakest filters whose summed sensitivity mass stays
+/// below ε of the layer total, and ε is bisected so the network-wide filter
+/// count matches the requested ratio. Layers whose weak filters carry
+/// little mass are pruned harder — the provable methods' hallmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProvableFilterPruning;
+
+/// Per-layer sensitivity profile: row index and score, ascending by score.
+struct LayerProfile {
+    rows: Vec<(usize, f32)>,
+    total_mass: f32,
+}
+
+impl LayerProfile {
+    /// Number of rows this layer would prune at error budget `eps`
+    /// (keeping at least one).
+    fn prunable_at(&self, eps: f32) -> usize {
+        let budget = eps * self.total_mass;
+        let mut mass = 0.0;
+        let mut count = 0;
+        for &(_, s) in &self.rows {
+            mass += s;
+            if mass > budget {
+                break;
+            }
+            count += 1;
+        }
+        count.min(self.rows.len().saturating_sub(1))
+    }
+}
+
+impl PruneMethod for ProvableFilterPruning {
+    fn name(&self) -> &'static str {
+        "PFP"
+    }
+
+    fn is_structured(&self) -> bool {
+        true
+    }
+
+    fn is_data_informed(&self) -> bool {
+        true
+    }
+
+    fn prune(&self, net: &mut Network, ratio: f64, ctx: &PruneContext) {
+        assert!((0.0..=1.0).contains(&ratio), "prune ratio must be in [0, 1]");
+        prime_sensitivities(net, ctx);
+
+        // collect per-layer sensitivity profiles
+        let mut profiles: Vec<LayerProfile> = Vec::new();
+        net.visit_prunable(&mut |layer| {
+            if layer.is_classifier() {
+                return;
+            }
+            let rows = active_rows(layer);
+            let cols = layer.unit_len();
+            let sens = layer
+                .input_sensitivity()
+                .expect("sensitivity batch did not reach this layer");
+            let a = sens.data();
+            let w = layer.weight().value.data();
+            let mut scored: Vec<(usize, f32)> = rows
+                .iter()
+                .map(|&r| {
+                    let s = (0..cols)
+                        .map(|c| (w[r * cols + c] * a[c]).abs())
+                        .fold(0.0f32, f32::max);
+                    (r, s)
+                })
+                .collect();
+            scored.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("NaN sensitivity"));
+            let total: f32 = scored.iter().map(|&(_, s)| s).sum();
+            profiles.push(LayerProfile { rows: scored, total_mass: total.max(1e-12) });
+        });
+
+        let total_active: usize = profiles.iter().map(|p| p.rows.len()).sum();
+        let target: usize = (ratio * total_active as f64).round() as usize;
+        if target == 0 {
+            return;
+        }
+
+        // bisect the error budget to hit the global filter target
+        let mut lo = 0.0f32;
+        let mut hi = 1.0f32;
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            let pruned: usize = profiles.iter().map(|p| p.prunable_at(mid)).sum();
+            if pruned < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let eps = hi;
+
+        // apply per-layer prune sets
+        let mut li = 0;
+        net.visit_prunable(&mut |layer| {
+            if layer.is_classifier() {
+                return;
+            }
+            let profile = &profiles[li];
+            let k = profile.prunable_at(eps);
+            let doomed: Vec<usize> = profile.rows.iter().take(k).map(|&(r, _)| r).collect();
+            prune_rows(layer, &doomed);
+            li += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::PruneContext;
+    use pv_nn::models;
+    use pv_tensor::{Rng, Tensor};
+
+    fn conv_net() -> Network {
+        models::mini_resnet("r", (1, 8, 8), 4, 4, 1, 1)
+    }
+
+    fn mlp_net() -> Network {
+        models::mlp("m", 8, &[16, 16], 4, true, 1)
+    }
+
+    fn count_active_rows(net: &mut Network) -> (usize, usize) {
+        let mut active = 0;
+        let mut total = 0;
+        net.visit_prunable(&mut |l| {
+            if !l.is_classifier() {
+                active += active_rows(l).len();
+                total += l.out_units();
+            }
+        });
+        (active, total)
+    }
+
+    #[test]
+    fn ft_prunes_uniform_fraction_of_rows() {
+        let mut n = mlp_net();
+        FilterThresholding.prune(&mut n, 0.5, &PruneContext::data_free());
+        let (active, total) = count_active_rows(&mut n);
+        assert_eq!(active, total / 2);
+        // weight prune ratio should be near 50% too (uniform layers)
+        assert!(n.prune_ratio() > 0.3 && n.prune_ratio() < 0.7);
+    }
+
+    #[test]
+    fn ft_never_kills_a_layer() {
+        let mut n = mlp_net();
+        FilterThresholding.prune(&mut n, 1.0, &PruneContext::data_free());
+        n.visit_prunable(&mut |l| {
+            if !l.is_classifier() {
+                assert!(!active_rows(l).is_empty(), "layer {} died", l.label());
+            }
+        });
+    }
+
+    #[test]
+    fn ft_masks_bias_and_bn_of_pruned_rows() {
+        let mut n = mlp_net();
+        FilterThresholding.prune(&mut n, 0.5, &PruneContext::data_free());
+        n.visit_prunable(&mut |l| {
+            if l.is_classifier() {
+                return;
+            }
+            let cols = l.unit_len();
+            let wmask = l.weight().mask.clone().expect("weight mask");
+            let rows = l.out_units();
+            let dead: Vec<usize> = (0..rows)
+                .filter(|&r| wmask.data()[r * cols..(r + 1) * cols].iter().all(|&v| v == 0.0))
+                .collect();
+            if let Some(bias) = l.bias_mut() {
+                let bmask = bias.mask.clone().expect("bias mask");
+                for &r in &dead {
+                    assert_eq!(bmask.data()[r], 0.0, "bias row {r} not masked");
+                }
+            }
+            for coupled in l.coupled_mut() {
+                let cmask = coupled.mask.clone().expect("coupled mask");
+                for &r in &dead {
+                    assert_eq!(cmask.data()[r], 0.0, "coupled row {r} not masked");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn ft_works_on_conv_nets() {
+        let mut n = conv_net();
+        FilterThresholding.prune(&mut n, 0.4, &PruneContext::data_free());
+        assert!(n.prune_ratio() > 0.2, "ratio {}", n.prune_ratio());
+        // network still runs
+        let mut rng = Rng::new(2);
+        let x = Tensor::rand_uniform(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let y = n.forward(&x, pv_nn::Mode::Eval);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn pfp_hits_global_row_target_nonuniformly() {
+        let mut n = conv_net();
+        let mut rng = Rng::new(3);
+        let batch = Tensor::rand_uniform(&[8, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let (before, _) = count_active_rows(&mut n);
+        ProvableFilterPruning.prune(&mut n, 0.5, &PruneContext::with_batch(batch));
+        let (after, _) = count_active_rows(&mut n);
+        let pruned = before - after;
+        let target = (0.5 * before as f64).round() as usize;
+        assert!(
+            (pruned as i64 - target as i64).unsigned_abs() as usize <= before / 10,
+            "pruned {pruned} vs target {target}"
+        );
+        // allocation should not be exactly uniform across layers
+        let mut fractions = Vec::new();
+        n.visit_prunable(&mut |l| {
+            if !l.is_classifier() {
+                fractions.push(active_rows(l).len() as f64 / l.out_units() as f64);
+            }
+        });
+        let spread = fractions.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - fractions.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 1e-6, "PFP allocated perfectly uniformly: {fractions:?}");
+    }
+
+    #[test]
+    fn pfp_requires_batch() {
+        let mut n = conv_net();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ProvableFilterPruning.prune(&mut n, 0.3, &PruneContext::data_free());
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn structured_methods_skip_classifier() {
+        for method in [&FilterThresholding as &dyn PruneMethod] {
+            let mut n = mlp_net();
+            method.prune(&mut n, 0.9, &PruneContext::data_free());
+            n.visit_prunable(&mut |l| {
+                if l.is_classifier() {
+                    assert!(l.weight().mask.is_none(), "classifier was pruned by {}", method.name());
+                }
+            });
+        }
+    }
+}

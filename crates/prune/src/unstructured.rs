@@ -1,0 +1,187 @@
+//! Unstructured (weight-level) pruning: WT and SiPP.
+
+use crate::method::{
+    apply_unstructured_prune, collect_active_scores, prime_sensitivities, PruneContext,
+    PruneMethod,
+};
+use pv_nn::Network;
+
+/// Weight Thresholding (Han et al., 2015; Renda et al., 2020): globally
+/// prune the weights with the smallest magnitude `|W_ij|`.
+///
+/// Data-free, global scope.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightThresholding;
+
+impl PruneMethod for WeightThresholding {
+    fn name(&self) -> &'static str {
+        "WT"
+    }
+
+    fn is_structured(&self) -> bool {
+        false
+    }
+
+    fn is_data_informed(&self) -> bool {
+        false
+    }
+
+    fn prune(&self, net: &mut Network, ratio: f64, _ctx: &PruneContext) {
+        assert!((0.0..=1.0).contains(&ratio), "prune ratio must be in [0, 1]");
+        let entries = collect_active_scores(net, |_, layer| {
+            layer.weight().value.data().iter().map(|w| w.abs()).collect()
+        });
+        let k = (ratio * entries.len() as f64).round() as usize;
+        apply_unstructured_prune(net, entries, k);
+    }
+}
+
+/// SiPP (Baykal et al., 2019): sensitivity-informed pruning. The score of a
+/// weight is `|W_ij · a_j(x)|`, where `a_j(x)` is the mean absolute
+/// activation of input coordinate `j` over a small sample batch `S`.
+///
+/// Data-informed, global scope.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sipp;
+
+impl PruneMethod for Sipp {
+    fn name(&self) -> &'static str {
+        "SiPP"
+    }
+
+    fn is_structured(&self) -> bool {
+        false
+    }
+
+    fn is_data_informed(&self) -> bool {
+        true
+    }
+
+    fn prune(&self, net: &mut Network, ratio: f64, ctx: &PruneContext) {
+        assert!((0.0..=1.0).contains(&ratio), "prune ratio must be in [0, 1]");
+        prime_sensitivities(net, ctx);
+        let entries = collect_active_scores(net, |_, layer| {
+            let sens = layer
+                .input_sensitivity()
+                .expect("sensitivity batch did not reach this layer");
+            let cols = layer.unit_len();
+            let a = sens.data();
+            layer
+                .weight()
+                .value
+                .data()
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (w * a[i % cols]).abs())
+                .collect()
+        });
+        let k = (ratio * entries.len() as f64).round() as usize;
+        apply_unstructured_prune(net, entries, k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_nn::models;
+    use pv_tensor::{Rng, Tensor};
+
+    fn net() -> Network {
+        models::mlp("m", 8, &[16, 16], 4, false, 1)
+    }
+
+    #[test]
+    fn wt_hits_requested_ratio() {
+        let mut n = net();
+        WeightThresholding.prune(&mut n, 0.5, &PruneContext::data_free());
+        assert!((n.prune_ratio() - 0.5).abs() < 0.01, "ratio {}", n.prune_ratio());
+    }
+
+    #[test]
+    fn wt_removes_smallest_magnitudes() {
+        let mut n = net();
+        // record the global magnitude threshold implied by 30% pruning
+        let mut all: Vec<f32> = Vec::new();
+        n.visit_prunable(&mut |l| {
+            all.extend(l.weight().value.data().iter().map(|w| w.abs()));
+        });
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let k = (0.3 * all.len() as f64).round() as usize;
+        let threshold = all[k - 1];
+
+        WeightThresholding.prune(&mut n, 0.3, &PruneContext::data_free());
+        n.visit_prunable(&mut |l| {
+            let mask = l.weight().mask.as_ref().expect("mask installed");
+            for (i, &m) in mask.data().iter().enumerate() {
+                let w = l.weight().value.data()[i];
+                if m != 0.0 {
+                    // surviving weights are (weakly) above the threshold
+                    assert!(w.abs() >= threshold - 1e-6 || w == 0.0);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn wt_is_relative_to_remaining() {
+        let mut n = net();
+        let ctx = PruneContext::data_free();
+        WeightThresholding.prune(&mut n, 0.5, &ctx);
+        WeightThresholding.prune(&mut n, 0.5, &ctx);
+        assert!((n.prune_ratio() - 0.75).abs() < 0.01, "ratio {}", n.prune_ratio());
+    }
+
+    #[test]
+    fn sipp_requires_batch() {
+        let mut n = net();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Sipp.prune(&mut n, 0.3, &PruneContext::data_free());
+        }));
+        assert!(result.is_err(), "SiPP without data should panic");
+    }
+
+    #[test]
+    fn sipp_hits_requested_ratio() {
+        let mut n = net();
+        let mut rng = Rng::new(2);
+        let batch = Tensor::rand_uniform(&[16, 8], 0.0, 1.0, &mut rng);
+        Sipp.prune(&mut n, 0.6, &PruneContext::with_batch(batch));
+        assert!((n.prune_ratio() - 0.6).abs() < 0.01, "ratio {}", n.prune_ratio());
+    }
+
+    #[test]
+    fn sipp_spares_high_activation_inputs() {
+        // with one input coordinate much more active than the rest, SiPP
+        // should preferentially keep that column's weights
+        let mut n = models::mlp("m", 4, &[8], 2, false, 3);
+        let mut rng = Rng::new(4);
+        let mut batch = Tensor::rand_uniform(&[32, 4], 0.0, 0.05, &mut rng);
+        for r in 0..32 {
+            batch.set2(r, 1, 5.0); // coordinate 1 is hot
+        }
+        Sipp.prune(&mut n, 0.5, &PruneContext::with_batch(batch));
+        let mut kept_hot = 0usize;
+        let mut kept_total = 0usize;
+        let mut rows = 0usize;
+        n.visit_prunable(&mut |l| {
+            if l.label() == "fc0" {
+                let mask = l.weight().mask.as_ref().expect("mask");
+                let cols = l.unit_len();
+                rows = l.out_units();
+                for r in 0..rows {
+                    for c in 0..cols {
+                        if mask.data()[r * cols + c] != 0.0 {
+                            kept_total += 1;
+                            if c == 1 {
+                                kept_hot += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        // coordinate 1's column should be kept at a rate above its 1/4 share
+        let share = kept_hot as f64 / kept_total.max(1) as f64;
+        assert!(share > 0.3, "hot column share {share}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Quality tests: informed pruning criteria must dominate the random
+//! baseline, and the pipeline must preserve accuracy where random pruning
+//! destroys it.
+
+use pv_nn::{models, train, Network, Schedule, TrainConfig};
+use pv_prune::{
+    FilterThresholding, PruneContext, PruneMethod, RandomFilterPruning, RandomWeightPruning,
+    WeightThresholding,
+};
+use pv_tensor::{Rng, Tensor};
+
+/// Four well-separated clusters in 16-D.
+fn clustered_task(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut rng = Rng::new(seed);
+    let mut xs = Vec::with_capacity(n * 16);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 4;
+        ys.push(class);
+        for d in 0..16 {
+            let center = if d % 4 == class { 1.0 } else { 0.0 };
+            xs.push(center + 0.35 * rng.normal() as f32);
+        }
+    }
+    (Tensor::from_vec(vec![n, 16], xs), ys)
+}
+
+fn trained_net(x: &Tensor, y: &[usize], seed: u64) -> Network {
+    let mut net = models::mlp("m", 16, &[48, 24], 4, false, seed);
+    let cfg = TrainConfig {
+        epochs: 25,
+        batch_size: 32,
+        schedule: Schedule::constant(0.1),
+        momentum: 0.9,
+        nesterov: false,
+        weight_decay: 1e-4,
+        seed: seed ^ 1,
+    };
+    train(&mut net, x, y, &cfg, None);
+    net
+}
+
+#[test]
+fn wt_beats_random_at_high_sparsity_without_retraining() {
+    let (x, y) = clustered_task(512, 1);
+    let parent = trained_net(&x, &y, 2);
+    let ctx = PruneContext::data_free();
+
+    let mut informed = parent.clone();
+    WeightThresholding.prune(&mut informed, 0.8, &ctx);
+    let acc_informed = informed.accuracy(&x, &y, 128);
+
+    // average over several random draws to avoid flukes
+    let mut acc_random = 0.0;
+    let draws = 5;
+    for s in 0..draws {
+        let mut randomly = parent.clone();
+        RandomWeightPruning::new(s).prune(&mut randomly, 0.8, &ctx);
+        acc_random += randomly.accuracy(&x, &y, 128);
+    }
+    acc_random /= draws as f64;
+    assert!(
+        acc_informed > acc_random + 0.05,
+        "WT ({acc_informed:.3}) should beat random ({acc_random:.3}) at 80% sparsity"
+    );
+}
+
+#[test]
+fn ft_beats_random_filters_without_retraining() {
+    let (x, y) = clustered_task(512, 3);
+    let parent = trained_net(&x, &y, 4);
+    let ctx = PruneContext::data_free();
+
+    let mut informed = parent.clone();
+    FilterThresholding.prune(&mut informed, 0.6, &ctx);
+    let acc_informed = informed.accuracy(&x, &y, 128);
+
+    let mut acc_random = 0.0;
+    let draws = 5;
+    for s in 0..draws {
+        let mut randomly = parent.clone();
+        RandomFilterPruning::new(s).prune(&mut randomly, 0.6, &ctx);
+        acc_random += randomly.accuracy(&x, &y, 128);
+    }
+    acc_random /= draws as f64;
+    assert!(
+        acc_informed >= acc_random - 0.02,
+        "FT ({acc_informed:.3}) should not lose to random filters ({acc_random:.3})"
+    );
+}
+
+#[test]
+fn pruned_accuracy_degrades_monotonically_without_retraining() {
+    // without retraining, more pruning can only hurt (weakly) on average;
+    // check the trend over increasing one-shot ratios
+    let (x, y) = clustered_task(512, 5);
+    let parent = trained_net(&x, &y, 6);
+    let ctx = PruneContext::data_free();
+    let mut last_acc = 1.0f64;
+    let mut violations = 0;
+    for ratio in [0.2, 0.5, 0.8, 0.95] {
+        let mut net = parent.clone();
+        WeightThresholding.prune(&mut net, ratio, &ctx);
+        let acc = net.accuracy(&x, &y, 128);
+        if acc > last_acc + 0.03 {
+            violations += 1;
+        }
+        last_acc = acc;
+    }
+    assert!(violations == 0, "accuracy rose substantially with more pruning");
+}

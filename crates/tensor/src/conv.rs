@@ -1,0 +1,581 @@
+//! Convolution and pooling primitives (im2col-based), with exact backward
+//! passes.
+//!
+//! Layout convention is NCHW throughout. The im2col matrix stores one output
+//! position per row (`[N*OH*OW, C*KH*KW]`), so a convolution is a single
+//! matrix product against the flattened filter bank.
+
+use crate::linalg::{matmul, matmul_a_bt, matmul_at_b};
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvGeometry {
+    /// A square kernel with the given size, stride and padding.
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        Self { kh: kernel, kw: kernel, stride, pad }
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit the padded input at least once.
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.pad;
+        let pw = w + 2 * self.pad;
+        assert!(
+            ph >= self.kh && pw >= self.kw,
+            "kernel {}x{} larger than padded input {}x{}",
+            self.kh,
+            self.kw,
+            ph,
+            pw
+        );
+        ((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1)
+    }
+}
+
+/// Unfolds `x: [N, C, H, W]` into a `[N*OH*OW, C*KH*KW]` matrix.
+///
+/// Each row contains the receptive field of one output position; positions
+/// outside the input (padding) contribute zeros.
+pub fn im2col(x: &Tensor, g: ConvGeometry) -> Tensor {
+    assert_eq!(x.ndim(), 4, "im2col expects NCHW input");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oh, ow) = g.output_size(h, w);
+    let row_len = c * g.kh * g.kw;
+    let mut out = Tensor::zeros(&[n * oh * ow, row_len]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * row_len;
+                let iy0 = (oy * g.stride) as isize - g.pad as isize;
+                let ix0 = (ox * g.stride) as isize - g.pad as isize;
+                for ci in 0..c {
+                    let base = row + ci * g.kh * g.kw;
+                    let cbase = (ni * c + ci) * h * w;
+                    for ky in 0..g.kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let src = cbase + iy as usize * w;
+                        let dst = base + ky * g.kw;
+                        for kx in 0..g.kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            od[dst + kx] = xd[src + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Folds a `[N*OH*OW, C*KH*KW]` matrix back into `[N, C, H, W]`, summing
+/// overlapping contributions (the adjoint of [`im2col`]).
+pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, g: ConvGeometry) -> Tensor {
+    let (oh, ow) = g.output_size(h, w);
+    let row_len = c * g.kh * g.kw;
+    assert_eq!(cols.shape(), &[n * oh * ow, row_len], "col2im shape mismatch");
+    let mut x = Tensor::zeros(&[n, c, h, w]);
+    let cd = cols.data();
+    let xd = x.data_mut();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * row_len;
+                let iy0 = (oy * g.stride) as isize - g.pad as isize;
+                let ix0 = (ox * g.stride) as isize - g.pad as isize;
+                for ci in 0..c {
+                    let base = row + ci * g.kh * g.kw;
+                    let cbase = (ni * c + ci) * h * w;
+                    for ky in 0..g.kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst = cbase + iy as usize * w;
+                        let src = base + ky * g.kw;
+                        for kx in 0..g.kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            xd[dst + ix as usize] += cd[src + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    x
+}
+
+/// Converts row-major `[N*OH*OW, F]` activations into NCHW `[N, F, OH, OW]`.
+///
+/// This is the inverse of [`nchw_to_matrix`]; batch-norm layers use the
+/// matrix view to treat channels uniformly across 2-D and 4-D activations.
+pub fn matrix_to_nchw(rows: &Tensor, n: usize, f: usize, oh: usize, ow: usize) -> Tensor {
+    rows_to_nchw(rows, n, f, oh, ow)
+}
+
+/// Converts NCHW `[N, C, H, W]` activations into a `[N*H*W, C]` matrix with
+/// one spatial position per row.
+pub fn nchw_to_matrix(x: &Tensor) -> Tensor {
+    nchw_to_rows(x)
+}
+
+/// Concatenates NCHW tensors along the channel axis.
+///
+/// # Panics
+///
+/// Panics if batch or spatial dimensions differ, or `parts` is empty.
+pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_channels of zero tensors");
+    let (n, h, w) = (parts[0].dim(0), parts[0].dim(2), parts[0].dim(3));
+    let mut c_total = 0;
+    for p in parts {
+        assert_eq!(p.ndim(), 4, "concat_channels expects NCHW");
+        assert_eq!((p.dim(0), p.dim(2), p.dim(3)), (n, h, w), "batch/spatial mismatch");
+        c_total += p.dim(1);
+    }
+    let mut out = Tensor::zeros(&[n, c_total, h, w]);
+    let od = out.data_mut();
+    let plane = h * w;
+    for ni in 0..n {
+        let mut c_off = 0;
+        for p in parts {
+            let c = p.dim(1);
+            let src = &p.data()[ni * c * plane..(ni + 1) * c * plane];
+            let dst = &mut od[(ni * c_total + c_off) * plane..(ni * c_total + c_off + c) * plane];
+            dst.copy_from_slice(src);
+            c_off += c;
+        }
+    }
+    out
+}
+
+/// Copies channels `[from, to)` of an NCHW tensor.
+///
+/// # Panics
+///
+/// Panics if the range is out of bounds.
+pub fn slice_channels(x: &Tensor, from: usize, to: usize) -> Tensor {
+    assert_eq!(x.ndim(), 4, "slice_channels expects NCHW");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert!(from <= to && to <= c, "channel range {from}..{to} out of bounds for {c}");
+    let plane = h * w;
+    let cs = to - from;
+    let mut out = Tensor::zeros(&[n, cs, h, w]);
+    let od = out.data_mut();
+    for ni in 0..n {
+        let src = &x.data()[(ni * c + from) * plane..(ni * c + to) * plane];
+        od[ni * cs * plane..(ni + 1) * cs * plane].copy_from_slice(src);
+    }
+    out
+}
+
+fn rows_to_nchw(rows: &Tensor, n: usize, f: usize, oh: usize, ow: usize) -> Tensor {
+    assert_eq!(rows.shape(), &[n * oh * ow, f]);
+    let mut out = Tensor::zeros(&[n, f, oh, ow]);
+    let rd = rows.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for y in 0..oh {
+            for x in 0..ow {
+                let r = ((ni * oh + y) * ow + x) * f;
+                for fi in 0..f {
+                    od[((ni * f + fi) * oh + y) * ow + x] = rd[r + fi];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Converts NCHW `[N, F, OH, OW]` into row-major `[N*OH*OW, F]`.
+fn nchw_to_rows(x: &Tensor) -> Tensor {
+    let (n, f, oh, ow) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let mut out = Tensor::zeros(&[n * oh * ow, f]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for y in 0..oh {
+            for xw in 0..ow {
+                let r = ((ni * oh + y) * ow + xw) * f;
+                for fi in 0..f {
+                    od[r + fi] = xd[((ni * f + fi) * oh + y) * ow + xw];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Result of [`conv2d_forward`]: the output plus the cached im2col matrix
+/// needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct ConvForward {
+    /// Convolution output, `[N, F, OH, OW]`.
+    pub output: Tensor,
+    /// Cached unfolded input, `[N*OH*OW, C*KH*KW]`.
+    pub cols: Tensor,
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct ConvBackward {
+    /// Gradient w.r.t. the input, `[N, C, H, W]`.
+    pub grad_input: Tensor,
+    /// Gradient w.r.t. the filters, `[F, C*KH*KW]`.
+    pub grad_weight: Tensor,
+    /// Gradient w.r.t. the bias, `[F]`.
+    pub grad_bias: Tensor,
+}
+
+/// 2-D convolution forward pass.
+///
+/// * `x`: `[N, C, H, W]`
+/// * `weight`: `[F, C*KH*KW]` (flattened filter bank)
+/// * `bias`: `[F]`
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn conv2d_forward(x: &Tensor, weight: &Tensor, bias: &Tensor, g: ConvGeometry) -> ConvForward {
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let f = weight.dim(0);
+    assert_eq!(weight.dim(1), c * g.kh * g.kw, "filter bank shape mismatch");
+    assert_eq!(bias.len(), f, "bias length mismatch");
+    let (oh, ow) = g.output_size(h, w);
+    let cols = im2col(x, g);
+    // [N*OH*OW, Ckhkw] x [F, Ckhkw]^T -> [N*OH*OW, F]
+    let mut rows = matmul_a_bt(&cols, weight);
+    rows.add_row_broadcast(bias);
+    ConvForward { output: rows_to_nchw(&rows, n, f, oh, ow), cols }
+}
+
+/// 2-D convolution backward pass.
+///
+/// `grad_out` is `[N, F, OH, OW]`; `cols` is the matrix cached by the
+/// forward pass; `(h, w)` is the original input spatial size.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    g: ConvGeometry,
+) -> ConvBackward {
+    let n = grad_out.dim(0);
+    let g_rows = nchw_to_rows(grad_out); // [N*OH*OW, F]
+    let grad_weight = matmul_at_b(&g_rows, cols); // [F, Ckhkw]
+    let grad_bias = g_rows.sum_rows(); // [F]
+    let grad_cols = matmul(&g_rows, weight); // [N*OH*OW, Ckhkw]
+    let grad_input = col2im(&grad_cols, n, c, h, w, g);
+    ConvBackward { grad_input, grad_weight, grad_bias }
+}
+
+/// Result of [`maxpool2d_forward`].
+#[derive(Debug, Clone)]
+pub struct PoolForward {
+    /// Pooled output, `[N, C, OH, OW]`.
+    pub output: Tensor,
+    /// Flat input index of each selected maximum (for backward routing).
+    pub argmax: Vec<usize>,
+}
+
+/// Max pooling forward pass over non-overlapping or strided windows.
+pub fn maxpool2d_forward(x: &Tensor, g: ConvGeometry) -> PoolForward {
+    assert_eq!(x.ndim(), 4, "maxpool expects NCHW input");
+    assert_eq!(g.pad, 0, "maxpool with padding is not supported");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oh, ow) = g.output_size(h, w);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let xd = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let cbase = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..g.kh {
+                        let iy = oy * g.stride + ky;
+                        for kx in 0..g.kw {
+                            let ix = ox * g.stride + kx;
+                            let idx = cbase + iy * w + ix;
+                            if xd[idx] > best {
+                                best = xd[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = ((ni * c + ci) * oh + oy) * ow + ox;
+                    od[o] = best;
+                    argmax[o] = best_idx;
+                }
+            }
+        }
+    }
+    PoolForward { output: out, argmax }
+}
+
+/// Max pooling backward pass: routes each output gradient to the input
+/// position that produced the maximum.
+pub fn maxpool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_shape: &[usize],
+) -> Tensor {
+    assert_eq!(grad_out.len(), argmax.len(), "argmax cache mismatch");
+    let mut grad_in = Tensor::zeros(input_shape);
+    let gd = grad_out.data();
+    let gi = grad_in.data_mut();
+    for (o, &src) in argmax.iter().enumerate() {
+        gi[src] += gd[o];
+    }
+    grad_in
+}
+
+/// Global average pooling: `[N, C, H, W]` → `[N, C]`.
+pub fn global_avg_pool_forward(x: &Tensor) -> Tensor {
+    assert_eq!(x.ndim(), 4, "global_avg_pool expects NCHW input");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let area = (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            od[ni * c + ci] = xd[base..base + h * w].iter().sum::<f32>() / area;
+        }
+    }
+    out
+}
+
+/// Backward pass of global average pooling.
+pub fn global_avg_pool_backward(grad_out: &Tensor, h: usize, w: usize) -> Tensor {
+    assert_eq!(grad_out.ndim(), 2, "grad of global_avg_pool is [N, C]");
+    let (n, c) = (grad_out.dim(0), grad_out.dim(1));
+    let inv_area = 1.0 / (h * w) as f32;
+    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+    let gd = grad_out.data();
+    let gi = grad_in.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = gd[ni * c + ci] * inv_area;
+            let base = (ni * c + ci) * h * w;
+            for v in &mut gi[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Direct (nested-loop) convolution used as the reference.
+    fn naive_conv(x: &Tensor, weight: &Tensor, bias: &Tensor, g: ConvGeometry) -> Tensor {
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let f = weight.dim(0);
+        let (oh, ow) = g.output_size(h, w);
+        let mut out = Tensor::zeros(&[n, f, oh, ow]);
+        for ni in 0..n {
+            for fi in 0..f {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.data()[fi];
+                        for ci in 0..c {
+                            for ky in 0..g.kh {
+                                for kx in 0..g.kw {
+                                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                                    let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let wv = weight.at2(fi, (ci * g.kh + ky) * g.kw + kx);
+                                    acc += wv * x.at4(ni, ci, iy as usize, ix as usize);
+                                }
+                            }
+                        }
+                        out.set4(ni, fi, oy, ox, acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn output_size_math() {
+        let g = ConvGeometry::new(3, 1, 1);
+        assert_eq!(g.output_size(8, 8), (8, 8));
+        let g = ConvGeometry::new(3, 2, 1);
+        assert_eq!(g.output_size(8, 8), (4, 4));
+        let g = ConvGeometry::new(2, 2, 0);
+        assert_eq!(g.output_size(8, 8), (4, 4));
+    }
+
+    #[test]
+    fn conv_forward_matches_naive() {
+        let mut rng = Rng::new(4);
+        for &(stride, pad) in &[(1usize, 1usize), (2, 1), (1, 0)] {
+            let g = ConvGeometry::new(3, stride, pad);
+            let x = Tensor::rand_uniform(&[2, 3, 6, 6], -1.0, 1.0, &mut rng);
+            let wt = Tensor::rand_uniform(&[4, 3 * 9], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[4], -1.0, 1.0, &mut rng);
+            let fast = conv2d_forward(&x, &wt, &b, g).output;
+            let slow = naive_conv(&x, &wt, &b, g);
+            assert!(fast.max_abs_diff(&slow) < 1e-4, "stride={stride} pad={pad}");
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property that makes the backward pass exact.
+        let mut rng = Rng::new(5);
+        let g = ConvGeometry::new(3, 1, 1);
+        let x = Tensor::rand_uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let cols = im2col(&x, g);
+        let y = Tensor::rand_uniform(cols.shape(), -1.0, 1.0, &mut rng);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let back = col2im(&y, 1, 2, 5, 5, g);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_backward_finite_difference() {
+        let mut rng = Rng::new(6);
+        let g = ConvGeometry::new(3, 1, 1);
+        let x = Tensor::rand_uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut rng);
+        let wt = Tensor::rand_uniform(&[3, 2 * 9], -0.5, 0.5, &mut rng);
+        let b = Tensor::zeros(&[3]);
+
+        // Loss = sum of outputs; its gradient w.r.t. outputs is all-ones.
+        let fwd = conv2d_forward(&x, &wt, &b, g);
+        let grad_out = Tensor::ones(fwd.output.shape());
+        let back = conv2d_backward(&grad_out, &fwd.cols, &wt, 2, 4, 4, g);
+
+        let eps = 1e-3;
+        // check a few weight coordinates
+        for &k in &[0usize, 5, 17, 30] {
+            let mut wp = wt.clone();
+            wp.data_mut()[k] += eps;
+            let fp = conv2d_forward(&x, &wp, &b, g).output.sum();
+            let mut wm = wt.clone();
+            wm.data_mut()[k] -= eps;
+            let fm = conv2d_forward(&x, &wm, &b, g).output.sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = back.grad_weight.data()[k];
+            assert!((num - ana).abs() < 2e-2, "weight {k}: {num} vs {ana}");
+        }
+        // check a few input coordinates
+        for &k in &[0usize, 7, 15, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[k] += eps;
+            let fp = conv2d_forward(&xp, &wt, &b, g).output.sum();
+            let mut xm = x.clone();
+            xm.data_mut()[k] -= eps;
+            let fm = conv2d_forward(&xm, &wt, &b, g).output.sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = back.grad_input.data()[k];
+            assert!((num - ana).abs() < 2e-2, "input {k}: {num} vs {ana}");
+        }
+        // bias gradient of a sum-loss is the number of output positions
+        let (oh, ow) = g.output_size(4, 4);
+        for &gb in back.grad_bias.data() {
+            assert!((gb - (oh * ow) as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 4.0, //
+                3.0, 0.0, 1.0, 1.0, //
+                7.0, 2.0, 0.0, 0.0, //
+                1.0, 8.0, 3.0, 2.0,
+            ],
+        );
+        let g = ConvGeometry::new(2, 2, 0);
+        let fwd = maxpool2d_forward(&x, g);
+        assert_eq!(fwd.output.data(), &[3.0, 5.0, 8.0, 3.0]);
+        let grad_out = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let grad_in = maxpool2d_backward(&grad_out, &fwd.argmax, x.shape());
+        assert_eq!(grad_in.data()[4], 1.0); // 3.0 at (1,0)
+        assert_eq!(grad_in.data()[2], 2.0); // 5.0 at (0,2)
+        assert_eq!(grad_in.data()[13], 3.0); // 8.0 at (3,1)
+        assert_eq!(grad_in.data()[14], 4.0); // 3.0 at (3,2)
+        assert_eq!(grad_in.sum(), 10.0);
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let mut rng = Rng::new(8);
+        let x = Tensor::rand_uniform(&[2, 3, 4, 5], -1.0, 1.0, &mut rng);
+        let m = nchw_to_matrix(&x);
+        assert_eq!(m.shape(), &[2 * 4 * 5, 3]);
+        // channel value at a given position matches
+        assert_eq!(m.at2(0, 1), x.at4(0, 1, 0, 0));
+        let back = matrix_to_nchw(&m, 2, 3, 4, 5);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn channel_concat_and_slice() {
+        let mut rng = Rng::new(9);
+        let a = Tensor::rand_uniform(&[2, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[2, 4, 3, 3], -1.0, 1.0, &mut rng);
+        let c = concat_channels(&[&a, &b]);
+        assert_eq!(c.shape(), &[2, 6, 3, 3]);
+        assert_eq!(slice_channels(&c, 0, 2), a);
+        assert_eq!(slice_channels(&c, 2, 6), b);
+        assert_eq!(c.at4(1, 3, 2, 1), b.at4(1, 1, 2, 1));
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let mut rng = Rng::new(7);
+        let x = Tensor::rand_uniform(&[2, 3, 4, 4], -1.0, 1.0, &mut rng);
+        let y = global_avg_pool_forward(&x);
+        assert_eq!(y.shape(), &[2, 3]);
+        // mean over each channel
+        let manual = x.data()[..16].iter().sum::<f32>() / 16.0;
+        assert!((y.at2(0, 0) - manual).abs() < 1e-6);
+        let grad = Tensor::ones(&[2, 3]);
+        let gi = global_avg_pool_backward(&grad, 4, 4);
+        assert!((gi.sum() - 6.0).abs() < 1e-4); // each channel sums to 1
+    }
+}

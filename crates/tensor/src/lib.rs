@@ -1,0 +1,50 @@
+//! # pv-tensor
+//!
+//! A minimal, dependency-free, fully deterministic `f32` tensor library —
+//! the numeric substrate of the `pruneval` workspace, which reproduces
+//! *Lost in Pruning: The Effects of Pruning Neural Networks beyond Test
+//! Accuracy* (Liebenwein et al., MLSys 2021) in Rust.
+//!
+//! The crate provides exactly what the study's networks need and nothing
+//! more:
+//!
+//! * [`Tensor`] — dense row-major storage with element-wise algebra,
+//!   reductions, and row-wise softmax;
+//! * [`matmul`] / [`matmul_at_b`] / [`matmul_a_bt`] — the three dense
+//!   products required by a linear layer and its backward pass;
+//! * [`conv2d_forward`] / [`conv2d_backward`] and pooling — im2col-based
+//!   convolution with exact gradients;
+//! * [`Rng`] — a seedable PCG32 generator so every experiment in the
+//!   workspace is bit-for-bit reproducible;
+//! * [`stats`] — small descriptive statistics used in reporting.
+//!
+//! # Examples
+//!
+//! ```
+//! use pv_tensor::{matmul, Rng, Tensor};
+//!
+//! let mut rng = Rng::new(0);
+//! let x = Tensor::randn(&[4, 8], 0.0, 1.0, &mut rng);
+//! let w = Tensor::randn(&[8, 3], 0.0, 0.1, &mut rng);
+//! let logits = matmul(&x, &w);
+//! let probs = logits.softmax_rows();
+//! assert_eq!(probs.shape(), &[4, 3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod linalg;
+pub mod rng;
+pub mod stats;
+pub mod tensor;
+
+pub use conv::{
+    col2im, concat_channels, conv2d_backward, conv2d_forward, global_avg_pool_backward,
+    global_avg_pool_forward, im2col, matrix_to_nchw, maxpool2d_backward, maxpool2d_forward,
+    nchw_to_matrix, slice_channels, ConvBackward, ConvForward, ConvGeometry, PoolForward,
+};
+pub use linalg::{matmul, matmul_a_bt, matmul_at_b, matvec};
+pub use rng::Rng;
+pub use tensor::Tensor;

@@ -1,0 +1,198 @@
+//! Dense matrix products used by the network layers.
+//!
+//! The three product flavours (`A·B`, `Aᵀ·B`, `A·Bᵀ`) are exactly the ones
+//! needed for a linear layer's forward pass and its two backward products.
+//! All use an `i-k-j` loop order so the innermost loop streams over rows of
+//! the right-hand operand, which auto-vectorizes well.
+
+use crate::tensor::Tensor;
+
+/// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics if the operands are not matrices or the inner dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use pv_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// let i = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+/// assert_eq!(matmul(&a, &i), a);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul: A must be a matrix");
+    assert_eq!(b.ndim(), 2, "matmul: B must be a matrix");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (kb, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, kb, "matmul: inner dims {k} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for i in 0..m {
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for p in 0..k {
+            let aip = ad[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aip * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (result `[m, n]`).
+///
+/// Used for weight gradients: `dW = Xᵀ · dY`.
+///
+/// # Panics
+///
+/// Panics if the operands are not matrices or the leading dimensions differ.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_at_b: A must be a matrix");
+    assert_eq!(b.ndim(), 2, "matmul_at_b: B must be a matrix");
+    let (k, m) = (a.dim(0), a.dim(1));
+    let (kb, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, kb, "matmul_at_b: leading dims {k} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (result `[m, n]`).
+///
+/// Used for input gradients: `dX = dY · Wᵀ` when `W: [out, in]` is stored
+/// row-major by output.
+///
+/// # Panics
+///
+/// Panics if the operands are not matrices or the trailing dimensions differ.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_a_bt: A must be a matrix");
+    assert_eq!(b.ndim(), 2, "matmul_a_bt: B must be a matrix");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (n, kb) = (b.dim(0), b.dim(1));
+    assert_eq!(k, kb, "matmul_a_bt: trailing dims {k} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    }
+    c
+}
+
+/// Matrix–vector product `y = A · x` for `A: [m, n]`, `x: [n]`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matvec: A must be a matrix");
+    let (m, n) = (a.dim(0), a.dim(1));
+    assert_eq!(x.len(), n, "matvec: dim mismatch");
+    let mut y = Tensor::zeros(&[m]);
+    let (ad, xd) = (a.data(), x.data());
+    for i in 0..m {
+        let row = &ad[i * n..(i + 1) * n];
+        y.data_mut()[i] = row.iter().zip(xd).map(|(&a, &b)| a * b).sum();
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.dim(0), a.dim(1), b.dim(1));
+        Tensor::from_fn(&[m, n], |idx| {
+            let (i, j) = (idx / n, idx % n);
+            (0..k).map(|p| a.at2(i, p) * b.at2(p, j)).sum()
+        })
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_random() {
+        let mut rng = Rng::new(1);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (8, 8, 8), (7, 13, 11)] {
+            let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let fast = matmul(&a, &b);
+            let slow = naive_matmul(&a, &b);
+            assert!(fast.max_abs_diff(&slow) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let mut rng = Rng::new(2);
+        let a = Tensor::rand_uniform(&[6, 4], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[6, 5], -1.0, 1.0, &mut rng);
+        let expect = matmul(&a.transpose2(), &b);
+        assert!(matmul_at_b(&a, &b).max_abs_diff(&expect) < 1e-5);
+
+        let c = Tensor::rand_uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let d = Tensor::rand_uniform(&[7, 4], -1.0, 1.0, &mut rng);
+        let expect = matmul(&c, &d.transpose2());
+        assert!(matmul_a_bt(&c, &d).max_abs_diff(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = Rng::new(3);
+        let a = Tensor::rand_uniform(&[5, 4], -1.0, 1.0, &mut rng);
+        let x = Tensor::rand_uniform(&[4], -1.0, 1.0, &mut rng);
+        let y = matvec(&a, &x);
+        let ym = matmul(&a, &x.reshape(&[4, 1]));
+        for i in 0..5 {
+            assert!((y.data()[i] - ym.data()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        matmul(&a, &b);
+    }
+}

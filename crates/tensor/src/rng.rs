@@ -1,0 +1,281 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component of the workspace draws from [`Rng`], a small
+//! PCG32 generator seeded through SplitMix64. Implementing the generator
+//! in-crate (rather than depending on `rand`) guarantees bit-for-bit
+//! reproducibility of every experiment across platforms and dependency
+//! upgrades, which the golden-value tests in this workspace rely on.
+//!
+//! # Examples
+//!
+//! ```
+//! use pv_tensor::Rng;
+//!
+//! let mut rng = Rng::new(42);
+//! let x = rng.uniform(); // in [0, 1)
+//! assert!((0.0..1.0).contains(&x));
+//! let mut rng2 = Rng::new(42);
+//! assert_eq!(x, rng2.uniform()); // fully deterministic
+//! ```
+
+/// SplitMix64 step, used for seeding and for cheap stateless hashing.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic PCG32 (XSH-RR) pseudo-random number generator.
+///
+/// Cheap to construct, `Clone`, and explicitly seeded everywhere so that all
+/// experiments in the workspace are reproducible. Not cryptographically
+/// secure; statistical quality is more than sufficient for simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rng {
+    state: u64,
+    inc: u64,
+    /// Cached second Box-Muller output.
+    spare_normal: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Seeds are expanded through SplitMix64, so nearby seeds (0, 1, 2, ...)
+    /// produce uncorrelated streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = splitmix64(&mut sm);
+        let inc = splitmix64(&mut sm) | 1; // stream must be odd
+        let mut rng = Self { state, inc, spare_normal: None };
+        // Advance once so that `state` fully mixes with `inc`.
+        rng.next_u32();
+        rng
+    }
+
+    /// Derives an independent child generator; useful for splitting one seed
+    /// across parallel sub-experiments without sharing state.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let a = u64::from(self.next_u32());
+        let b = u64::from(self.next_u32());
+        Self::new((a << 32 | b) ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Returns the next raw 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform sample in `[0, 1)` with 32 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        f64::from(self.next_u32()) * (1.0 / 4_294_967_296.0)
+    }
+
+    /// Uniform `f32` sample in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform() as f32
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire-style rejection to avoid
+    /// modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Rng::below requires n > 0");
+        let n = n as u64;
+        // 64-bit multiply-shift; bias is negligible only with rejection.
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n) as usize;
+            }
+        }
+    }
+
+    /// Standard normal sample (Box-Muller, cached pair).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        loop {
+            let u1 = self.uniform();
+            if u1 <= f64::EPSILON {
+                continue;
+            }
+            let u2 = self.uniform();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = std::f64::consts::TAU * u2;
+            self.spare_normal = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// Normal sample with the given mean and standard deviation, as `f32`.
+    #[inline]
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal() as f32
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Fisher-Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        &slice[self.below(slice.len())]
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (reservoir-free partial
+    /// Fisher-Yates). Order is random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams from different seeds look correlated");
+    }
+
+    #[test]
+    fn uniform_range_and_mean() {
+        let mut rng = Rng::new(3);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn below_is_unbiased_over_small_range() {
+        let mut rng = Rng::new(5);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.below(7)] += 1;
+        }
+        for &c in &counts {
+            let expected = n / 7;
+            assert!((c as i64 - expected as i64).unsigned_abs() < 800, "count {c} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::new(11);
+        let n = 50_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = rng.normal();
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "normal var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::new(13);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = Rng::new(17);
+        let s = rng.sample_indices(100, 30);
+        assert_eq!(s.len(), 30);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 30);
+        assert!(t.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = Rng::new(23);
+        let mut child = parent.fork(0);
+        let a: Vec<u32> = (0..16).map(|_| parent.next_u32()).collect();
+        let b: Vec<u32> = (0..16).map(|_| child.next_u32()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn below_zero_panics() {
+        Rng::new(0).below(0);
+    }
+}

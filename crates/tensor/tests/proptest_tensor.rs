@@ -1,0 +1,101 @@
+//! Property-based tests of the tensor algebra.
+
+use proptest::prelude::*;
+use pv_tensor::{
+    col2im, concat_channels, im2col, matmul, matmul_a_bt, matmul_at_b, slice_channels,
+    ConvGeometry, Rng, Tensor,
+};
+
+fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = Rng::new(seed);
+    Tensor::rand_uniform(shape, -1.0, 1.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (AB)ᵀ == BᵀAᵀ.
+    #[test]
+    fn matmul_transpose_identity(seed in 0u64..1000, m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed ^ 1);
+        let lhs = matmul(&a, &b).transpose2();
+        let rhs = matmul(&b.transpose2(), &a.transpose2());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-5);
+    }
+
+    /// The transposed-product helpers agree with explicit transposes.
+    #[test]
+    fn product_helpers_consistent(seed in 0u64..1000, m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+        let a = rand_tensor(&[k, m], seed);
+        let b = rand_tensor(&[k, n], seed ^ 2);
+        prop_assert!(matmul_at_b(&a, &b).max_abs_diff(&matmul(&a.transpose2(), &b)) < 1e-5);
+        let c = rand_tensor(&[m, k], seed ^ 3);
+        let d = rand_tensor(&[n, k], seed ^ 4);
+        prop_assert!(matmul_a_bt(&c, &d).max_abs_diff(&matmul(&c, &d.transpose2())) < 1e-5);
+    }
+
+    /// Scaling commutes with addition: s(A + B) == sA + sB.
+    #[test]
+    fn scale_is_linear(seed in 0u64..1000, s in -3.0f32..3.0) {
+        let a = rand_tensor(&[3, 4], seed);
+        let b = rand_tensor(&[3, 4], seed ^ 5);
+        let lhs = a.add(&b).scale(s);
+        let rhs = a.scale(s).add(&b.scale(s));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-5);
+    }
+
+    /// im2col followed by col2im of an all-ones cols tensor counts window
+    /// coverage: every input position is touched at least once when the
+    /// stride is 1 and padding >= 0.
+    #[test]
+    fn im2col_col2im_adjoint(seed in 0u64..500, c in 1usize..3, h in 3usize..7, w in 3usize..7, pad in 0usize..2) {
+        let g = ConvGeometry { kh: 3, kw: 3, stride: 1, pad };
+        if h + 2 * pad < 3 || w + 2 * pad < 3 {
+            return Ok(());
+        }
+        let x = rand_tensor(&[1, c, h, w], seed);
+        let cols = im2col(&x, g);
+        let y = rand_tensor(cols.shape(), seed ^ 6);
+        // adjoint identity <im2col(x), y> == <x, col2im(y)>
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let back = col2im(&y, 1, c, h, w, g);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    /// Channel slicing inverts channel concatenation.
+    #[test]
+    fn concat_slice_roundtrip(seed in 0u64..500, c1 in 1usize..4, c2 in 1usize..4) {
+        let a = rand_tensor(&[2, c1, 3, 3], seed);
+        let b = rand_tensor(&[2, c2, 3, 3], seed ^ 7);
+        let cat = concat_channels(&[&a, &b]);
+        prop_assert_eq!(slice_channels(&cat, 0, c1), a);
+        prop_assert_eq!(slice_channels(&cat, c1, c1 + c2), b);
+    }
+
+    /// gather(slice order) reproduces slice_first_axis.
+    #[test]
+    fn gather_matches_slice(seed in 0u64..500, n in 2usize..8) {
+        let t = rand_tensor(&[n, 3], seed);
+        let idx: Vec<usize> = (1..n).collect();
+        prop_assert_eq!(t.gather_first_axis(&idx), t.slice_first_axis(1, n));
+    }
+
+    /// Norms satisfy the triangle inequality.
+    #[test]
+    fn l2_triangle_inequality(seed in 0u64..1000) {
+        let a = rand_tensor(&[8], seed);
+        let b = rand_tensor(&[8], seed ^ 8);
+        prop_assert!(a.add(&b).l2_norm() <= a.l2_norm() + b.l2_norm() + 1e-5);
+    }
+
+    /// Rng::below stays in range for any n.
+    #[test]
+    fn rng_below_in_range(seed in 0u64..1000, n in 1usize..10_000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..16 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Measuring *genuine* overparameterization (Section 7): the paper argues
+//! that the right gauge is not the nominal prune potential but its minimum
+//! (or average) over a variety of tasks. This example compares a standard
+//! network against a wide-and-shallow one and shows that only the latter
+//! is overparameterized in the robust sense.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example overparameterization
+//! ```
+
+use pruneval::{build_family, preset, Distribution, Scale};
+use pv_prune::WeightThresholding;
+use pv_tensor::stats::{mean, minimum};
+
+fn main() {
+    println!("== genuine overparameterization: nominal vs robust gauge ==\n");
+    let scale = Scale::from_env();
+    let dists = {
+        let mut d = vec![Distribution::Nominal, Distribution::AltTestSet, Distribution::Noise(0.15)];
+        d.extend(Distribution::all_corruptions_sev3());
+        d
+    };
+
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>12}",
+        "model", "params", "nominal P", "avg P", "min P"
+    );
+    for name in ["resnet20", "wrn16-8"] {
+        let cfg = preset(name, scale).expect("known preset");
+        let mut family = build_family(&cfg, &WeightThresholding, 0, None);
+        let params = family.parent.prunable_param_count();
+        let potentials: Vec<f64> = dists
+            .iter()
+            .map(|d| family.potential_on(d, cfg.delta_pct, 1))
+            .collect();
+        let nominal = potentials[0];
+        println!(
+            "{:<10} {:>8} {:>11.1}% {:>11.1}% {:>11.1}%",
+            name,
+            params,
+            100.0 * nominal,
+            100.0 * mean(&potentials),
+            100.0 * minimum(&potentials)
+        );
+    }
+
+    println!("\nReading the table the paper's way:");
+    println!("- the *nominal* potential alone suggests both models carry similar");
+    println!("  redundancy and can be pruned aggressively;");
+    println!("- the *minimum over tasks* separates them: capacity that looks");
+    println!("  redundant on nominal data is doing real work under shift.");
+    println!("A network is only genuinely overparameterized if its potential");
+    println!("survives the hardest distribution you must handle.");
+}

@@ -1,0 +1,76 @@
+//! Robust pruning (Section 6 + guideline #4): if you can model the
+//! distribution shifts, fold them into (re)training as data augmentation
+//! and recover most of the lost prune potential — but held-out shifts can
+//! still bite.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example robust_pruning
+//! ```
+
+use pruneval::robust::{split_distributions, PAPER_SEVERITY};
+use pruneval::{build_family, preset, RobustTraining, Scale};
+use pv_data::CorruptionSplit;
+use pv_prune::WeightThresholding;
+use pv_tensor::stats::mean;
+
+fn main() {
+    let cfg = preset("resnet20", Scale::from_env()).expect("known preset");
+    let split = CorruptionSplit::paper_default();
+    println!("== robust pruning (corruption-augmented retraining) ==\n");
+    println!(
+        "train-side corruptions: {:?}",
+        split.train.iter().map(|c| c.name()).collect::<Vec<_>>()
+    );
+    println!(
+        "held-out corruptions:   {:?}\n",
+        split.test.iter().map(|c| c.name()).collect::<Vec<_>>()
+    );
+
+    let (train_dists, test_dists) = split_distributions(&split);
+    let delta = cfg.delta_pct;
+
+    // nominal-training baseline
+    let mut nominal = build_family(&cfg, &WeightThresholding, 0, None);
+    let nominal_train: Vec<f64> =
+        train_dists.iter().map(|d| nominal.potential_on(d, delta, 1)).collect();
+    let nominal_test: Vec<f64> =
+        test_dists.iter().map(|d| nominal.potential_on(d, delta, 1)).collect();
+
+    // robust training
+    let robust_cfg = RobustTraining { split: &split, severity: PAPER_SEVERITY };
+    let mut robust = build_family(&cfg, &WeightThresholding, 0, Some(&robust_cfg));
+    let robust_train: Vec<f64> =
+        train_dists.iter().map(|d| robust.potential_on(d, delta, 1)).collect();
+    let robust_test: Vec<f64> =
+        test_dists.iter().map(|d| robust.potential_on(d, delta, 1)).collect();
+
+    println!("average prune potential (delta {delta}%):");
+    println!("  {:<22} {:>12} {:>12}", "", "train dists", "held-out");
+    println!(
+        "  {:<22} {:>11.1}% {:>11.1}%",
+        "nominal training",
+        100.0 * mean(&nominal_train),
+        100.0 * mean(&nominal_test)
+    );
+    println!(
+        "  {:<22} {:>11.1}% {:>11.1}%",
+        "robust training",
+        100.0 * mean(&robust_train),
+        100.0 * mean(&robust_test)
+    );
+
+    println!("\nper-distribution detail (robust training, held-out side):");
+    for (d, p) in test_dists.iter().zip(&robust_test) {
+        println!("  {:<16} {:5.1}%", d.label(), 100.0 * p);
+    }
+
+    let regained = mean(&robust_test) - mean(&nominal_test);
+    println!(
+        "\npotential regained on shifted data by explicit regularization: {:+.1} points",
+        100.0 * regained
+    );
+    println!("(the paper's trade: implicit regularization lost to pruning is");
+    println!("bought back with explicit, *modeled* augmentation — unmodeled");
+    println!("shifts remain a risk.)");
+}

@@ -1,0 +1,51 @@
+//! Dense prediction: pruning a segmentation network (the paper's
+//! DeeplabV3 / Pascal VOC arm, Table 8). Segmentation is the paper's
+//! hardest task — filter pruning achieves essentially zero commensurate
+//! prune ratio there, and even weight pruning is far below its
+//! classification numbers.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example segmentation
+//! ```
+
+use pruneval::{build_seg_family, Scale, SegExperimentConfig};
+use pv_data::Corruption;
+use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
+
+fn main() {
+    let cfg = SegExperimentConfig::voc_like(Scale::from_env());
+    println!("== pruning a dense-prediction network ==\n");
+    println!(
+        "task: {} object classes + background on {}x{} images; {} train images",
+        cfg.task.object_classes, cfg.task.height, cfg.task.width, cfg.n_train
+    );
+    println!("model: mini_segnet (strided conv backbone + 1x1 head + upsample)\n");
+
+    let methods: Vec<Box<dyn PruneMethod>> =
+        vec![Box::new(WeightThresholding), Box::new(FilterThresholding)];
+    for method in methods {
+        let t0 = std::time::Instant::now();
+        let mut study = build_seg_family(&cfg, method.as_ref());
+        let nominal = study.iou_curve(None, 1);
+        println!(
+            "[{}] parent IoU error {:.2}%, pixel error {:.2}%  (built in {:.1?})",
+            method.name(),
+            nominal.unpruned_error_pct,
+            study.parent_pixel_error(),
+            t0.elapsed()
+        );
+        for (r, e) in &nominal.points {
+            println!("  PR {:5.1}% -> IoU error {e:6.2}%", 100.0 * r);
+        }
+        let p = nominal.prune_potential(cfg.delta_pct);
+        println!("  commensurate PR (delta {}% IoU): {:.1}%", cfg.delta_pct, 100.0 * p);
+        let p_fog = study
+            .iou_curve(Some((Corruption::Fog, 3)), 1)
+            .prune_potential(cfg.delta_pct);
+        println!("  ... under Fog(s3): {:.1}%\n", 100.0 * p_fog);
+    }
+    println!("Paper Table 8 for scale: DeeplabV3 on VOC reached WT PR 58.9%,");
+    println!("SiPP 43.0%, PFP 20.2% — and FT 0.0%: on hard dense-prediction");
+    println!("tasks there is very little genuinely redundant structure.");
+}

@@ -1,0 +1,20 @@
+//! # lost-in-pruning
+//!
+//! Umbrella crate of the `pruneval` workspace — a from-scratch Rust
+//! reproduction of *Lost in Pruning: The Effects of Pruning Neural
+//! Networks beyond Test Accuracy* (Liebenwein et al., MLSys 2021).
+//!
+//! This crate re-exports the workspace layers and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//! Start with [`pruneval`] for the experiment framework, or run
+//! `cargo run --release --example quickstart`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pruneval;
+pub use pv_data;
+pub use pv_metrics;
+pub use pv_nn;
+pub use pv_prune;
+pub use pv_tensor;

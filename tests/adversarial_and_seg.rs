@@ -1,0 +1,73 @@
+//! Integration tests for the extension arms: adversarial evaluation of
+//! pruned families and the dense-prediction pipeline.
+
+use pruneval::{build_family, build_seg_family, inputs_for, preset, Scale, SegExperimentConfig};
+use pv_metrics::{fgsm, fgsm_error_pct, pgd};
+use pv_prune::WeightThresholding;
+
+fn family() -> pruneval::StudyFamily {
+    let mut cfg = preset("mlp", Scale::Smoke).expect("known preset").with_epochs(16);
+    cfg.n_train = 512;
+    cfg.cycles = 3;
+    build_family(&cfg, &WeightThresholding, 0, None)
+}
+
+#[test]
+fn fgsm_hurts_trained_classifier_more_than_clean_eval() {
+    let mut fam = family();
+    let test = fam.test_set.clone();
+    let images = inputs_for(&fam.parent, &test);
+    let labels = test.labels().to_vec();
+    let clean = fam.parent.test_error_pct(&images, &labels, 128);
+    let adv = fgsm_error_pct(&mut fam.parent, &images, &labels, 0.1);
+    assert!(adv >= clean, "adversarial error {adv}% below clean {clean}%");
+}
+
+#[test]
+fn attacks_stay_in_budget_for_every_family_member() {
+    let mut fam = family();
+    let test = fam.test_set.clone();
+    let images = inputs_for(&fam.parent, &test).slice_first_axis(0, 32);
+    let labels = test.labels()[..32].to_vec();
+    let eps = 0.08;
+    for pm in &mut fam.pruned {
+        let a = fgsm(&mut pm.network, &images, &labels, eps);
+        assert!(a.max_abs_diff(&images) <= eps + 1e-6);
+        let p = pgd(&mut pm.network, &images, &labels, eps, eps / 2.0, 3);
+        assert!(p.max_abs_diff(&images) <= eps + 1e-6);
+    }
+}
+
+#[test]
+fn adversarial_examples_transfer_imperfectly() {
+    // white-box examples against the parent should hurt the parent at
+    // least as much as they hurt a heavily pruned sibling *or* vice versa —
+    // either way the two errors must be comparable, not wildly divergent
+    // (sanity on the attack's generality, not a paper claim)
+    let mut fam = family();
+    let test = fam.test_set.clone();
+    let images = inputs_for(&fam.parent, &test);
+    let labels = test.labels().to_vec();
+    let adv = fgsm(&mut fam.parent, &images, &labels, 0.1);
+    let parent_err = fam.parent.test_error_pct(&adv, &labels, 128);
+    let pruned_err = fam.pruned[0].network.test_error_pct(&adv, &labels, 128);
+    assert!(parent_err.is_finite() && pruned_err.is_finite());
+    assert!((parent_err - pruned_err).abs() <= 100.0);
+}
+
+#[test]
+fn seg_pipeline_prunes_and_keeps_predicting() {
+    let mut cfg = SegExperimentConfig::voc_like(Scale::Smoke);
+    cfg.n_train = 128;
+    cfg.train.epochs = 8;
+    cfg.cycles = 3;
+    let mut study = build_seg_family(&cfg, &WeightThresholding);
+    let curve = study.iou_curve(None, 1);
+    // sparsity compounds across cycles
+    assert!(study.pruned.last().expect("cycles ran").achieved_ratio > 0.7);
+    // all errors are valid percentages
+    assert!(curve.points.iter().all(|&(_, e)| (0.0..=100.0).contains(&e)));
+    // flop accounting moves with sparsity
+    let fr = study.pruned.last().expect("cycles ran").flop_reduction;
+    assert!(fr > 0.5, "flop reduction {fr}");
+}

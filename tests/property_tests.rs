@@ -1,0 +1,124 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use proptest::prelude::*;
+use pv_data::Corruption;
+use pv_metrics::{fit_through_origin, keep_top_fraction, PruneAccuracyCurve};
+use pv_nn::{models, Mode};
+use pv_prune::{PruneContext, PruneMethod, WeightThresholding};
+use pv_tensor::{matmul, Rng, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Matrix multiplication distributes over addition:
+    /// (A + B)·C == A·C + B·C (up to float tolerance).
+    #[test]
+    fn matmul_distributes(seed in 0u64..1000, m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let c = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let lhs = matmul(&a.add(&b), &c);
+        let rhs = matmul(&a, &c).add(&matmul(&b, &c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    /// Softmax rows always form probability distributions, whatever the
+    /// logits.
+    #[test]
+    fn softmax_is_a_distribution(seed in 0u64..1000, rows in 1usize..5, cols in 2usize..8, scale in 0.1f32..50.0) {
+        let mut rng = Rng::new(seed);
+        let logits = Tensor::rand_uniform(&[rows, cols], -scale, scale, &mut rng);
+        let s = logits.softmax_rows();
+        prop_assert!(s.all_finite());
+        for r in 0..rows {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    /// Every corruption, at every severity, keeps images in [0, 1] and
+    /// preserves shape.
+    #[test]
+    fn corruptions_stay_in_range(seed in 0u64..500, severity in 1u8..=5, idx in 0usize..16) {
+        let mut rng = Rng::new(seed);
+        let x = Tensor::rand_uniform(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let c = Corruption::ALL[idx];
+        let y = c.apply_batch(&x, severity, &mut rng);
+        prop_assert_eq!(y.shape(), x.shape());
+        prop_assert!(y.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Prune potential is monotone non-decreasing in delta for arbitrary
+    /// measured curves.
+    #[test]
+    fn potential_monotone_in_delta(
+        unpruned in 0.0f64..50.0,
+        errs in proptest::collection::vec(0.0f64..100.0, 1..8),
+    ) {
+        let points: Vec<(f64, f64)> = errs
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| ((i + 1) as f64 / 10.0, e))
+            .collect();
+        let curve = PruneAccuracyCurve::new(unpruned, points);
+        let mut last = -1.0;
+        for delta in [0.0, 0.5, 1.0, 2.0, 5.0, 100.0] {
+            let p = curve.prune_potential(delta);
+            prop_assert!(p >= last);
+            last = p;
+        }
+        // with unlimited slack everything qualifies
+        prop_assert!((last - curve.points.last().unwrap().0).abs() < 1e-12);
+    }
+
+    /// WT prunes exactly the requested fraction (within one weight), and
+    /// the mask invariant holds on every layer.
+    #[test]
+    fn wt_ratio_is_exact(seed in 0u64..200, ratio in 0.05f64..0.95) {
+        let mut net = models::mlp("m", 16, &[16], 4, false, seed);
+        WeightThresholding.prune(&mut net, ratio, &PruneContext::data_free());
+        let total = net.prunable_param_count() as f64;
+        prop_assert!((net.prune_ratio() - ratio).abs() <= 1.0 / total + 1e-9);
+        net.visit_prunable(&mut |l| {
+            if let Some(mask) = &l.weight().mask {
+                for (i, &m) in mask.data().iter().enumerate() {
+                    if m == 0.0 {
+                        assert_eq!(l.weight().value.data()[i], 0.0);
+                    }
+                }
+            }
+        });
+    }
+
+    /// keep_top_fraction keeps exactly round(frac·n) pixels, all from the
+    /// informative suffix of the ordering.
+    #[test]
+    fn keep_fraction_counts(n in 1usize..64, frac in 0.0f64..1.0) {
+        let order: Vec<usize> = (0..n).collect();
+        let keep = keep_top_fraction(&order, frac);
+        let expect = ((frac * n as f64).round() as usize).min(n);
+        prop_assert_eq!(keep.iter().filter(|&&k| k).count(), expect);
+    }
+
+    /// OLS through the origin recovers an exact linear relation regardless
+    /// of the x grid.
+    #[test]
+    fn ols_recovers_exact_slope(slope in -10.0f64..10.0, xs in proptest::collection::vec(0.01f64..10.0, 2..12)) {
+        let pts: Vec<(f64, f64)> = xs.iter().map(|&x| (x, slope * x)).collect();
+        let fit = fit_through_origin(&pts, 50, 3);
+        prop_assert!((fit.slope - slope).abs() < 1e-9);
+    }
+
+    /// Networks are pure functions at eval time: same input, same output.
+    #[test]
+    fn eval_forward_is_pure(seed in 0u64..100) {
+        let mut net = models::mini_resnet("r", (1, 8, 8), 4, 2, 1, seed);
+        let mut rng = Rng::new(seed ^ 0xF00);
+        let x = Tensor::rand_uniform(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let a = net.forward(&x, Mode::Eval);
+        let b = net.forward(&x, Mode::Eval);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-crate pruning invariants: every method, on both MLP and
+//! convolutional networks.
+
+use pv_nn::{models, Mode, Network};
+use pv_prune::{all_methods, PruneContext, PruneMethod};
+use pv_tensor::{Rng, Tensor};
+
+fn ctx_for(method: &dyn PruneMethod, net: &Network, rng: &mut Rng) -> PruneContext {
+    if method.is_data_informed() {
+        let mut shape = vec![16];
+        shape.extend_from_slice(net.input_shape());
+        PruneContext::with_batch(Tensor::rand_uniform(&shape, 0.0, 1.0, rng))
+    } else {
+        PruneContext::data_free()
+    }
+}
+
+fn nets() -> Vec<Network> {
+    vec![
+        models::mlp("mlp", 64, &[32, 16], 4, false, 1),
+        models::mini_resnet("res", (1, 8, 8), 4, 4, 1, 2),
+        models::mini_vgg("vgg", (1, 8, 8), 4, 2, 3),
+        models::mini_densenet("dense", (1, 8, 8), 4, 4, 2, 4),
+    ]
+}
+
+#[test]
+fn every_method_prunes_every_architecture() {
+    let mut rng = Rng::new(5);
+    for method in all_methods() {
+        for mut net in nets() {
+            let name = net.name().to_string();
+            let ctx = ctx_for(method.as_ref(), &net, &mut rng);
+            method.prune(&mut net, 0.4, &ctx);
+            let pr = net.prune_ratio();
+            assert!(pr > 0.05, "{}/{name}: ratio {pr} too low", method.name());
+            assert!(pr < 0.95, "{}/{name}: ratio {pr} too high", method.name());
+            // the network still produces finite outputs
+            let mut shape = vec![4];
+            shape.extend_from_slice(net.input_shape());
+            let x = Tensor::rand_uniform(&shape, 0.0, 1.0, &mut rng);
+            assert!(net.forward(&x, Mode::Eval).all_finite(), "{}/{name}", method.name());
+        }
+    }
+}
+
+#[test]
+fn unstructured_methods_hit_exact_ratios() {
+    let mut rng = Rng::new(6);
+    for method in all_methods().iter().filter(|m| !m.is_structured()) {
+        for target in [0.25, 0.5, 0.9] {
+            let mut net = models::mlp("m", 64, &[64], 4, false, 7);
+            let ctx = ctx_for(method.as_ref(), &net, &mut rng);
+            method.prune(&mut net, target, &ctx);
+            assert!(
+                (net.prune_ratio() - target).abs() < 0.01,
+                "{} at {target}: got {}",
+                method.name(),
+                net.prune_ratio()
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_pruning_compounds_relatively() {
+    let mut rng = Rng::new(7);
+    for method in all_methods() {
+        let mut net = models::mlp("m", 64, &[64, 32], 4, true, 8);
+        let ctx = ctx_for(method.as_ref(), &net, &mut rng);
+        method.prune(&mut net, 0.3, &ctx);
+        let first = net.prune_ratio();
+        method.prune(&mut net, 0.3, &ctx);
+        let second = net.prune_ratio();
+        assert!(second > first, "{}: {first} -> {second}", method.name());
+        assert!(second < 1.0);
+    }
+}
+
+#[test]
+fn structured_methods_leave_no_half_pruned_rows() {
+    let mut rng = Rng::new(8);
+    for method in all_methods().iter().filter(|m| m.is_structured()) {
+        let mut net = models::mini_resnet("r", (1, 8, 8), 4, 4, 1, 9);
+        let ctx = ctx_for(method.as_ref(), &net, &mut rng);
+        method.prune(&mut net, 0.5, &ctx);
+        net.visit_prunable(&mut |l| {
+            if let Some(mask) = &l.weight().mask {
+                let cols = l.unit_len();
+                for r in 0..l.out_units() {
+                    let row = &mask.data()[r * cols..(r + 1) * cols];
+                    let nz = row.iter().filter(|&&v| v != 0.0).count();
+                    assert!(
+                        nz == 0 || nz == cols,
+                        "{}/{}: row {r} partially masked ({nz}/{cols})",
+                        method.name(),
+                        l.label()
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn pruning_zero_ratio_is_a_no_op() {
+    let mut rng = Rng::new(9);
+    for method in all_methods() {
+        let mut net = models::mlp("m", 32, &[16], 4, false, 10);
+        let before: Vec<f64> = net.layer_densities();
+        let ctx = ctx_for(method.as_ref(), &net, &mut rng);
+        method.prune(&mut net, 0.0, &ctx);
+        assert_eq!(net.layer_densities(), before, "{}", method.name());
+    }
+}
+
+#[test]
+fn masked_coordinates_never_revive_through_training() {
+    use pv_nn::{train, Schedule, TrainConfig};
+    let mut rng = Rng::new(11);
+    let x = Tensor::rand_uniform(&[64, 32], 0.0, 1.0, &mut rng);
+    let y: Vec<usize> = (0..64).map(|i| i % 4).collect();
+    for method in all_methods() {
+        let mut net = models::mlp("m", 32, &[32], 4, false, 12);
+        let ctx = ctx_for(method.as_ref(), &net, &mut rng);
+        method.prune(&mut net, 0.5, &ctx);
+        let masks_before: Vec<Option<Tensor>> = {
+            let mut v = Vec::new();
+            net.visit_prunable(&mut |l| v.push(l.weight().mask.clone()));
+            v
+        };
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            schedule: Schedule::constant(0.1),
+            momentum: 0.9,
+            nesterov: true,
+            weight_decay: 1e-4,
+            seed: 13,
+        };
+        train(&mut net, &x, &y, &cfg, None);
+        let mut i = 0;
+        net.visit_prunable(&mut |l| {
+            if let Some(mask) = &masks_before[i] {
+                for (j, &m) in mask.data().iter().enumerate() {
+                    if m == 0.0 {
+                        assert_eq!(
+                            l.weight().value.data()[j],
+                            0.0,
+                            "{}: weight {j} revived",
+                            method.name()
+                        );
+                    }
+                }
+            }
+            i += 1;
+        });
+    }
+}
