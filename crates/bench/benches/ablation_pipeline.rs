@@ -13,8 +13,8 @@ use pv_bench::{banner, scale, Stopwatch};
 use pv_data::generate_split;
 use pv_nn::train;
 use pv_prune::{
-    PruneContext, PruneMethod, PruneRetrain, RandomFilterPruning, RandomWeightPruning,
-    WeightThresholding, FilterThresholding,
+    FilterThresholding, PruneContext, PruneMethod, PruneRetrain, RandomFilterPruning,
+    RandomWeightPruning, WeightThresholding,
 };
 
 fn main() {
@@ -24,7 +24,9 @@ fn main() {
     );
     let cfg = preset("resnet20", scale()).expect("known preset");
     let (train_set, test_set) = generate_split(&cfg.task, cfg.n_train, cfg.n_test, cfg.rep_seed(0));
-    let mut parent = cfg.arch.build(&cfg.name, &cfg.task, cfg.rep_seed(0).wrapping_add(11));
+    let mut parent = cfg
+        .arch
+        .build(&cfg.name, &cfg.task, cfg.rep_seed(0).wrapping_add(11));
     let x = inputs_for(&parent, &train_set);
     let y = train_set.labels().to_vec();
     let mut tc = cfg.train.clone();
@@ -39,7 +41,10 @@ fn main() {
     let ctx = PruneContext::data_free();
 
     // 1) no retraining: one-shot prune, evaluate directly
-    println!("[1] retraining ablation at target PR {:.0}%:", 100.0 * target);
+    println!(
+        "[1] retraining ablation at target PR {:.0}%:",
+        100.0 * target
+    );
     for (label, method) in [
         ("WT", &WeightThresholding as &dyn PruneMethod),
         ("FT", &FilterThresholding as &dyn PruneMethod),
@@ -61,7 +66,10 @@ fn main() {
     sw.lap("retraining ablation");
 
     // 2) one-shot vs iterative at the same target
-    println!("\n[2] iterative-schedule ablation (WT, target PR {:.0}%):", 100.0 * target);
+    println!(
+        "\n[2] iterative-schedule ablation (WT, target PR {:.0}%):",
+        100.0 * target
+    );
     for cycles in [1usize, 2, cfg.cycles] {
         let pipeline = PruneRetrain::new(cycles, tc.clone());
         let outcome = pipeline.run(&parent, &WeightThresholding, target, &x, &y, &ctx);
@@ -75,7 +83,10 @@ fn main() {
     sw.lap("iterative ablation");
 
     // 3) informed criteria vs random baselines (with retraining)
-    println!("\n[3] criterion ablation at target PR {:.0}% (with retraining):", 100.0 * target);
+    println!(
+        "\n[3] criterion ablation at target PR {:.0}% (with retraining):",
+        100.0 * target
+    );
     let rand_wt = RandomWeightPruning::new(7);
     let rand_ft = RandomFilterPruning::new(7);
     let pairs: [(&str, &dyn PruneMethod, &dyn PruneMethod); 2] = [
@@ -84,7 +95,9 @@ fn main() {
     ];
     for (what, informed, random) in pairs {
         let pipeline = PruneRetrain::new(cfg.cycles, tc.clone());
-        let mut informed_net = pipeline.run(&parent, informed, target, &x, &y, &ctx).network;
+        let mut informed_net = pipeline
+            .run(&parent, informed, target, &x, &y, &ctx)
+            .network;
         let mut random_net = pipeline.run(&parent, random, target, &x, &y, &ctx).network;
         let err_informed = eval_error_pct(&mut informed_net, &test_set);
         let err_random = eval_error_pct(&mut random_net, &test_set);

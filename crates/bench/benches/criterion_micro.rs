@@ -50,12 +50,15 @@ fn bench_prune_methods(c: &mut Criterion) {
         } else {
             PruneContext::data_free()
         };
-        c.bench_function(&format!("prune {} mlp 42k params", method.name()), |bencher| {
-            bencher.iter_with_setup(make_net, |mut net| {
-                method.prune(&mut net, 0.5, &ctx);
-                std::hint::black_box(net.prune_ratio());
-            })
-        });
+        c.bench_function(
+            &format!("prune {} mlp 42k params", method.name()),
+            |bencher| {
+                bencher.iter_with_setup(make_net, |mut net| {
+                    method.prune(&mut net, 0.5, &ctx);
+                    std::hint::black_box(net.prune_ratio());
+                })
+            },
+        );
     }
 }
 
@@ -73,13 +76,21 @@ fn bench_backselect(c: &mut Criterion) {
 fn bench_corruptions(c: &mut Criterion) {
     let ds = generate(&TaskSpec::cifar_like(), 64, 1);
     let images = ds.images().clone();
-    for corr in [Corruption::Gauss, Corruption::Defocus, Corruption::Elastic, Corruption::Jpeg] {
-        c.bench_function(&format!("corrupt {} batch64 16x16", corr.name()), |bencher| {
-            bencher.iter(|| {
-                let mut rng = Rng::new(2);
-                std::hint::black_box(corr.apply_batch(&images, 3, &mut rng))
-            })
-        });
+    for corr in [
+        Corruption::Gauss,
+        Corruption::Defocus,
+        Corruption::Elastic,
+        Corruption::Jpeg,
+    ] {
+        c.bench_function(
+            &format!("corrupt {} batch64 16x16", corr.name()),
+            |bencher| {
+                bencher.iter(|| {
+                    let mut rng = Rng::new(2);
+                    std::hint::black_box(corr.apply_batch(&images, 3, &mut rng))
+                })
+            },
+        );
     }
 }
 

@@ -33,7 +33,10 @@ fn main() {
             .pruned
             .iter_mut()
             .map(|pm| {
-                (pm.achieved_ratio, fgsm_error_pct(&mut pm.network, &images, &labels, eps))
+                (
+                    pm.achieved_ratio,
+                    fgsm_error_pct(&mut pm.network, &images, &labels, eps),
+                )
             })
             .collect();
         let curve = PruneAccuracyCurve::new(unpruned, points);
@@ -47,5 +50,8 @@ fn main() {
     sw.lap("attacks");
 
     let p_nominal = family.potential_on(&Distribution::Nominal, cfg.delta_pct, 1);
-    println!("\n  nominal prune potential for comparison: {}", pct(p_nominal));
+    println!(
+        "\n  nominal prune potential for comparison: {}",
+        pct(p_nominal)
+    );
 }

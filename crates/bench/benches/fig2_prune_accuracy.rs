@@ -22,7 +22,11 @@ fn main() {
         let curve = family.curve_on(&Distribution::Nominal, 1);
         print_curve(method.name(), &curve);
         let p = curve.prune_potential(cfg.delta_pct);
-        println!("  [{}] commensurate up to PR {:.1}%\n", method.name(), 100.0 * p);
+        println!(
+            "  [{}] commensurate up to PR {:.1}%\n",
+            method.name(),
+            100.0 * p
+        );
         if method.is_structured() {
             filter_best = filter_best.max(p);
         } else {

@@ -27,7 +27,10 @@ fn main() {
     for method in methods {
         let mut family = build_family(&cfg, method, 0, None);
         sw.lap(&format!("{} family", method.name()));
-        println!("\n  method {} — rows: distribution, columns: delta {deltas:?}", method.name());
+        println!(
+            "\n  method {} — rows: distribution, columns: delta {deltas:?}",
+            method.name()
+        );
         for d in &dists {
             print!("  {:<14}", d.label());
             let mut prev = -1.0;

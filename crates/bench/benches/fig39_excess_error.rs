@@ -18,11 +18,18 @@ fn main() {
     // (model, method) pairs; Full scale covers the paper's full grid
     let full = matches!(scale(), pruneval::Scale::Full);
     let pairs: Vec<(&str, &dyn PruneMethod)> = if full {
-        vec![("resnet20", &WeightThresholding), ("resnet20", &FilterThresholding),
-             ("wrn16-8", &WeightThresholding), ("wrn16-8", &FilterThresholding)]
+        vec![
+            ("resnet20", &WeightThresholding),
+            ("resnet20", &FilterThresholding),
+            ("wrn16-8", &WeightThresholding),
+            ("wrn16-8", &FilterThresholding),
+        ]
     } else {
-        vec![("resnet20", &WeightThresholding), ("resnet20", &FilterThresholding),
-             ("wrn16-8", &WeightThresholding)]
+        vec![
+            ("resnet20", &WeightThresholding),
+            ("resnet20", &FilterThresholding),
+            ("wrn16-8", &WeightThresholding),
+        ]
     };
     let mut sw = Stopwatch::new();
     let mut slopes: Vec<(String, f64)> = Vec::new();

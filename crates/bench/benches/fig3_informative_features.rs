@@ -49,7 +49,10 @@ fn main() {
         models.push(("separate".to_string(), family.separate.clone()));
 
         let hm = confidence_heatmap(&mut models, &images, &labels, 0.10, mode);
-        println!("\n  method {} ({mode:?}, {n_images} images):", method.name());
+        println!(
+            "\n  method {} ({mode:?}, {n_images} images):",
+            method.name()
+        );
         for line in hm.to_table().lines() {
             println!("  {line}");
         }
@@ -65,7 +68,11 @@ fn main() {
             "  check: parent features -> first pruned child {:.3} vs separate {:.3} ({})",
             to_first_pruned,
             to_separate,
-            if to_first_pruned >= to_separate { "as in paper" } else { "MISMATCH" }
+            if to_first_pruned >= to_separate {
+                "as in paper"
+            } else {
+                "MISMATCH"
+            }
         );
     }
 }

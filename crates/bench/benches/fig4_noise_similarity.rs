@@ -36,9 +36,18 @@ fn main() {
             .collect();
         others.push(("separate".to_string(), family.separate.clone()));
 
-        let sweeps =
-            similarity_sweep(&mut family.parent, &mut others, &images, &noise_levels(), repeats, 31);
-        println!("\n  method {} — fraction of matching predictions:", method.name());
+        let sweeps = similarity_sweep(
+            &mut family.parent,
+            &mut others,
+            &images,
+            &noise_levels(),
+            repeats,
+            31,
+        );
+        println!(
+            "\n  method {} — fraction of matching predictions:",
+            method.name()
+        );
         print!("  {:>10}", "noise");
         for s in &sweeps {
             print!(" {:>9}", s.label);

@@ -16,7 +16,10 @@ fn main() {
          prune ratio shrinks toward zero (compare fig39_excess_error)",
     );
     let split = CorruptionSplit::paper_default();
-    let robust = RobustTraining { split: &split, severity: PAPER_SEVERITY };
+    let robust = RobustTraining {
+        split: &split,
+        severity: PAPER_SEVERITY,
+    };
     let (_, test_dists) = split_distributions(&split);
     // excess error against the held-out corruptions only (the paper's
     // test distribution)

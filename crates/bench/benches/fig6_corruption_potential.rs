@@ -35,8 +35,15 @@ fn main() {
         }
 
         // (b)/(e): prune potential per corruption
-        println!("\n  prune potential per corruption (delta {}%):", cfg.delta_pct);
-        println!("    {:<12} {}", "Nominal", pct(nominal.prune_potential(cfg.delta_pct)));
+        println!(
+            "\n  prune potential per corruption (delta {}%):",
+            cfg.delta_pct
+        );
+        println!(
+            "    {:<12} {}",
+            "Nominal",
+            pct(nominal.prune_potential(cfg.delta_pct))
+        );
         let mut zeroed = 0;
         for c in Corruption::ALL {
             let p = family.potential_on(&Distribution::Corruption(c, 3), cfg.delta_pct, 1);

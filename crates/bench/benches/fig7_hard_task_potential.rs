@@ -24,14 +24,22 @@ fn main() {
     let full = matches!(scale(), pruneval::Scale::Full);
     for method in methods {
         // at reduced scale the easy-task baseline is only run for WT
-        let cfgs: Vec<&pruneval::ExperimentConfig> =
-            if full || method.name() == "WT" { vec![&easy, &hard] } else { vec![&hard] };
+        let cfgs: Vec<&pruneval::ExperimentConfig> = if full || method.name() == "WT" {
+            vec![&easy, &hard]
+        } else {
+            vec![&hard]
+        };
         let mut summary: Vec<(String, f64, f64)> = Vec::new(); // (task, nominal, mean corr)
         for cfg in cfgs {
             let mut family = build_family(cfg, method, 0, None);
             sw.lap(&format!("{} {} family", cfg.name, method.name()));
             let nominal = family.potential_on(&Distribution::Nominal, cfg.delta_pct, 1);
-            println!("\n  {} / {}: nominal potential {}", cfg.name, method.name(), pct(nominal));
+            println!(
+                "\n  {} / {}: nominal potential {}",
+                cfg.name,
+                method.name(),
+                pct(nominal)
+            );
             let mut per_corr = Vec::new();
             for c in Corruption::ALL {
                 let p = family.potential_on(&Distribution::Corruption(c, 3), cfg.delta_pct, 1);

@@ -18,11 +18,20 @@ fn main() {
     );
     let split = CorruptionSplit::paper_default();
     println!("Table 11 split:");
-    println!("  train distribution: {:?}", split.train.iter().map(|c| c.name()).collect::<Vec<_>>());
-    println!("  test  distribution: {:?}", split.test.iter().map(|c| c.name()).collect::<Vec<_>>());
+    println!(
+        "  train distribution: {:?}",
+        split.train.iter().map(|c| c.name()).collect::<Vec<_>>()
+    );
+    println!(
+        "  test  distribution: {:?}",
+        split.test.iter().map(|c| c.name()).collect::<Vec<_>>()
+    );
 
     let cfg = preset("resnet20", scale()).expect("known preset");
-    let robust = RobustTraining { split: &split, severity: PAPER_SEVERITY };
+    let robust = RobustTraining {
+        split: &split,
+        severity: PAPER_SEVERITY,
+    };
     let (train_dists, test_dists) = split_distributions(&split);
     let methods: [&dyn PruneMethod; 2] = [&WeightThresholding, &FilterThresholding];
     let mut sw = Stopwatch::new();

@@ -1,0 +1,197 @@
+//! Kernel micro-benchmarks: matmul GFLOP/s and conv forward/backward
+//! throughput at representative layer shapes, measured serial
+//! (`PV_NUM_THREADS=1` equivalent) vs parallel, plus an end-to-end
+//! forward+backward pass on the synthetic CIFAR stand-in.
+//!
+//! Emits `BENCH_kernels.json` in the working directory so future PRs can
+//! track the perf trajectory. Results are asserted bitwise identical
+//! between the serial and parallel runs before timings are reported.
+
+use pv_nn::{cross_entropy, models, Mode};
+use pv_tensor::par::{num_threads, set_thread_override};
+use pv_tensor::{conv2d_backward, conv2d_forward, matmul, matmul_a_bt, matmul_at_b};
+use pv_tensor::{ConvGeometry, Rng, Tensor};
+use std::time::Instant;
+
+/// One serial-vs-parallel measurement.
+struct BenchRow {
+    name: String,
+    /// Work per run in multiply-accumulate operations (0 = unknown).
+    flops: u64,
+    serial_secs: f64,
+    parallel_secs: f64,
+    parallel_threads: usize,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs
+    }
+
+    fn gflops(&self, secs: f64) -> f64 {
+        2.0 * self.flops as f64 / secs / 1e9
+    }
+}
+
+/// Median-of-runs wall time for one invocation of `f`.
+fn time_secs<O>(f: &mut dyn FnMut() -> O, runs: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    samples[samples.len() / 2]
+}
+
+/// Measures `f` at 1 thread and at the ambient thread count.
+fn bench<O>(name: &str, flops: u64, runs: usize, mut f: impl FnMut() -> O) -> BenchRow {
+    set_thread_override(Some(1));
+    let serial_secs = time_secs(&mut || f(), runs);
+    set_thread_override(None);
+    let parallel_threads = num_threads();
+    let parallel_secs = time_secs(&mut || f(), runs);
+    set_thread_override(None);
+    BenchRow {
+        name: name.to_string(),
+        flops,
+        serial_secs,
+        parallel_secs,
+        parallel_threads,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(rows: &[BenchRow]) {
+    let mut out = String::from("{\n  \"benchmark\": \"kernels\",\n  \"unit\": \"seconds\",\n");
+    out.push_str(&format!(
+        "  \"parallel_threads\": {},\n  \"rows\": [\n",
+        num_threads()
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"flops\": {}, \"serial_secs\": {:.6e}, \
+             \"parallel_secs\": {:.6e}, \"parallel_threads\": {}, \"speedup\": {:.3}}}{}\n",
+            json_escape(&r.name),
+            r.flops,
+            r.serial_secs,
+            r.parallel_secs,
+            r.parallel_threads,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_kernels.json", &out).expect("write BENCH_kernels.json");
+}
+
+fn main() {
+    pv_bench::banner(
+        "kernels: matmul GFLOP/s + conv throughput, serial vs parallel",
+        "the pv-par runtime keeps kernels bitwise deterministic while scaling with cores",
+    );
+    let mut rng = Rng::new(42);
+    let mut rows: Vec<BenchRow> = Vec::new();
+
+    // -- matmul flavours at representative shapes ------------------------
+    for &(m, k, n) in &[
+        (256usize, 256usize, 256usize),
+        (1024, 144, 32),
+        (512, 512, 64),
+    ] {
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let flops = (m * k * n) as u64;
+        rows.push(bench(&format!("matmul {m}x{k}x{n}"), flops, 5, || {
+            matmul(&a, &b)
+        }));
+
+        let at = Tensor::rand_uniform(&[k, m], -1.0, 1.0, &mut rng);
+        rows.push(bench(&format!("matmul_at_b {k}x{m}x{n}"), flops, 5, || {
+            matmul_at_b(&at, &b)
+        }));
+
+        let bt = Tensor::rand_uniform(&[n, k], -1.0, 1.0, &mut rng);
+        rows.push(bench(&format!("matmul_a_bt {m}x{k}x{n}"), flops, 5, || {
+            matmul_a_bt(&a, &bt)
+        }));
+    }
+
+    // -- conv layer shapes from the CIFAR stand-in CNN -------------------
+    let g = ConvGeometry::new(3, 1, 1);
+    for &(nb, c, hw, f) in &[(32usize, 3usize, 16usize, 16usize), (32, 16, 16, 32)] {
+        let x = Tensor::rand_uniform(&[nb, c, hw, hw], -1.0, 1.0, &mut rng);
+        let wt = Tensor::rand_uniform(&[f, c * 9], -0.5, 0.5, &mut rng);
+        let bias = Tensor::zeros(&[f]);
+        let (oh, ow) = g.output_size(hw, hw);
+        let flops = (nb * oh * ow * f * c * 9) as u64;
+        rows.push(bench(
+            &format!("conv2d_fwd {nb}x{c}x{hw}x{hw}->{f}"),
+            flops,
+            5,
+            || conv2d_forward(&x, &wt, &bias, g),
+        ));
+
+        let fwd = conv2d_forward(&x, &wt, &bias, g);
+        let grad_out = Tensor::rand_uniform(fwd.output.shape(), -1.0, 1.0, &mut rng);
+        rows.push(bench(
+            &format!("conv2d_bwd {nb}x{c}x{hw}x{hw}->{f}"),
+            3 * flops,
+            5,
+            || conv2d_backward(&grad_out, &fwd.cols, &wt, c, hw, hw, g),
+        ));
+    }
+
+    // -- end-to-end forward+backward on the CIFAR stand-in CNN -----------
+    let net = models::mini_resnet("bench", (3, 16, 16), 10, 8, 2, 2);
+    let x = Tensor::rand_uniform(&[32, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let y: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    rows.push(bench("mini_resnet fwd+bwd batch32", 0, 3, || {
+        let mut n = net.clone();
+        n.zero_grads();
+        let logits = n.forward(&x, Mode::Train);
+        let out = cross_entropy(&logits, &y);
+        n.backward(&out.grad_logits)
+    }));
+
+    // -- sanity: serial and parallel kernels agree bitwise ---------------
+    {
+        let a = Tensor::rand_uniform(&[128, 96], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[96, 64], -1.0, 1.0, &mut rng);
+        set_thread_override(Some(1));
+        let serial = matmul(&a, &b);
+        set_thread_override(None);
+        let parallel = matmul(&a, &b);
+        assert_eq!(serial, parallel, "serial/parallel outputs diverged");
+    }
+
+    println!(
+        "\n{:<34} {:>12} {:>12} {:>9} {:>10}",
+        "kernel", "serial", "parallel", "speedup", "GFLOP/s"
+    );
+    for r in &rows {
+        let gf = if r.flops > 0 {
+            format!("{:.2}", r.gflops(r.parallel_secs))
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:<34} {:>10.3}ms {:>10.3}ms {:>8.2}x {:>10}",
+            r.name,
+            r.serial_secs * 1e3,
+            r.parallel_secs * 1e3,
+            r.speedup(),
+            gf
+        );
+    }
+    write_json(&rows);
+    println!(
+        "\nwrote BENCH_kernels.json ({} threads available)",
+        num_threads()
+    );
+}

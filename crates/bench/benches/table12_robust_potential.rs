@@ -17,12 +17,21 @@ fn main() {
          unaffected by the distribution change (the Table 2 gap closes)",
     );
     let split = CorruptionSplit::paper_default();
-    let robust = RobustTraining { split: &split, severity: PAPER_SEVERITY };
+    let robust = RobustTraining {
+        split: &split,
+        severity: PAPER_SEVERITY,
+    };
     let (train_dists, test_dists) = split_distributions(&split);
     let models = ["resnet20"];
     let methods: [&dyn PruneMethod; 2] = [&WeightThresholding, &FilterThresholding];
     let mut table = TextTable::new(&[
-        "Model", "Method", "Avg Train", "Avg Test", "Diff", "Min Train", "Min Test",
+        "Model",
+        "Method",
+        "Avg Train",
+        "Avg Test",
+        "Diff",
+        "Min Train",
+        "Min Test",
     ]);
     let mut sw = Stopwatch::new();
 
@@ -32,14 +41,13 @@ fn main() {
             cfg.repetitions = 1; // robust studies are expensive; Full restores 3
         }
         for method in methods {
-            let m = overparameterization_study(
-                &cfg,
-                method,
-                &train_dists,
-                &test_dists,
-                Some(&robust),
-            );
-            sw.lap(&format!("{name} {} robust study ({} reps)", method.name(), cfg.repetitions));
+            let m =
+                overparameterization_study(&cfg, method, &train_dists, &test_dists, Some(&robust));
+            sw.lap(&format!(
+                "{name} {} robust study ({} reps)",
+                method.name(),
+                cfg.repetitions
+            ));
             let avg_train: Vec<f64> = m.avg_train.iter().map(|p| 100.0 * p).collect();
             let avg_test: Vec<f64> = m.avg_test.iter().map(|p| 100.0 * p).collect();
             let min_train: Vec<f64> = m.min_train.iter().map(|p| 100.0 * p).collect();

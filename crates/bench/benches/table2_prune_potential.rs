@@ -25,7 +25,13 @@ fn main() {
         test_dists = test_dists.into_iter().step_by(2).collect();
     }
     let mut table = TextTable::new(&[
-        "Model", "Method", "Avg Train", "Avg Test", "Diff", "Min Train", "Min Test",
+        "Model",
+        "Method",
+        "Avg Train",
+        "Avg Test",
+        "Diff",
+        "Min Train",
+        "Min Test",
     ]);
     let mut sw = Stopwatch::new();
     let mut diffs: Vec<(String, f64)> = Vec::new();
@@ -37,7 +43,11 @@ fn main() {
         }
         for method in methods {
             let m = overparameterization_study(&cfg, method, &train_dists, &test_dists, None);
-            sw.lap(&format!("{name} {} study ({} reps)", method.name(), cfg.repetitions));
+            sw.lap(&format!(
+                "{name} {} study ({} reps)",
+                method.name(),
+                cfg.repetitions
+            ));
             let avg_train: Vec<f64> = m.avg_train.iter().map(|p| 100.0 * p).collect();
             let avg_test: Vec<f64> = m.avg_test.iter().map(|p| 100.0 * p).collect();
             let min_train: Vec<f64> = m.min_train.iter().map(|p| 100.0 * p).collect();
@@ -56,8 +66,14 @@ fn main() {
         }
     }
     println!("{}", table.render());
-    let wrn_wt = diffs.iter().find(|(l, _)| l == "wrn16-8/WT").map(|&(_, d)| d);
-    let r20_wt = diffs.iter().find(|(l, _)| l == "resnet20/WT").map(|&(_, d)| d);
+    let wrn_wt = diffs
+        .iter()
+        .find(|(l, _)| l == "wrn16-8/WT")
+        .map(|&(_, d)| d);
+    let r20_wt = diffs
+        .iter()
+        .find(|(l, _)| l == "resnet20/WT")
+        .map(|&(_, d)| d);
     if let (Some(w), Some(r)) = (wrn_wt, r20_wt) {
         println!(
             "check: WRN's potential drop ({w:+.1}) smaller in magnitude than ResNet20's ({r:+.1}): {}",

@@ -32,7 +32,10 @@ fn main() {
         let t = &cfg.train;
         table.add_row(vec![
             cfg.name.clone(),
-            format!("{}cls {}x{}", cfg.task.classes, cfg.task.height, cfg.task.width),
+            format!(
+                "{}cls {}x{}",
+                cfg.task.classes, cfg.task.height, cfg.task.width
+            ),
             t.epochs.to_string(),
             t.batch_size.to_string(),
             format!("{}", t.schedule.base_lr),

@@ -37,9 +37,10 @@ fn main() {
                 .rev()
                 .find(|&&(_, e)| e - curve.unpruned_error_pct <= cfg.delta_pct)
                 .or_else(|| {
-                    curve.points.iter().min_by(|a, b| {
-                        a.1.partial_cmp(&b.1).expect("finite errors")
-                    })
+                    curve
+                        .points
+                        .iter()
+                        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite errors"))
                 })
                 .copied()
                 .expect("curve has points");

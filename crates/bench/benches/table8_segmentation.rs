@@ -31,19 +31,38 @@ fn main() {
         let nominal = study.iou_curve(None, 1);
         print_curve("IoU nominal", &nominal);
         let p_nom = nominal.prune_potential(cfg.delta_pct);
-        println!("  commensurate PR (delta {}% IoU): {}", cfg.delta_pct, pct(p_nom));
+        println!(
+            "  commensurate PR (delta {}% IoU): {}",
+            cfg.delta_pct,
+            pct(p_nom)
+        );
         potentials.push((method.name().to_string(), p_nom));
 
         // Fig. 37: potential under a few VOC-C-style corruptions
         println!("  prune potential under corruption (severity 3):");
-        for c in [Corruption::Gauss, Corruption::Defocus, Corruption::Fog, Corruption::Jpeg] {
-            let p = study.iou_curve(Some((c, 3)), 1).prune_potential(cfg.delta_pct);
+        for c in [
+            Corruption::Gauss,
+            Corruption::Defocus,
+            Corruption::Fog,
+            Corruption::Jpeg,
+        ] {
+            let p = study
+                .iou_curve(Some((c, 3)), 1)
+                .prune_potential(cfg.delta_pct);
             println!("    {:<10} {}", c.name(), pct(p));
         }
         sw.lap("evaluation");
     }
-    let wt = potentials.iter().find(|(n, _)| n == "WT").map(|&(_, p)| p).unwrap_or(0.0);
-    let ft = potentials.iter().find(|(n, _)| n == "FT").map(|&(_, p)| p).unwrap_or(0.0);
+    let wt = potentials
+        .iter()
+        .find(|(n, _)| n == "WT")
+        .map(|&(_, p)| p)
+        .unwrap_or(0.0);
+    let ft = potentials
+        .iter()
+        .find(|(n, _)| n == "FT")
+        .map(|&(_, p)| p)
+        .unwrap_or(0.0);
     println!(
         "\n  check: WT potential ({}) >= FT potential ({}): {}",
         pct(wt),

@@ -34,7 +34,10 @@ pub fn banner(artifact: &str, claim: &str) {
 
 /// Prints a prune-accuracy curve as `PR -> error` lines.
 pub fn print_curve(label: &str, curve: &PruneAccuracyCurve) {
-    println!("  [{label}] unpruned error: {:.2}%", curve.unpruned_error_pct);
+    println!(
+        "  [{label}] unpruned error: {:.2}%",
+        curve.unpruned_error_pct
+    );
     for (r, e) in &curve.points {
         println!("  [{label}]   PR {:5.1}% -> error {e:6.2}%", 100.0 * r);
     }
@@ -54,7 +57,9 @@ impl Default for Stopwatch {
 impl Stopwatch {
     /// Starts timing.
     pub fn new() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 
     /// Prints and restarts.

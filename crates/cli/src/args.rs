@@ -55,7 +55,9 @@ impl ParsedArgs {
     pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
         }
     }
 

@@ -9,8 +9,15 @@ use pv_tensor::Rng;
 use std::path::Path;
 
 const PRESETS: [&str; 9] = [
-    "resnet20", "resnet56", "resnet110", "vgg16", "densenet22", "wrn16-8", "resnet18",
-    "resnet101", "mlp",
+    "resnet20",
+    "resnet56",
+    "resnet110",
+    "vgg16",
+    "densenet22",
+    "wrn16-8",
+    "resnet18",
+    "resnet101",
+    "mlp",
 ];
 
 fn scale_of(args: &ParsedArgs) -> Result<Scale, String> {
@@ -37,12 +44,14 @@ fn dist_of(spec: &str) -> Result<Distribution, String> {
         _ => {}
     }
     if let Some(eps) = spec.to_lowercase().strip_prefix("noise:") {
-        let eps: f32 = eps.parse().map_err(|_| format!("bad noise level '{eps}'"))?;
+        let eps: f32 = eps
+            .parse()
+            .map_err(|_| format!("bad noise level '{eps}'"))?;
         return Ok(Distribution::Noise(eps));
     }
     if let Some((name, sev)) = spec.split_once(':') {
-        let c = Corruption::from_name(name)
-            .ok_or_else(|| format!("unknown corruption '{name}'"))?;
+        let c =
+            Corruption::from_name(name).ok_or_else(|| format!("unknown corruption '{name}'"))?;
         let s: u8 = sev.parse().map_err(|_| format!("bad severity '{sev}'"))?;
         if !(1..=5).contains(&s) {
             return Err(format!("severity {s} out of range 1..=5"));
@@ -65,8 +74,16 @@ pub fn list() -> Result<(), String> {
         println!(
             "  {:<5} {} {}",
             m.name(),
-            if m.is_structured() { "structured  " } else { "unstructured" },
-            if m.is_data_informed() { "data-informed" } else { "data-free" },
+            if m.is_structured() {
+                "structured  "
+            } else {
+                "unstructured"
+            },
+            if m.is_data_informed() {
+                "data-informed"
+            } else {
+                "data-free"
+            },
         );
     }
     println!("\ncorruptions (severity 1..=5):");
@@ -95,7 +112,11 @@ pub fn study(args: &ParsedArgs) -> Result<(), String> {
 
     let nominal = family.curve_on(&Distribution::Nominal, 1);
     let mut table = TextTable::new(&["PR %", "FR %", "test error %"]);
-    table.add_row(vec!["0.0".into(), "0.0".into(), format!("{:.2}", nominal.unpruned_error_pct)]);
+    table.add_row(vec![
+        "0.0".into(),
+        "0.0".into(),
+        format!("{:.2}", nominal.unpruned_error_pct),
+    ]);
     for (pm, (r, e)) in family.pruned.iter().zip(&nominal.points) {
         table.add_row(vec![
             format!("{:.1}", 100.0 * r),
@@ -107,7 +128,11 @@ pub fn study(args: &ParsedArgs) -> Result<(), String> {
 
     let delta = args.get_num("delta", cfg.delta_pct)?;
     println!("prune potential (delta {delta}%):");
-    let mut dists = vec![Distribution::Nominal, Distribution::AltTestSet, Distribution::Noise(0.2)];
+    let mut dists = vec![
+        Distribution::Nominal,
+        Distribution::AltTestSet,
+        Distribution::Noise(0.2),
+    ];
     dists.extend([
         Distribution::Corruption(Corruption::Gauss, 3),
         Distribution::Corruption(Corruption::Fog, 3),
@@ -133,12 +158,8 @@ pub fn study(args: &ParsedArgs) -> Result<(), String> {
         let images = pruneval::inputs_for(&family.parent, &test);
         let ratio = family.pruned[idx].achieved_ratio;
         let mut pruned_net = family.pruned[idx].network.clone();
-        let impact = pv_metrics::class_impact(
-            &mut family.parent,
-            &mut pruned_net,
-            &images,
-            test.labels(),
-        );
+        let impact =
+            pv_metrics::class_impact(&mut family.parent, &mut pruned_net, &images, test.labels());
         println!(
             "\nper-class error delta at PR {:.1}% (aggregate {:+.2} pts):",
             100.0 * ratio,
@@ -164,9 +185,17 @@ fn write_csv(
 ) -> Result<(), String> {
     if let Some(path) = args.options.get("csv") {
         let mut csv = TextTable::new(&["prune_ratio", "flop_reduction", "test_error_pct"]);
-        csv.add_row(vec!["0".into(), "0".into(), format!("{}", nominal.unpruned_error_pct)]);
+        csv.add_row(vec![
+            "0".into(),
+            "0".into(),
+            format!("{}", nominal.unpruned_error_pct),
+        ]);
         for (pm, (r, e)) in family.pruned.iter().zip(&nominal.points) {
-            csv.add_row(vec![r.to_string(), pm.flop_reduction.to_string(), e.to_string()]);
+            csv.add_row(vec![
+                r.to_string(),
+                pm.flop_reduction.to_string(),
+                e.to_string(),
+            ]);
         }
         std::fs::write(path, csv.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("\ncurve written to {path}");
@@ -259,7 +288,10 @@ mod tests {
     fn dist_specs_parse() {
         assert_eq!(dist_of("nominal").expect("parses"), Distribution::Nominal);
         assert_eq!(dist_of("alt").expect("parses"), Distribution::AltTestSet);
-        assert_eq!(dist_of("noise:0.25").expect("parses"), Distribution::Noise(0.25));
+        assert_eq!(
+            dist_of("noise:0.25").expect("parses"),
+            Distribution::Noise(0.25)
+        );
         assert_eq!(
             dist_of("gauss:3").expect("parses"),
             Distribution::Corruption(Corruption::Gauss, 3)

@@ -49,13 +49,20 @@ impl ArchSpec {
     pub fn build(&self, name: &str, task: &TaskSpec, seed: u64) -> Network {
         let input = (task.channels, task.height, task.width);
         match self {
-            ArchSpec::Mlp { hidden, batch_norm } => {
-                models::mlp(name, task.input_dim(), hidden, task.classes, *batch_norm, seed)
-            }
+            ArchSpec::Mlp { hidden, batch_norm } => models::mlp(
+                name,
+                task.input_dim(),
+                hidden,
+                task.classes,
+                *batch_norm,
+                seed,
+            ),
             ArchSpec::MiniResNet { width, blocks } => {
                 models::mini_resnet(name, input, task.classes, *width, *blocks, seed)
             }
-            ArchSpec::MiniVgg { width } => models::mini_vgg(name, input, task.classes, *width, seed),
+            ArchSpec::MiniVgg { width } => {
+                models::mini_vgg(name, input, task.classes, *width, seed)
+            }
             ArchSpec::MiniWideResNet { width, widen } => {
                 models::mini_wide_resnet(name, input, task.classes, *width, *widen, seed)
             }
@@ -132,17 +139,17 @@ impl ExperimentConfig {
         use pv_nn::LrDecay;
         let old = self.train.epochs.max(1);
         let rescale = |e: usize| -> usize { (e * epochs + old / 2) / old };
-        self.train.schedule.warmup_epochs = rescale(self.train.schedule.warmup_epochs).max(
-            usize::from(self.train.schedule.warmup_epochs > 0),
-        );
+        self.train.schedule.warmup_epochs = rescale(self.train.schedule.warmup_epochs)
+            .max(usize::from(self.train.schedule.warmup_epochs > 0));
         self.train.schedule.decay = match self.train.schedule.decay.clone() {
             LrDecay::MultiStep { milestones, gamma } => LrDecay::MultiStep {
                 milestones: milestones.into_iter().map(rescale).collect(),
                 gamma,
             },
-            LrDecay::Every { every, gamma } => {
-                LrDecay::Every { every: rescale(every).max(1), gamma }
-            }
+            LrDecay::Every { every, gamma } => LrDecay::Every {
+                every: rescale(every).max(1),
+                gamma,
+            },
             other => other,
         };
         self.train.epochs = epochs;
@@ -184,11 +191,20 @@ mod tests {
     fn all_arch_specs_build_and_run() {
         let task = TaskSpec::tiny();
         for arch in [
-            ArchSpec::Mlp { hidden: vec![16], batch_norm: false },
-            ArchSpec::MiniResNet { width: 2, blocks: 1 },
+            ArchSpec::Mlp {
+                hidden: vec![16],
+                batch_norm: false,
+            },
+            ArchSpec::MiniResNet {
+                width: 2,
+                blocks: 1,
+            },
             ArchSpec::MiniVgg { width: 2 },
             ArchSpec::MiniWideResNet { width: 2, widen: 2 },
-            ArchSpec::MiniDenseNet { growth: 2, layers: 2 },
+            ArchSpec::MiniDenseNet {
+                growth: 2,
+                layers: 2,
+            },
         ] {
             let mut net = arch.build("t", &task, 1);
             assert_eq!(net.num_classes(), task.classes);
@@ -198,7 +214,10 @@ mod tests {
 
     #[test]
     fn target_ratios_compound() {
-        let c = cfg(ArchSpec::Mlp { hidden: vec![8], batch_norm: false });
+        let c = cfg(ArchSpec::Mlp {
+            hidden: vec![8],
+            batch_norm: false,
+        });
         let t = c.target_ratios();
         assert_eq!(t.len(), 3);
         assert!((t[0] - 0.5).abs() < 1e-12);
@@ -209,12 +228,18 @@ mod tests {
     #[test]
     fn with_epochs_rescales_schedule() {
         use pv_nn::{LrDecay, Schedule};
-        let mut c = cfg(ArchSpec::Mlp { hidden: vec![8], batch_norm: false });
+        let mut c = cfg(ArchSpec::Mlp {
+            hidden: vec![8],
+            batch_norm: false,
+        });
         c.train.epochs = 10;
         c.train.schedule = Schedule {
             base_lr: 0.1,
             warmup_epochs: 1,
-            decay: LrDecay::MultiStep { milestones: vec![5, 8], gamma: 0.1 },
+            decay: LrDecay::MultiStep {
+                milestones: vec![5, 8],
+                gamma: 0.1,
+            },
         };
         let c = c.with_epochs(20);
         assert_eq!(c.train.epochs, 20);
@@ -227,7 +252,10 @@ mod tests {
 
     #[test]
     fn rep_seeds_differ() {
-        let c = cfg(ArchSpec::Mlp { hidden: vec![8], batch_norm: false });
+        let c = cfg(ArchSpec::Mlp {
+            hidden: vec![8],
+            batch_norm: false,
+        });
         assert_ne!(c.rep_seed(0), c.rep_seed(1));
         assert_ne!(c.rep_seed(1), c.rep_seed(2));
     }

@@ -56,7 +56,10 @@ impl Distribution {
     /// The paper's standard corruption evaluation grid: every corruption at
     /// severity 3.
     pub fn all_corruptions_sev3() -> Vec<Distribution> {
-        Corruption::ALL.iter().map(|&c| Distribution::Corruption(c, 3)).collect()
+        Corruption::ALL
+            .iter()
+            .map(|&c| Distribution::Corruption(c, 3))
+            .collect()
     }
 }
 
@@ -108,13 +111,17 @@ mod tests {
     fn corruption_grid_covers_suite() {
         let grid = Distribution::all_corruptions_sev3();
         assert_eq!(grid.len(), 16);
-        assert!(grid.iter().all(|d| matches!(d, Distribution::Corruption(_, 3))));
+        assert!(grid
+            .iter()
+            .all(|d| matches!(d, Distribution::Corruption(_, 3))));
     }
 
     #[test]
     fn labels_are_distinct() {
-        let mut labels: Vec<String> =
-            Distribution::all_corruptions_sev3().iter().map(|d| d.label()).collect();
+        let mut labels: Vec<String> = Distribution::all_corruptions_sev3()
+            .iter()
+            .map(|d| d.label())
+            .collect();
         labels.push(Distribution::Nominal.label());
         labels.push(Distribution::Noise(0.1).label());
         let mut dedup = labels.clone();

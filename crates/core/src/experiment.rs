@@ -8,6 +8,7 @@ use pv_data::{corruption_augment, generate_split, CorruptionSplit, Dataset};
 use pv_metrics::{excess_error_difference, PruneAccuracyCurve};
 use pv_nn::{train, Network, TrainConfig};
 use pv_prune::{PruneContext, PruneMethod};
+use pv_tensor::par;
 use pv_tensor::{Rng, Tensor};
 
 /// Evaluation batch size used everywhere (memory bound, not a result knob).
@@ -135,15 +136,35 @@ pub fn build_family(
     let is_flat = matches!(cfg.arch, crate::config::ArchSpec::Mlp { .. });
 
     let mut parent = cfg.arch.build(&cfg.name, &cfg.task, seed.wrapping_add(11));
-    let mut separate = cfg.arch.build(&format!("{}-sep", cfg.name), &cfg.task, seed.wrapping_add(271));
+    let mut separate = cfg.arch.build(
+        &format!("{}-sep", cfg.name),
+        &cfg.task,
+        seed.wrapping_add(271),
+    );
 
     let x = inputs_for(&parent, &train_set);
     let y = train_set.labels();
     let mut tc = cfg.train.clone();
     tc.seed = seed;
-    train_with_optional_augment(&mut parent, &x, y, &tc, robust, is_flat, &cfg.task.image_shape());
+    train_with_optional_augment(
+        &mut parent,
+        &x,
+        y,
+        &tc,
+        robust,
+        is_flat,
+        &cfg.task.image_shape(),
+    );
     tc.seed = seed.wrapping_add(1);
-    train_with_optional_augment(&mut separate, &x, y, &tc, robust, is_flat, &cfg.task.image_shape());
+    train_with_optional_augment(
+        &mut separate,
+        &x,
+        y,
+        &tc,
+        robust,
+        is_flat,
+        &cfg.task.image_shape(),
+    );
 
     // sensitivity batch for data-informed methods: a training subsample
     // (the paper uses validation data; a train subsample avoids test leak)
@@ -162,7 +183,15 @@ pub fn build_family(
         method.prune(&mut net, cfg.per_cycle_ratio, &ctx);
         let mut rc = cfg.train.clone();
         rc.seed = seed.wrapping_add(100 + i as u64);
-        train_with_optional_augment(&mut net, &x, y, &rc, robust, is_flat, &cfg.task.image_shape());
+        train_with_optional_augment(
+            &mut net,
+            &x,
+            y,
+            &rc,
+            robust,
+            is_flat,
+            &cfg.task.image_shape(),
+        );
         pruned.push(PrunedModel {
             target_ratio: target,
             achieved_ratio: net.prune_ratio(),
@@ -188,14 +217,45 @@ impl StudyFamily {
     /// The x-coordinates are the achieved prune ratios; the reference error
     /// is the parent's error on the same realized dataset.
     pub fn curve_on(&mut self, dist: &Distribution, eval_seed: u64) -> PruneAccuracyCurve {
-        let ds = dist.realize(&self.task, &self.test_set, eval_seed);
-        let unpruned = eval_error_pct(&mut self.parent, &ds);
-        let points = self
-            .pruned
-            .iter_mut()
-            .map(|pm| (pm.achieved_ratio, eval_error_pct(&mut pm.network, &ds)))
-            .collect();
-        PruneAccuracyCurve::new(unpruned, points)
+        self.curves_on(std::slice::from_ref(dist), eval_seed)
+            .pop()
+            .expect("one curve")
+    }
+
+    /// Measures prune-accuracy curves on several distributions in one
+    /// sweep, returned in `dists` order.
+    ///
+    /// The whole `(model × distribution)` grid runs in parallel: datasets
+    /// are realized concurrently ([`Distribution::realize`] is seed-pure),
+    /// parent errors are scored with per-worker parent clones, and each
+    /// pruned model evaluates every distribution on its own worker.
+    /// Eval-mode forwards are pure, so every grid cell is independent and
+    /// the curves are identical to the serial per-distribution sweep.
+    pub fn curves_on(&mut self, dists: &[Distribution], eval_seed: u64) -> Vec<PruneAccuracyCurve> {
+        if dists.is_empty() {
+            return Vec::new();
+        }
+        let (task, test_set) = (&self.task, &self.test_set);
+        let datasets: Vec<Dataset> =
+            par::parallel_map(dists.len(), |i| dists[i].realize(task, test_set, eval_seed));
+        let parent = &self.parent;
+        let unpruned: Vec<f64> = par::parallel_map_with(
+            datasets.len(),
+            || parent.clone(),
+            |net, i| eval_error_pct(net, &datasets[i]),
+        );
+        let grid: Vec<Vec<(f64, f64)>> = par::parallel_map_mut(&mut self.pruned, |_, pm| {
+            datasets
+                .iter()
+                .map(|ds| (pm.achieved_ratio, eval_error_pct(&mut pm.network, ds)))
+                .collect()
+        });
+        (0..dists.len())
+            .map(|di| {
+                let points = grid.iter().map(|row| row[di]).collect();
+                PruneAccuracyCurve::new(unpruned[di], points)
+            })
+            .collect()
     }
 
     /// Prune potential (Definition 1) on one distribution.
@@ -215,13 +275,16 @@ impl StudyFamily {
         shifted_dists: &[Distribution],
         eval_seed: u64,
     ) -> Vec<(f64, f64)> {
-        assert!(!shifted_dists.is_empty(), "need at least one shifted distribution");
-        let nominal = self.curve_on(&Distribution::Nominal, eval_seed);
-        let shifted_curves: Vec<PruneAccuracyCurve> = shifted_dists
-            .iter()
-            .map(|d| self.curve_on(d, eval_seed))
-            .collect();
-        let avg = average_curves(&shifted_curves);
+        assert!(
+            !shifted_dists.is_empty(),
+            "need at least one shifted distribution"
+        );
+        let mut all = Vec::with_capacity(1 + shifted_dists.len());
+        all.push(Distribution::Nominal);
+        all.extend_from_slice(shifted_dists);
+        let mut curves = self.curves_on(&all, eval_seed);
+        let nominal = curves.remove(0);
+        let avg = average_curves(&curves);
         excess_error_difference(&nominal, &avg)
     }
 }
@@ -250,16 +313,18 @@ pub fn average_curves(curves: &[PruneAccuracyCurve]) -> PruneAccuracyCurve {
 }
 
 /// Prune potentials of one family on many distributions (one figure-6 bar
-/// group).
+/// group), evaluated as a single parallel `(model × distribution)` sweep.
 pub fn potentials_by_distribution(
     family: &mut StudyFamily,
     dists: &[Distribution],
     delta_pct: f64,
     eval_seed: u64,
 ) -> Vec<(String, f64)> {
+    let curves = family.curves_on(dists, eval_seed);
     dists
         .iter()
-        .map(|d| (d.label(), family.potential_on(d, delta_pct, eval_seed)))
+        .zip(curves)
+        .map(|(d, c)| (d.label(), c.prune_potential(delta_pct)))
         .collect()
 }
 
@@ -281,6 +346,10 @@ pub struct OverparamMeasurement {
 /// Runs the full repetition loop for one (config, method) pair and
 /// aggregates prune potentials over train-side and test-side distribution
 /// sets.
+///
+/// Repetitions are fully independent (each derives everything from its own
+/// `rep_seed`), so they run in parallel — one family build plus evaluation
+/// sweep per worker — with results collected in repetition order.
 pub fn overparameterization_study(
     cfg: &ExperimentConfig,
     method: &dyn PruneMethod,
@@ -288,22 +357,31 @@ pub fn overparameterization_study(
     test_dists: &[Distribution],
     robust: Option<&RobustTraining<'_>>,
 ) -> OverparamMeasurement {
-    let mut out = OverparamMeasurement::default();
-    for rep in 0..cfg.repetitions {
+    let per_rep: Vec<([f64; 2], [f64; 2])> = par::parallel_map(cfg.repetitions, |rep| {
         let mut family = build_family(cfg, method, rep, robust);
         let eval_seed = cfg.rep_seed(rep) ^ 0xE7A1;
-        let train_p: Vec<f64> = train_dists
+        let delta = cfg.delta_pct;
+        let train_p: Vec<f64> = family
+            .curves_on(train_dists, eval_seed)
             .iter()
-            .map(|d| family.potential_on(d, cfg.delta_pct, eval_seed))
+            .map(|c| c.prune_potential(delta))
             .collect();
-        let test_p: Vec<f64> = test_dists
+        let test_p: Vec<f64> = family
+            .curves_on(test_dists, eval_seed)
             .iter()
-            .map(|d| family.potential_on(d, cfg.delta_pct, eval_seed))
+            .map(|c| c.prune_potential(delta))
             .collect();
-        out.avg_train.push(mean_of(&train_p));
-        out.avg_test.push(mean_of(&test_p));
-        out.min_train.push(min_of(&train_p));
-        out.min_test.push(min_of(&test_p));
+        (
+            [mean_of(&train_p), min_of(&train_p)],
+            [mean_of(&test_p), min_of(&test_p)],
+        )
+    });
+    let mut out = OverparamMeasurement::default();
+    for ([avg_train, min_train], [avg_test, min_test]) in per_rep {
+        out.avg_train.push(avg_train);
+        out.avg_test.push(avg_test);
+        out.min_train.push(min_train);
+        out.min_test.push(min_test);
     }
     out
 }
@@ -327,7 +405,10 @@ mod tests {
     fn quick_cfg() -> ExperimentConfig {
         ExperimentConfig {
             name: "quick".into(),
-            arch: ArchSpec::Mlp { hidden: vec![32], batch_norm: false },
+            arch: ArchSpec::Mlp {
+                hidden: vec![32],
+                batch_norm: false,
+            },
             task: TaskSpec::tiny(),
             n_train: 128,
             n_test: 64,
@@ -373,17 +454,18 @@ mod tests {
         assert!(p_nominal >= 0.0);
         // heavy noise should not increase the potential
         let p_noise = fam.potential_on(&Distribution::Noise(0.5), 2.0, 1);
-        assert!(p_noise <= p_nominal + 1e-9, "noise {p_noise} vs nominal {p_nominal}");
+        assert!(
+            p_noise <= p_nominal + 1e-9,
+            "noise {p_noise} vs nominal {p_nominal}"
+        );
     }
 
     #[test]
     fn excess_error_series_has_grid_shape() {
         let cfg = quick_cfg();
         let mut fam = build_family(&cfg, &WeightThresholding, 0, None);
-        let series = fam.excess_error_series(
-            &[Distribution::Noise(0.2), Distribution::Noise(0.3)],
-            1,
-        );
+        let series =
+            fam.excess_error_series(&[Distribution::Noise(0.2), Distribution::Noise(0.3)], 1);
         assert_eq!(series.len(), 3);
         assert!(series.iter().all(|(r, _)| (0.0..=1.0).contains(r)));
     }

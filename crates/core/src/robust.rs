@@ -18,11 +18,17 @@ pub const PAPER_SEVERITY: u8 = 3;
 pub fn split_distributions(split: &CorruptionSplit) -> (Vec<Distribution>, Vec<Distribution>) {
     let mut train_dists = vec![Distribution::Nominal];
     train_dists.extend(
-        split.train.iter().map(|&c| Distribution::Corruption(c, PAPER_SEVERITY)),
+        split
+            .train
+            .iter()
+            .map(|&c| Distribution::Corruption(c, PAPER_SEVERITY)),
     );
     let mut test_dists = vec![Distribution::AltTestSet];
     test_dists.extend(
-        split.test.iter().map(|&c| Distribution::Corruption(c, PAPER_SEVERITY)),
+        split
+            .test
+            .iter()
+            .map(|&c| Distribution::Corruption(c, PAPER_SEVERITY)),
     );
     (train_dists, test_dists)
 }
@@ -31,7 +37,10 @@ pub fn split_distributions(split: &CorruptionSplit) -> (Vec<Distribution>, Vec<D
 /// train distribution is nominal data alone; the test distribution is the
 /// full corruption suite.
 pub fn nominal_distributions() -> (Vec<Distribution>, Vec<Distribution>) {
-    (vec![Distribution::Nominal], Distribution::all_corruptions_sev3())
+    (
+        vec![Distribution::Nominal],
+        Distribution::all_corruptions_sev3(),
+    )
 }
 
 #[cfg(test)]

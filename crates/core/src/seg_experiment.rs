@@ -100,11 +100,21 @@ pub fn build_seg_family(cfg: &SegExperimentConfig, method: &dyn PruneMethod) -> 
     let (train_set, test_set) =
         generate_segmentation_split(&cfg.task, cfg.n_train, cfg.n_test, cfg.seed);
     let input = (cfg.task.channels, cfg.task.height, cfg.task.width);
-    let mut parent =
-        models::mini_segnet(&cfg.name, input, cfg.task.num_classes(), cfg.width, cfg.seed ^ 0x11);
+    let mut parent = models::mini_segnet(
+        &cfg.name,
+        input,
+        cfg.task.num_classes(),
+        cfg.width,
+        cfg.seed ^ 0x11,
+    );
     let mut tc = cfg.train.clone();
     tc.seed = cfg.seed;
-    train_segmentation(&mut parent, train_set.images(), train_set.pixel_labels(), &tc);
+    train_segmentation(
+        &mut parent,
+        train_set.images(),
+        train_set.pixel_labels(),
+        &tc,
+    );
 
     let ctx = if method.is_data_informed() {
         let mut rng = Rng::new(cfg.seed ^ 0x5E6);
@@ -128,13 +138,23 @@ pub fn build_seg_family(cfg: &SegExperimentConfig, method: &dyn PruneMethod) -> 
             network: net.clone(),
         });
     }
-    SegStudy { parent, pruned, train_set, test_set, task: cfg.task.clone() }
+    SegStudy {
+        parent,
+        pruned,
+        train_set,
+        test_set,
+        task: cfg.task.clone(),
+    }
 }
 
 impl SegStudy {
     /// IoU-error prune-accuracy curve on the nominal test set or a
     /// corrupted variant.
-    pub fn iou_curve(&mut self, corruption: Option<(Corruption, u8)>, eval_seed: u64) -> PruneAccuracyCurve {
+    pub fn iou_curve(
+        &mut self,
+        corruption: Option<(Corruption, u8)>,
+        eval_seed: u64,
+    ) -> PruneAccuracyCurve {
         let images = match corruption {
             None => self.test_set.images().clone(),
             Some((c, severity)) => {
@@ -147,7 +167,12 @@ impl SegStudy {
         let points = self
             .pruned
             .iter_mut()
-            .map(|pm| (pm.achieved_ratio, iou_error_pct(&mut pm.network, &images, labels, 32)))
+            .map(|pm| {
+                (
+                    pm.achieved_ratio,
+                    iou_error_pct(&mut pm.network, &images, labels, 32),
+                )
+            })
             .collect();
         PruneAccuracyCurve::new(unpruned, points)
     }
@@ -182,7 +207,11 @@ mod tests {
         assert!(err < 30.0, "parent pixel error {err}%");
         let curve = study.iou_curve(None, 1);
         assert_eq!(curve.points.len(), 3);
-        assert!(curve.unpruned_error_pct < 60.0, "IoU error {}", curve.unpruned_error_pct);
+        assert!(
+            curve.unpruned_error_pct < 60.0,
+            "IoU error {}",
+            curve.unpruned_error_pct
+        );
         // ratios ascend
         assert!(study.pruned[0].achieved_ratio < study.pruned[2].achieved_ratio);
     }

@@ -20,7 +20,11 @@ impl Scale {
     /// Reads the scale from the `PV_SCALE` environment variable
     /// (`smoke` / `quick` / `full`), defaulting to `Quick`.
     pub fn from_env() -> Self {
-        match std::env::var("PV_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("PV_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "smoke" => Scale::Smoke,
             "full" => Scale::Full,
             _ => Scale::Quick,
@@ -65,7 +69,10 @@ fn vgg_train(epochs: usize) -> TrainConfig {
         schedule: Schedule {
             base_lr: 0.05,
             warmup_epochs: (epochs / 10).max(1),
-            decay: LrDecay::Every { every: (epochs / 4).max(1), gamma: 0.5 },
+            decay: LrDecay::Every {
+                every: (epochs / 4).max(1),
+                gamma: 0.5,
+            },
         },
         momentum: 0.9,
         nesterov: false,
@@ -87,7 +94,10 @@ fn wrn_train(epochs: usize) -> TrainConfig {
         schedule: Schedule {
             base_lr: 0.1,
             warmup_epochs: (epochs / 10).max(1),
-            decay: LrDecay::Every { every: (epochs / 3).max(1), gamma: 0.2 },
+            decay: LrDecay::Every {
+                every: (epochs / 3).max(1),
+                gamma: 0.2,
+            },
         },
         momentum: 0.9,
         nesterov: true,
@@ -104,7 +114,10 @@ fn mlp_train(epochs: usize) -> TrainConfig {
         schedule: Schedule {
             base_lr: 0.1,
             warmup_epochs: 1,
-            decay: LrDecay::MultiStep { milestones: vec![epochs / 2, 3 * epochs / 4], gamma: 0.1 },
+            decay: LrDecay::MultiStep {
+                milestones: vec![epochs / 2, 3 * epochs / 4],
+                gamma: 0.1,
+            },
         },
         momentum: 0.9,
         nesterov: false,
@@ -126,25 +139,68 @@ pub fn preset(name: &str, scale: Scale) -> Option<ExperimentConfig> {
     let cifar = TaskSpec::cifar_like();
     let imagenet = TaskSpec::imagenet_like();
     let (arch, task, train): (ArchSpec, TaskSpec, TrainConfig) = match name {
-        "resnet20" => (ArchSpec::MiniResNet { width: 4, blocks: 1 }, cifar, resnet_train(epochs)),
-        "resnet56" => (ArchSpec::MiniResNet { width: 4, blocks: 2 }, cifar, resnet_train(epochs)),
-        "resnet110" => (ArchSpec::MiniResNet { width: 4, blocks: 3 }, cifar, resnet_train(epochs)),
+        "resnet20" => (
+            ArchSpec::MiniResNet {
+                width: 4,
+                blocks: 1,
+            },
+            cifar,
+            resnet_train(epochs),
+        ),
+        "resnet56" => (
+            ArchSpec::MiniResNet {
+                width: 4,
+                blocks: 2,
+            },
+            cifar,
+            resnet_train(epochs),
+        ),
+        "resnet110" => (
+            ArchSpec::MiniResNet {
+                width: 4,
+                blocks: 3,
+            },
+            cifar,
+            resnet_train(epochs),
+        ),
         "vgg16" => (ArchSpec::MiniVgg { width: 4 }, cifar, vgg_train(epochs)),
-        "wrn16-8" => {
-            (ArchSpec::MiniWideResNet { width: 4, widen: 2 }, cifar, wrn_train(epochs))
-        }
-        "densenet22" => {
-            (ArchSpec::MiniDenseNet { growth: 4, layers: 3 }, cifar, densenet_train(epochs))
-        }
-        "resnet18" => {
-            (ArchSpec::MiniResNet { width: 4, blocks: 1 }, imagenet, resnet_train(epochs))
-        }
-        "resnet101" => {
-            (ArchSpec::MiniResNet { width: 6, blocks: 2 }, imagenet, resnet_train(epochs))
-        }
-        "mlp" => {
-            (ArchSpec::Mlp { hidden: vec![128, 64], batch_norm: false }, cifar, mlp_train(epochs))
-        }
+        "wrn16-8" => (
+            ArchSpec::MiniWideResNet { width: 4, widen: 2 },
+            cifar,
+            wrn_train(epochs),
+        ),
+        "densenet22" => (
+            ArchSpec::MiniDenseNet {
+                growth: 4,
+                layers: 3,
+            },
+            cifar,
+            densenet_train(epochs),
+        ),
+        "resnet18" => (
+            ArchSpec::MiniResNet {
+                width: 4,
+                blocks: 1,
+            },
+            imagenet,
+            resnet_train(epochs),
+        ),
+        "resnet101" => (
+            ArchSpec::MiniResNet {
+                width: 6,
+                blocks: 2,
+            },
+            imagenet,
+            resnet_train(epochs),
+        ),
+        "mlp" => (
+            ArchSpec::Mlp {
+                hidden: vec![128, 64],
+                batch_norm: false,
+            },
+            cifar,
+            mlp_train(epochs),
+        ),
         _ => return None,
     };
     Some(ExperimentConfig {
@@ -164,10 +220,17 @@ pub fn preset(name: &str, scale: Scale) -> Option<ExperimentConfig> {
 
 /// All CIFAR-analogue presets, in the paper's table order.
 pub fn cifar_presets(scale: Scale) -> Vec<ExperimentConfig> {
-    ["resnet20", "resnet56", "resnet110", "vgg16", "densenet22", "wrn16-8"]
-        .iter()
-        .map(|n| preset(n, scale).expect("known preset"))
-        .collect()
+    [
+        "resnet20",
+        "resnet56",
+        "resnet110",
+        "vgg16",
+        "densenet22",
+        "wrn16-8",
+    ]
+    .iter()
+    .map(|n| preset(n, scale).expect("known preset"))
+    .collect()
 }
 
 /// The hard-task (ImageNet-analogue) presets.
@@ -185,8 +248,15 @@ mod tests {
     #[test]
     fn known_presets_build() {
         for name in [
-            "resnet20", "resnet56", "resnet110", "vgg16", "wrn16-8", "densenet22", "resnet18",
-            "resnet101", "mlp",
+            "resnet20",
+            "resnet56",
+            "resnet110",
+            "vgg16",
+            "wrn16-8",
+            "densenet22",
+            "resnet18",
+            "resnet101",
+            "mlp",
         ] {
             let cfg = preset(name, Scale::Smoke).unwrap_or_else(|| panic!("missing {name}"));
             let mut net = cfg.arch.build(&cfg.name, &cfg.task, 1);
@@ -208,9 +278,18 @@ mod tests {
     #[test]
     fn deeper_resnets_have_more_params() {
         let t = TaskSpec::cifar_like();
-        let mut p20 = preset("resnet20", Scale::Smoke).expect("preset").arch.build("a", &t, 1);
-        let mut p56 = preset("resnet56", Scale::Smoke).expect("preset").arch.build("b", &t, 1);
-        let mut p110 = preset("resnet110", Scale::Smoke).expect("preset").arch.build("c", &t, 1);
+        let mut p20 = preset("resnet20", Scale::Smoke)
+            .expect("preset")
+            .arch
+            .build("a", &t, 1);
+        let mut p56 = preset("resnet56", Scale::Smoke)
+            .expect("preset")
+            .arch
+            .build("b", &t, 1);
+        let mut p110 = preset("resnet110", Scale::Smoke)
+            .expect("preset")
+            .arch
+            .build("c", &t, 1);
         assert!(p20.prunable_param_count() < p56.prunable_param_count());
         assert!(p56.prunable_param_count() < p110.prunable_param_count());
     }
@@ -218,10 +297,14 @@ mod tests {
     #[test]
     fn wrn_is_widest() {
         let t = TaskSpec::cifar_like();
-        let mut wrn =
-            preset("wrn16-8", Scale::Smoke).expect("preset").arch.build("w", &t, 1);
-        let mut r20 =
-            preset("resnet20", Scale::Smoke).expect("preset").arch.build("r", &t, 1);
+        let mut wrn = preset("wrn16-8", Scale::Smoke)
+            .expect("preset")
+            .arch
+            .build("w", &t, 1);
+        let mut r20 = preset("resnet20", Scale::Smoke)
+            .expect("preset")
+            .arch
+            .build("r", &t, 1);
         assert!(wrn.prunable_param_count() > 3 * r20.prunable_param_count());
     }
 

@@ -25,7 +25,9 @@ impl CorruptionSplit {
             // Blur: Motion, Zoom -> train; Defocus, Glass -> test
             // Weather: Snow -> train; Brightness, Fog, Frost -> test
             // Digital: Contrast, Elastic, Pixelate -> train; Jpeg -> test
-            train: vec![Impulse, Shot, Motion, Zoom, Snow, Contrast, Elastic, Pixelate],
+            train: vec![
+                Impulse, Shot, Motion, Zoom, Snow, Contrast, Elastic, Pixelate,
+            ],
             test: vec![Gauss, Speckle, Defocus, Glass, Brightness, Fog, Frost, Jpeg],
         }
     }
@@ -35,9 +37,17 @@ impl CorruptionSplit {
     pub fn random(rng: &mut Rng) -> Self {
         let mut train = Vec::new();
         let mut test = Vec::new();
-        for cat in [Category::Noise, Category::Blur, Category::Weather, Category::Digital] {
-            let mut members: Vec<Corruption> =
-                Corruption::ALL.iter().copied().filter(|c| c.category() == cat).collect();
+        for cat in [
+            Category::Noise,
+            Category::Blur,
+            Category::Weather,
+            Category::Digital,
+        ] {
+            let mut members: Vec<Corruption> = Corruption::ALL
+                .iter()
+                .copied()
+                .filter(|c| c.category() == cat)
+                .collect();
             rng.shuffle(&mut members);
             let k = (members.len() / 2).max(1);
             train.extend_from_slice(&members[..k]);
@@ -55,7 +65,12 @@ impl CorruptionSplit {
         if all.len() != Corruption::ALL.len() {
             return false;
         }
-        for cat in [Category::Noise, Category::Blur, Category::Weather, Category::Digital] {
+        for cat in [
+            Category::Noise,
+            Category::Blur,
+            Category::Weather,
+            Category::Digital,
+        ] {
             if !self.train.iter().any(|c| c.category() == cat) {
                 return false;
             }
@@ -128,7 +143,7 @@ mod tests {
     fn invalid_split_detected() {
         let mut split = CorruptionSplit::paper_default();
         let moved = split.test.pop().expect("nonempty"); // Jpeg, the only Digital test member
-        // dropping a corruption entirely breaks exhaustiveness
+                                                         // dropping a corruption entirely breaks exhaustiveness
         assert!(!split.is_valid());
         // re-adding it on the wrong side leaves the test distribution
         // without a Digital corruption

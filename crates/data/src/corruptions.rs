@@ -117,7 +117,10 @@ impl Corruption {
 
     /// Looks a corruption up by its [`Corruption::name`] (case-insensitive).
     pub fn from_name(name: &str) -> Option<Self> {
-        Self::ALL.iter().copied().find(|c| c.name().eq_ignore_ascii_case(name))
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|c| c.name().eq_ignore_ascii_case(name))
     }
 
     /// Applies the corruption at `severity ∈ 1..=5` to a whole NCHW batch.
@@ -156,7 +159,15 @@ fn sev(severity: u8, per_level: f32) -> f32 {
     f32::from(severity) * per_level
 }
 
-fn apply_sample(kind: Corruption, img: &mut [f32], c: usize, h: usize, w: usize, s: u8, rng: &mut Rng) {
+fn apply_sample(
+    kind: Corruption,
+    img: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    s: u8,
+    rng: &mut Rng,
+) {
     use Corruption::*;
     match kind {
         Gauss => {
@@ -189,7 +200,7 @@ fn apply_sample(kind: Corruption, img: &mut [f32], c: usize, h: usize, w: usize,
             }
         }
         Defocus => {
-            let radius = usize::from((s + 2) / 3); // 1,1,1,2,2
+            let radius = usize::from(s.div_ceil(3)); // 1,1,1,2,2
             box_blur(img, c, h, w, radius);
         }
         Glass => {
@@ -198,7 +209,7 @@ fn apply_sample(kind: Corruption, img: &mut [f32], c: usize, h: usize, w: usize,
             glass_shuffle(img, c, h, w, max_d, p, rng);
         }
         Motion => {
-            let len = 1 + usize::from((s + 1) / 2); // horizontal kernel length 2..4
+            let len = 1 + usize::from(s.div_ceil(2)); // horizontal kernel length 2..4
             motion_blur(img, c, h, w, len);
         }
         Zoom => {
@@ -221,9 +232,7 @@ fn apply_sample(kind: Corruption, img: &mut [f32], c: usize, h: usize, w: usize,
             let fx = rng.uniform_in(0.7, 1.4);
             let ph = rng.uniform_in(0.0, 2.0 * PI);
             field_op(img, c, h, w, |y, x, v| {
-                let field = 0.5
-                    * ((2.0 * PI * fy * y + 2.0 * PI * fx * x + ph).sin() + 1.0)
-                    * 0.5;
+                let field = 0.5 * ((2.0 * PI * fy * y + 2.0 * PI * fx * x + ph).sin() + 1.0) * 0.5;
                 v * (1.0 - strength * field)
             });
         }
@@ -346,7 +355,15 @@ fn motion_blur(img: &mut [f32], c: usize, h: usize, w: usize, len: usize) {
 
 /// Randomly swaps nearby pixels (the classic glass-blur construction);
 /// each pixel is displaced with probability `p`.
-fn glass_shuffle(img: &mut [f32], c: usize, h: usize, w: usize, max_d: usize, p: f64, rng: &mut Rng) {
+fn glass_shuffle(
+    img: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    max_d: usize,
+    p: f64,
+    rng: &mut Rng,
+) {
     for ci in 0..c {
         let base = ci * h * w;
         for y in 0..h {
@@ -404,7 +421,17 @@ fn zoom_blur(img: &mut [f32], c: usize, h: usize, w: usize, steps: usize, step_z
 }
 
 /// Warps the image with a smooth sinusoidal displacement field.
-fn elastic_warp(img: &mut [f32], c: usize, h: usize, w: usize, amp: f32, fy: f32, fx: f32, ph: f32) {
+#[allow(clippy::too_many_arguments)]
+fn elastic_warp(
+    img: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    amp: f32,
+    fy: f32,
+    fx: f32,
+    ph: f32,
+) {
     for ci in 0..c {
         let plane = img[ci * h * w..(ci + 1) * h * w].to_vec();
         let out = &mut img[ci * h * w..(ci + 1) * h * w];

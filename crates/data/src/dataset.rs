@@ -36,7 +36,11 @@ impl Dataset {
             labels.iter().all(|&l| l < num_classes),
             "label out of range for {num_classes} classes"
         );
-        Self { images, labels, num_classes }
+        Self {
+            images,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of samples.
@@ -110,7 +114,11 @@ impl Dataset {
     /// Panics if the new tensor's shape differs from the current one.
     pub fn with_images(&self, images: Tensor) -> Self {
         assert_eq!(images.shape(), self.images.shape(), "image shape change");
-        Self { images, labels: self.labels.clone(), num_classes: self.num_classes }
+        Self {
+            images,
+            labels: self.labels.clone(),
+            num_classes: self.num_classes,
+        }
     }
 
     /// Per-class sample counts.

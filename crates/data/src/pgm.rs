@@ -31,7 +31,12 @@ pub fn write_pgm(image: &Tensor, path: &Path) -> io::Result<()> {
     out.push_str(&format!("P2\n{w} {h}\n255\n"));
     for y in 0..h {
         let row: Vec<String> = (0..w)
-            .map(|x| format!("{}", (plane[y * w + x].clamp(0.0, 1.0) * 255.0).round() as u8))
+            .map(|x| {
+                format!(
+                    "{}",
+                    (plane[y * w + x].clamp(0.0, 1.0) * 255.0).round() as u8
+                )
+            })
             .collect();
         out.push_str(&row.join(" "));
         out.push('\n');
@@ -43,8 +48,16 @@ pub fn write_pgm(image: &Tensor, path: &Path) -> io::Result<()> {
 /// Renders channel 0 as coarse ASCII art (useful in terminal reports).
 pub fn ascii_art(image: &Tensor) -> String {
     let (h, w, plane): (usize, usize, &[f32]) = match image.ndim() {
-        4 => (image.dim(2), image.dim(3), &image.data()[..image.dim(2) * image.dim(3)]),
-        3 => (image.dim(1), image.dim(2), &image.data()[..image.dim(1) * image.dim(2)]),
+        4 => (
+            image.dim(2),
+            image.dim(3),
+            &image.data()[..image.dim(2) * image.dim(3)],
+        ),
+        3 => (
+            image.dim(1),
+            image.dim(2),
+            &image.data()[..image.dim(1) * image.dim(2)],
+        ),
         n => panic!("ascii_art expects a 3-D or 4-D tensor, got rank {n}"),
     };
     const RAMP: &[u8] = b" .:-=+*#%@";

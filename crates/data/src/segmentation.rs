@@ -91,8 +91,15 @@ impl SegDataset {
         assert_eq!(images.ndim(), 4, "images must be NCHW");
         let (n, h, w) = (images.dim(0), images.dim(2), images.dim(3));
         assert_eq!(labels.len(), n * h * w, "label map size mismatch");
-        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
-        Self { images, labels, num_classes }
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Self {
+            images,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of images.
@@ -133,7 +140,11 @@ impl SegDataset {
     /// Panics if the shape changes.
     pub fn with_images(&self, images: Tensor) -> Self {
         assert_eq!(images.shape(), self.images.shape(), "image shape change");
-        Self { images, labels: self.labels.clone(), num_classes: self.num_classes }
+        Self {
+            images,
+            labels: self.labels.clone(),
+            num_classes: self.num_classes,
+        }
     }
 
     /// Fraction of background pixels (diagnostic).
@@ -175,7 +186,9 @@ pub fn generate_segmentation(spec: &SegTaskSpec, n: usize, seed: u64) -> SegData
                     let v = 0.3
                         + spec.clutter
                             * 0.5
-                            * (2.0 * PI * (cl_fy * y as f32 / h as f32 + cl_fx * x as f32 / w as f32)
+                            * (2.0
+                                * PI
+                                * (cl_fy * y as f32 / h as f32 + cl_fx * x as f32 / w as f32)
                                 + cl_ph)
                                 .sin();
                     images.set4(i, ci, y, x, v);
@@ -257,7 +270,7 @@ mod tests {
         // every object class appears somewhere in a 16-image batch
         for class in 1..ds.num_classes() {
             assert!(
-                ds.pixel_labels().iter().any(|&l| l == class),
+                ds.pixel_labels().contains(&class),
                 "class {class} never appears"
             );
         }
@@ -294,6 +307,9 @@ mod tests {
         }
         let obj_mean = obj.0 / obj.1 as f64;
         let bg_mean = bg.0 / bg.1 as f64;
-        assert!((obj_mean - bg_mean).abs() > 0.05, "objects invisible: {obj_mean} vs {bg_mean}");
+        assert!(
+            (obj_mean - bg_mean).abs() > 0.05,
+            "objects invisible: {obj_mean} vs {bg_mean}"
+        );
     }
 }

@@ -111,15 +111,7 @@ impl TaskSpec {
 /// Classes 0–9 are distinct pattern families; classes ≥ 10 reuse the
 /// families at higher spatial frequency, which is what makes the
 /// `imagenet_like` 20-class task harder.
-fn prototype(
-    class: usize,
-    y: f32,
-    x: f32,
-    h: f32,
-    w: f32,
-    phase: f32,
-    freq_scale: f32,
-) -> f32 {
+fn prototype(class: usize, y: f32, x: f32, h: f32, w: f32, phase: f32, freq_scale: f32) -> f32 {
     let family = class % 10;
     let octave = 1.0 + (class / 10) as f32;
     let f = freq_scale * octave;
@@ -188,8 +180,9 @@ pub fn generate(spec: &TaskSpec, n: usize, seed: u64) -> Dataset {
     let wf = w as f32;
     // class-specific but task-stable base frequency, drawn once per task
     let mut task_rng = Rng::new(seed ^ 0x7A5C);
-    let base_freq: Vec<f32> =
-        (0..spec.classes).map(|_| task_rng.uniform_in(1.6, 2.4)).collect();
+    let base_freq: Vec<f32> = (0..spec.classes)
+        .map(|_| task_rng.uniform_in(1.6, 2.4))
+        .collect();
 
     for i in 0..n {
         let class = i % spec.classes;
@@ -219,8 +212,8 @@ pub fn generate(spec: &TaskSpec, n: usize, seed: u64) -> Dataset {
                             + 1.0)
                         * 0.5;
                     let noise = spec.pixel_noise * rng.normal() as f32;
-                    let v = (amp * p * (1.0 - spec.clutter * 0.5) + clutter + noise)
-                        .clamp(0.0, 1.0);
+                    let v =
+                        (amp * p * (1.0 - spec.clutter * 0.5) + clutter + noise).clamp(0.0, 1.0);
                     images.set4(i, ci, yi, xi, v);
                 }
             }
@@ -236,7 +229,12 @@ pub fn generate(spec: &TaskSpec, n: usize, seed: u64) -> Dataset {
 
 /// Convenience: generates disjoint train and test splits with independent
 /// seeds derived from `seed`.
-pub fn generate_split(spec: &TaskSpec, n_train: usize, n_test: usize, seed: u64) -> (Dataset, Dataset) {
+pub fn generate_split(
+    spec: &TaskSpec,
+    n_train: usize,
+    n_test: usize,
+    seed: u64,
+) -> (Dataset, Dataset) {
     (
         generate(spec, n_train, seed.wrapping_mul(2).wrapping_add(1)),
         generate(spec, n_test, seed.wrapping_mul(2).wrapping_add(2)),
@@ -297,7 +295,10 @@ mod tests {
                     .map(|(x, y)| (x - y) * (x - y))
                     .sum::<f32>()
                     .sqrt();
-                assert!(dist > 0.25, "classes {a} and {b} look identical (dist {dist})");
+                assert!(
+                    dist > 0.25,
+                    "classes {a} and {b} look identical (dist {dist})"
+                );
             }
         }
     }

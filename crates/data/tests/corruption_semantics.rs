@@ -29,7 +29,12 @@ fn total_variation(x: &Tensor) -> f32 {
 fn blurs_reduce_total_variation() {
     let x = batch();
     let tv0 = total_variation(&x);
-    for c in [Corruption::Defocus, Corruption::Motion, Corruption::Zoom, Corruption::Pixelate] {
+    for c in [
+        Corruption::Defocus,
+        Corruption::Motion,
+        Corruption::Zoom,
+        Corruption::Pixelate,
+    ] {
         let mut rng = Rng::new(1);
         let y = c.apply_batch(&x, 3, &mut rng);
         let tv = total_variation(&y);
@@ -56,7 +61,11 @@ fn brightness_raises_mean_fog_raises_mean() {
     for c in [Corruption::Brightness, Corruption::Fog, Corruption::Snow] {
         let mut rng = Rng::new(3);
         let y = c.apply_batch(&x, 3, &mut rng);
-        assert!(y.mean() > mean0, "{c} did not brighten: {mean0} -> {}", y.mean());
+        assert!(
+            y.mean() > mean0,
+            "{c} did not brighten: {mean0} -> {}",
+            y.mean()
+        );
     }
 }
 
@@ -75,7 +84,10 @@ fn contrast_compresses_dynamic_range() {
     let mut rng = Rng::new(5);
     let y = Corruption::Contrast.apply_batch(&x, 4, &mut rng);
     let range = y.max() - y.min();
-    assert!(range < range0, "contrast did not compress range: {range0} -> {range}");
+    assert!(
+        range < range0,
+        "contrast did not compress range: {range0} -> {range}"
+    );
     // and preserves the mean approximately
     assert!((y.mean() - x.mean()).abs() < 0.02);
 }
@@ -93,7 +105,10 @@ fn jpeg_quantizes_within_blocks() {
         vals.dedup();
         vals.len()
     };
-    assert!(distinct(&y) < distinct(&x), "jpeg did not reduce value diversity");
+    assert!(
+        distinct(&y) < distinct(&x),
+        "jpeg did not reduce value diversity"
+    );
 }
 
 #[test]
@@ -122,7 +137,16 @@ fn shot_noise_scales_with_intensity() {
     let bright = Tensor::full(&[1, 1, 16, 16], 0.9);
     let mut r1 = Rng::new(9);
     let mut r2 = Rng::new(9);
-    let dn = Corruption::Shot.apply_batch(&dark, 4, &mut r1).sub(&dark).l2_norm();
-    let bn = Corruption::Shot.apply_batch(&bright, 4, &mut r2).sub(&bright).l2_norm();
-    assert!(bn > dn, "shot noise not intensity-dependent: dark {dn} vs bright {bn}");
+    let dn = Corruption::Shot
+        .apply_batch(&dark, 4, &mut r1)
+        .sub(&dark)
+        .l2_norm();
+    let bn = Corruption::Shot
+        .apply_batch(&bright, 4, &mut r2)
+        .sub(&bright)
+        .l2_norm();
+    assert!(
+        bn > dn,
+        "shot noise not intensity-dependent: dark {dn} vs bright {bn}"
+    );
 }

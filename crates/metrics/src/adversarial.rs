@@ -58,7 +58,10 @@ pub fn pgd(
     iters: usize,
 ) -> Tensor {
     assert!(iters > 0, "PGD needs at least one iteration");
-    assert!(eps >= 0.0 && step >= 0.0, "attack budgets must be non-negative");
+    assert!(
+        eps >= 0.0 && step >= 0.0,
+        "attack budgets must be non-negative"
+    );
     let mut adv = images.clone();
     for _ in 0..iters {
         let grad = input_gradient(net, &adv, labels);

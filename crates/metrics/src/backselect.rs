@@ -3,6 +3,7 @@
 //! paper's Figure 3 / Figures 12–15.
 
 use pv_nn::{Mode, Network};
+use pv_tensor::par;
 use pv_tensor::Tensor;
 
 /// How the pixel importance ordering is computed.
@@ -122,8 +123,7 @@ pub fn backselect_order(
             let mut current = image.clone();
             let mut order = Vec::with_capacity(n_pixels);
             for _step in 0..n_pixels {
-                let remaining: Vec<usize> =
-                    (0..n_pixels).filter(|&p| keep[p]).collect();
+                let remaining: Vec<usize> = (0..n_pixels).filter(|&p| keep[p]).collect();
                 if remaining.len() == 1 {
                     order.push(remaining[0]);
                     break;
@@ -225,6 +225,11 @@ impl ConfidenceHeatmap {
 /// the masked images.
 ///
 /// `keep_frac` is the fraction of pixels retained (the paper keeps 10%).
+///
+/// Images are processed in parallel, each worker holding its own clone of
+/// the model set; per-image confidence contributions are folded into the
+/// matrix in image order, so the result is bitwise identical for any
+/// thread count.
 pub fn confidence_heatmap(
     models: &mut [(String, Network)],
     images: &Tensor,
@@ -235,23 +240,42 @@ pub fn confidence_heatmap(
     assert_eq!(images.dim(0), true_labels.len(), "label count mismatch");
     let n_models = models.len();
     let n_images = images.dim(0);
+    let shared = &*models;
+    let contributions: Vec<Vec<f64>> = par::parallel_map_with(
+        n_images,
+        || {
+            shared
+                .iter()
+                .map(|(_, net)| net.clone())
+                .collect::<Vec<Network>>()
+        },
+        |workers, img_idx| {
+            let image = images.slice_first_axis(img_idx, img_idx + 1);
+            let true_class = true_labels[img_idx];
+            let mut contrib = vec![0.0f64; n_models * n_models];
+            // generator i picks its informative subset
+            for i in 0..n_models {
+                let masked = {
+                    let gen = &mut workers[i];
+                    let predicted = gen.predict(&image)[0];
+                    let order = backselect_order(gen, &image, predicted, mode);
+                    let keep = keep_top_fraction(&order, keep_frac);
+                    apply_pixel_mask(&image, &keep)
+                };
+                // all models evaluate the masked image
+                for j in 0..n_models {
+                    contrib[i * n_models + j] =
+                        f64::from(confidence(&mut workers[j], &masked, true_class));
+                }
+            }
+            contrib
+        },
+    );
     let mut matrix = vec![vec![0.0f64; n_models]; n_models];
-    for img_idx in 0..n_images {
-        let image = images.slice_first_axis(img_idx, img_idx + 1);
-        let true_class = true_labels[img_idx];
-        // generator i picks its informative subset
+    for contrib in contributions {
         for i in 0..n_models {
-            let masked = {
-                let (_, gen) = &mut models[i];
-                let predicted = gen.predict(&image)[0];
-                let order = backselect_order(gen, &image, predicted, mode);
-                let keep = keep_top_fraction(&order, keep_frac);
-                apply_pixel_mask(&image, &keep)
-            };
-            // all models evaluate the masked image
             for j in 0..n_models {
-                let (_, eval) = &mut models[j];
-                matrix[i][j] += f64::from(confidence(eval, &masked, true_class));
+                matrix[i][j] += contrib[i * n_models + j];
             }
         }
     }
@@ -343,7 +367,13 @@ mod tests {
         ];
         let images = Tensor::rand_uniform(&[3, 16], 0.0, 1.0, &mut rng);
         let labels = vec![0, 1, 2];
-        let hm = confidence_heatmap(&mut models_vec, &images, &labels, 0.25, SelectionMode::OneShot);
+        let hm = confidence_heatmap(
+            &mut models_vec,
+            &images,
+            &labels,
+            0.25,
+            SelectionMode::OneShot,
+        );
         assert_eq!(hm.matrix.len(), 2);
         // identical models must agree exactly
         assert!((hm.matrix[0][0] - hm.matrix[0][1]).abs() < 1e-6);

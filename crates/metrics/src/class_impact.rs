@@ -11,7 +11,11 @@ use pv_tensor::Tensor;
 ///
 /// Returns `(per_class_error, per_class_count)`; classes absent from the
 /// batch have error 0 and count 0.
-pub fn per_class_error(net: &mut Network, images: &Tensor, labels: &[usize]) -> (Vec<f64>, Vec<usize>) {
+pub fn per_class_error(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+) -> (Vec<f64>, Vec<usize>) {
     assert_eq!(images.dim(0), labels.len(), "label count mismatch");
     let k = net.num_classes();
     let mut wrong = vec![0usize; k];
@@ -34,7 +38,13 @@ pub fn per_class_error(net: &mut Network, images: &Tensor, labels: &[usize]) -> 
     let error = wrong
         .iter()
         .zip(&count)
-        .map(|(&w, &c)| if c == 0 { 0.0 } else { 100.0 * w as f64 / c as f64 })
+        .map(|(&w, &c)| {
+            if c == 0 {
+                0.0
+            } else {
+                100.0 * w as f64 / c as f64
+            }
+        })
         .collect();
     (error, count)
 }
@@ -64,7 +74,10 @@ impl ClassImpact {
 
     /// Largest per-class delta.
     pub fn worst_delta(&self) -> f64 {
-        self.deltas.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.deltas
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Spread between the most- and least-affected class.
@@ -85,8 +98,11 @@ pub fn class_impact(
 ) -> ClassImpact {
     let (parent_err, counts) = per_class_error(parent, images, labels);
     let (pruned_err, _) = per_class_error(pruned, images, labels);
-    let deltas: Vec<f64> =
-        parent_err.iter().zip(&pruned_err).map(|(&a, &b)| b - a).collect();
+    let deltas: Vec<f64> = parent_err
+        .iter()
+        .zip(&pruned_err)
+        .map(|(&a, &b)| b - a)
+        .collect();
     let total: usize = counts.iter().sum();
     let aggregate_delta = if total == 0 {
         0.0
@@ -98,7 +114,10 @@ pub fn class_impact(
             .sum::<f64>()
             / total as f64
     };
-    ClassImpact { deltas, aggregate_delta }
+    ClassImpact {
+        deltas,
+        aggregate_delta,
+    }
 }
 
 #[cfg(test)]
@@ -136,7 +155,10 @@ mod tests {
 
     #[test]
     fn disproportionate_flags_outlier_classes() {
-        let impact = ClassImpact { deltas: vec![0.0, 1.0, 12.0], aggregate_delta: 2.0 };
+        let impact = ClassImpact {
+            deltas: vec![0.0, 1.0, 12.0],
+            aggregate_delta: 2.0,
+        };
         assert_eq!(impact.disproportionate(5.0), vec![2]);
         assert_eq!(impact.worst_delta(), 12.0);
         assert_eq!(impact.spread(), 12.0);

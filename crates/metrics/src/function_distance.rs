@@ -7,6 +7,7 @@
 
 use pv_data::linf_noise;
 use pv_nn::{Mode, Network};
+use pv_tensor::par;
 use pv_tensor::{Rng, Tensor};
 
 /// Result of one noise-similarity comparison between two networks.
@@ -24,6 +25,12 @@ pub struct NoiseSimilarity {
 ///
 /// With `eps = 0` this degenerates to a clean-data comparison.
 ///
+/// The noisy batches are drawn serially from `rng` (preserving its
+/// stream), then the repeats are evaluated in parallel, each worker using
+/// its own clones of the two networks. Per-repeat partial sums are
+/// combined in repeat order by both the serial and parallel paths, so the
+/// result is bitwise identical for any thread count.
+///
 /// # Panics
 ///
 /// Panics if `images` is empty or `repeats == 0`.
@@ -38,24 +45,35 @@ pub fn noise_similarity(
     assert!(images.dim(0) > 0, "no images to compare on");
     assert!(repeats > 0, "need at least one noise repetition");
     let n = images.dim(0);
+    let noisy: Vec<Tensor> = (0..repeats).map(|_| linf_noise(images, eps, rng)).collect();
+    let (a0, b0) = (&*a, &*b);
+    let partials: Vec<(usize, f64)> = par::parallel_map_with(
+        repeats,
+        || (a0.clone(), b0.clone()),
+        |(wa, wb), rep| {
+            let pa = wa.forward(&noisy[rep], Mode::Eval).softmax_rows();
+            let pb = wb.forward(&noisy[rep], Mode::Eval).softmax_rows();
+            let la = pa.argmax_rows();
+            let lb = pb.argmax_rows();
+            let matches = la.iter().zip(&lb).filter(|(x, y)| x == y).count();
+            let mut l2 = 0.0f64;
+            for r in 0..n {
+                let d: f32 = pa
+                    .row(r)
+                    .iter()
+                    .zip(pb.row(r))
+                    .map(|(&x, &y)| (x - y) * (x - y))
+                    .sum();
+                l2 += f64::from(d.sqrt());
+            }
+            (matches, l2)
+        },
+    );
     let mut match_count = 0usize;
     let mut l2_sum = 0.0f64;
-    for _ in 0..repeats {
-        let noisy = linf_noise(images, eps, rng);
-        let pa = a.forward(&noisy, Mode::Eval).softmax_rows();
-        let pb = b.forward(&noisy, Mode::Eval).softmax_rows();
-        let la = pa.argmax_rows();
-        let lb = pb.argmax_rows();
-        match_count += la.iter().zip(&lb).filter(|(x, y)| x == y).count();
-        for r in 0..n {
-            let d: f32 = pa
-                .row(r)
-                .iter()
-                .zip(pb.row(r))
-                .map(|(&x, &y)| (x - y) * (x - y))
-                .sum();
-            l2_sum += f64::from(d.sqrt());
-        }
+    for (matches, l2) in partials {
+        match_count += matches;
+        l2_sum += l2;
     }
     let total = (n * repeats) as f64;
     NoiseSimilarity {
@@ -76,6 +94,11 @@ pub struct SimilaritySweep {
 
 /// Sweeps noise levels, comparing `reference` to each labeled network —
 /// the full data behind Figure 4 / Figures 16–27.
+///
+/// Each `(network, level)` pair uses a fresh RNG derived only from `seed`
+/// and the level, so the grid points are independent and evaluated in
+/// parallel (one cloned network pair per worker) with results in level
+/// order.
 pub fn similarity_sweep(
     reference: &mut Network,
     others: &mut [(String, Network)],
@@ -84,16 +107,28 @@ pub fn similarity_sweep(
     repeats: usize,
     seed: u64,
 ) -> Vec<SimilaritySweep> {
+    let reference = &*reference;
     others
         .iter_mut()
         .map(|(label, net)| {
-            let mut points = Vec::with_capacity(levels.len());
-            for &eps in levels {
-                // fresh deterministic noise per (network, level) pair
-                let mut rng = Rng::new(seed ^ (u64::from(eps.to_bits()) << 1));
-                points.push((eps, noise_similarity(reference, net, images, eps, repeats, &mut rng)));
+            let net0 = &*net;
+            let points = par::parallel_map_with(
+                levels.len(),
+                || (reference.clone(), net0.clone()),
+                |(wr, wn), li| {
+                    let eps = levels[li];
+                    // fresh deterministic noise per (network, level) pair
+                    let mut rng = Rng::new(seed ^ (u64::from(eps.to_bits()) << 1));
+                    (
+                        eps,
+                        noise_similarity(wr, wn, images, eps, repeats, &mut rng),
+                    )
+                },
+            );
+            SimilaritySweep {
+                label: label.clone(),
+                points,
             }
-            SimilaritySweep { label: label.clone(), points }
         })
         .collect()
 }
@@ -130,7 +165,10 @@ mod tests {
         let mut reference = models::mlp("r", 8, &[8], 3, false, 5);
         let mut others = vec![
             ("clone".to_string(), reference.clone()),
-            ("separate".to_string(), models::mlp("s", 8, &[8], 3, false, 77)),
+            (
+                "separate".to_string(),
+                models::mlp("s", 8, &[8], 3, false, 77),
+            ),
         ];
         let mut rng = Rng::new(6);
         let x = Tensor::rand_uniform(&[8, 8], 0.0, 1.0, &mut rng);
@@ -141,7 +179,10 @@ mod tests {
         for (i, _) in [0, 1].iter().enumerate() {
             let clone_sim = sweeps[0].points[i].1.matching_predictions;
             let sep_sim = sweeps[1].points[i].1.matching_predictions;
-            assert!(clone_sim >= sep_sim, "clone {clone_sim} vs separate {sep_sim}");
+            assert!(
+                clone_sim >= sep_sim,
+                "clone {clone_sim} vs separate {sep_sim}"
+            );
         }
     }
 

@@ -37,11 +37,11 @@ pub mod regression;
 pub mod report;
 
 pub use adversarial::{fgsm, fgsm_error_pct, input_gradient, pgd};
-pub use class_impact::{class_impact, per_class_error, ClassImpact};
 pub use backselect::{
     apply_pixel_mask, backselect_order, confidence, confidence_heatmap, keep_top_fraction,
     ConfidenceHeatmap, SelectionMode,
 };
+pub use class_impact::{class_impact, per_class_error, ClassImpact};
 pub use function_distance::{noise_similarity, similarity_sweep, NoiseSimilarity, SimilaritySweep};
 pub use prune_potential::{excess_error, excess_error_difference, PruneAccuracyCurve};
 pub use regression::{fit_through_origin, OriginFit};

@@ -15,7 +15,10 @@ impl PruneAccuracyCurve {
     /// Creates a curve, sorting points by prune ratio.
     pub fn new(unpruned_error_pct: f64, mut points: Vec<(f64, f64)>) -> Self {
         points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN prune ratio"));
-        Self { unpruned_error_pct, points }
+        Self {
+            unpruned_error_pct,
+            points,
+        }
     }
 
     /// The prune potential `P(θ, D)` for margin `delta_pct` (Definition 1):
@@ -88,10 +91,7 @@ pub fn excess_error_difference(
         .iter()
         .zip(&shifted.points)
         .map(|(&(rn, en), &(rs, es))| {
-            assert!(
-                (rn - rs).abs() < 1e-9,
-                "ratio grids differ: {rn} vs {rs}"
-            );
+            assert!((rn - rs).abs() < 1e-9, "ratio grids differ: {rn} vs {rs}");
             let e_pruned = excess_error(es, en);
             (rn, e_pruned - e_unpruned)
         })
@@ -103,10 +103,7 @@ mod tests {
     use super::*;
 
     fn curve() -> PruneAccuracyCurve {
-        PruneAccuracyCurve::new(
-            8.0,
-            vec![(0.2, 8.1), (0.5, 8.3), (0.8, 8.6), (0.95, 12.0)],
-        )
+        PruneAccuracyCurve::new(8.0, vec![(0.2, 8.1), (0.5, 8.3), (0.8, 8.6), (0.95, 12.0)])
     }
 
     #[test]
@@ -165,7 +162,10 @@ mod tests {
                 .collect(),
         );
         let diffs = excess_error_difference(&nominal, &shifted);
-        assert!(diffs.windows(2).all(|p| p[1].1 >= p[0].1), "not increasing: {diffs:?}");
+        assert!(
+            diffs.windows(2).all(|p| p[1].1 >= p[0].1),
+            "not increasing: {diffs:?}"
+        );
         assert!(diffs.last().expect("nonempty").1 > 3.0);
     }
 

@@ -56,7 +56,11 @@ pub fn fit_through_origin(points: &[(f64, f64)], n_boot: usize, seed: u64) -> Or
     slopes.sort_by(|a, b| a.partial_cmp(b).expect("NaN slope"));
     let lo_idx = ((n_boot as f64) * 0.025).floor() as usize;
     let hi_idx = (((n_boot as f64) * 0.975).ceil() as usize).min(n_boot - 1);
-    OriginFit { slope, ci_low: slopes[lo_idx], ci_high: slopes[hi_idx] }
+    OriginFit {
+        slope,
+        ci_low: slopes[lo_idx],
+        ci_high: slopes[hi_idx],
+    }
 }
 
 #[cfg(test)]
@@ -83,7 +87,12 @@ mod tests {
             })
             .collect();
         let fit = fit_through_origin(&pts, 500, 3);
-        assert!(fit.ci_low <= 2.0 && 2.0 <= fit.ci_high, "CI [{}, {}]", fit.ci_low, fit.ci_high);
+        assert!(
+            fit.ci_low <= 2.0 && 2.0 <= fit.ci_high,
+            "CI [{}, {}]",
+            fit.ci_low,
+            fit.ci_high
+        );
         assert!(fit.ci_low < fit.ci_high);
     }
 

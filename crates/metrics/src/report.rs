@@ -18,7 +18,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -98,7 +101,10 @@ mod tests {
 
     #[test]
     fn mean_std_formatting() {
-        assert_eq!(mean_std_cell(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]), "5.0 ± 2.0");
+        assert_eq!(
+            mean_std_cell(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]),
+            "5.0 ± 2.0"
+        );
         assert_eq!(mean_std_cell(&[3.25]), "3.2 ± 0.0");
     }
 

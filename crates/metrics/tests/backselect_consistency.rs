@@ -74,9 +74,16 @@ fn informative_subset_beats_anti_subset() {
             }
             v
         };
-        top_total += f64::from(confidence(&mut net, &apply_pixel_mask(&img, &keep_top), class));
-        bottom_total +=
-            f64::from(confidence(&mut net, &apply_pixel_mask(&img, &keep_bottom), class));
+        top_total += f64::from(confidence(
+            &mut net,
+            &apply_pixel_mask(&img, &keep_top),
+            class,
+        ));
+        bottom_total += f64::from(confidence(
+            &mut net,
+            &apply_pixel_mask(&img, &keep_bottom),
+            class,
+        ));
     }
     assert!(
         top_total > bottom_total,

@@ -26,12 +26,11 @@ proptest! {
     fn potential_is_feasible(curve in arbitrary_curve(), delta in 0.0f64..20.0) {
         let p = curve.prune_potential(delta);
         if p == 0.0 {
-            // no measured point with ratio <= anything qualifies at exactly p=0
+            // zero potential means no positive measured ratio stays within delta
             prop_assert!(curve
                 .points
                 .iter()
-                .all(|&(r, e)| r != p || e - curve.unpruned_error_pct > delta || r == 0.0)
-                || true);
+                .all(|&(r, e)| r == 0.0 || e - curve.unpruned_error_pct > delta));
         } else {
             // p must be a measured ratio whose error is within delta
             let q = curve

@@ -62,7 +62,10 @@ impl BatchNormCore {
         assert_eq!(c, self.channels(), "channel count mismatch");
         let mut out = x.clone();
         if train {
-            assert!(rows >= 2, "batch norm needs at least 2 rows in training mode");
+            assert!(
+                rows >= 2,
+                "batch norm needs at least 2 rows in training mode"
+            );
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
             let xd = x.data();
@@ -99,7 +102,10 @@ impl BatchNormCore {
                 self.running_var[j] =
                     (1.0 - self.momentum) * self.running_var[j] + self.momentum * var[j] * unbias;
             }
-            self.cache = Some(BnCache { x_hat: out.clone(), inv_std });
+            self.cache = Some(BnCache {
+                x_hat: out.clone(),
+                inv_std,
+            });
         } else {
             let od = out.data_mut();
             for r in 0..rows {
@@ -127,7 +133,10 @@ impl BatchNormCore {
     ///
     /// Panics if no training-mode forward preceded this call.
     pub fn backward_matrix(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("batch norm backward without train forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("batch norm backward without train forward");
         let (rows, c) = (grad_out.dim(0), grad_out.dim(1));
         assert_eq!(cache.x_hat.shape(), grad_out.shape(), "grad shape mismatch");
         let gd = grad_out.data();

@@ -81,7 +81,11 @@ impl Layer for Sequential {
     }
 
     fn describe(&self) -> String {
-        self.layers.iter().map(|l| l.describe()).collect::<Vec<_>>().join(" -> ")
+        self.layers
+            .iter()
+            .map(|l| l.describe())
+            .collect::<Vec<_>>()
+            .join(" -> ")
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -109,13 +113,21 @@ impl std::fmt::Debug for Residual {
 impl Residual {
     /// Creates a residual block with an identity shortcut.
     pub fn new(body: Sequential) -> Self {
-        Self { body, shortcut: None, relu_mask: None }
+        Self {
+            body,
+            shortcut: None,
+            relu_mask: None,
+        }
     }
 
     /// Creates a residual block with a projection shortcut (used when the
     /// body changes the channel count or spatial resolution).
     pub fn with_projection(body: Sequential, shortcut: ConvBlock) -> Self {
-        Self { body, shortcut: Some(shortcut), relu_mask: None }
+        Self {
+            body,
+            shortcut: Some(shortcut),
+            relu_mask: None,
+        }
     }
 }
 
@@ -136,7 +148,10 @@ impl Layer for Residual {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.relu_mask.take().expect("Residual backward without forward");
+        let mask = self
+            .relu_mask
+            .take()
+            .expect("Residual backward without forward");
         let mut g = grad_out.clone();
         g.mul_assign(&mask);
         let gb = self.body.backward(&g);
@@ -162,8 +177,7 @@ impl Layer for Residual {
     }
 
     fn flops_per_sample(&self) -> u64 {
-        self.body.flops_per_sample()
-            + self.shortcut.as_ref().map_or(0, |p| p.flops_per_sample())
+        self.body.flops_per_sample() + self.shortcut.as_ref().map_or(0, |p| p.flops_per_sample())
     }
 
     fn describe(&self) -> String {
@@ -217,7 +231,11 @@ impl DenseBlock {
             plan.push(l.out_channels());
             expect_in += l.out_channels();
         }
-        Self { layers, channel_plan: plan, cache_features: None }
+        Self {
+            layers,
+            channel_plan: plan,
+            cache_features: None,
+        }
     }
 
     /// Total output channels of the block.
@@ -246,7 +264,10 @@ impl Layer for DenseBlock {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let features = self.cache_features.take().expect("DenseBlock backward without forward");
+        let features = self
+            .cache_features
+            .take()
+            .expect("DenseBlock backward without forward");
         let n_feats = features.len();
         // split output gradient into per-feature slices
         let mut feat_grads: Vec<Tensor> = Vec::with_capacity(n_feats);
@@ -290,7 +311,11 @@ impl Layer for DenseBlock {
     fn describe(&self) -> String {
         format!(
             "dense[{}]",
-            self.layers.iter().map(|l| l.describe()).collect::<Vec<_>>().join(", ")
+            self.layers
+                .iter()
+                .map(|l| l.describe())
+                .collect::<Vec<_>>()
+                .join(", ")
         )
     }
 
@@ -379,7 +404,14 @@ mod tests {
         let g = ConvGeometry::new(3, 2, 1);
         let body = Sequential::new()
             .then(ConvBlock::new("c1", 2, 4, g, (4, 4), &mut rng).with_relu())
-            .then(ConvBlock::new("c2", 4, 4, ConvGeometry::new(3, 1, 1), (2, 2), &mut rng));
+            .then(ConvBlock::new(
+                "c2",
+                4,
+                4,
+                ConvGeometry::new(3, 1, 1),
+                (2, 2),
+                &mut rng,
+            ));
         let proj = ConvBlock::new("p", 2, 4, ConvGeometry::new(1, 2, 0), (4, 4), &mut rng);
         let mut res = Residual::with_projection(body, proj);
         let x = Tensor::rand_uniform(&[2, 2, 4, 4], -1.0, 1.0, &mut rng);

@@ -62,7 +62,10 @@ impl ConvBlock {
             in_c,
             out_c,
             in_hw,
-            weight: Param::new(Tensor::randn(&[out_c, fan_in], 0.0, std, rng), ParamKind::Weight),
+            weight: Param::new(
+                Tensor::randn(&[out_c, fan_in], 0.0, std, rng),
+                ParamKind::Weight,
+            ),
             bias: Param::new(Tensor::zeros(&[out_c]), ParamKind::Bias),
             bn: None,
             relu: false,
@@ -152,7 +155,10 @@ impl Layer for ConvBlock {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("ConvBlock backward without forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("ConvBlock backward without forward");
         let mut g = grad_out.clone();
         if let Some(mask) = &cache.relu_mask {
             g.mul_assign(mask);
@@ -285,7 +291,8 @@ mod tests {
             .with_relu();
         let x = Tensor::rand_uniform(&[2, 2, 4, 4], -1.0, 1.0, &mut rng);
         let w = Tensor::rand_uniform(&[2, 3, 4, 4], -1.0, 1.0, &mut rng);
-        let loss = |b: &mut ConvBlock, x: &Tensor| -> f32 { b.forward(x, Mode::Train).mul(&w).sum() };
+        let loss =
+            |b: &mut ConvBlock, x: &Tensor| -> f32 { b.forward(x, Mode::Train).mul(&w).sum() };
 
         let mut b = b0.clone();
         let _ = b.forward(&x, Mode::Train);

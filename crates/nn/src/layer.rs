@@ -80,7 +80,11 @@ pub trait PrunableLayer {
 /// The visitation methods are the only way external code (optimizer, pruning
 /// methods, statistics) reaches the parameters, which keeps containers free
 /// to nest arbitrarily.
-pub trait Layer: Send {
+///
+/// `Send + Sync` is a supertrait so a `&Network` can be shared across the
+/// `pv-par` worker threads that clone per-worker evaluation copies; layers
+/// are plain owned data, so every implementor satisfies it structurally.
+pub trait Layer: Send + Sync {
     /// Computes the layer output. In `Train` mode the layer caches its
     /// inputs/intermediates for the following `backward`.
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;

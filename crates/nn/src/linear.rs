@@ -31,7 +31,10 @@ impl LinearBlock {
         let std = he_std(in_dim);
         Self {
             label: label.into(),
-            weight: Param::new(Tensor::randn(&[out_dim, in_dim], 0.0, std, rng), ParamKind::Weight),
+            weight: Param::new(
+                Tensor::randn(&[out_dim, in_dim], 0.0, std, rng),
+                ParamKind::Weight,
+            ),
             bias: Param::new(Tensor::zeros(&[out_dim]), ParamKind::Bias),
             bn: None,
             relu: false,
@@ -75,7 +78,12 @@ impl LinearBlock {
 impl Layer for LinearBlock {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(x.ndim(), 2, "LinearBlock expects [N, in] input");
-        assert_eq!(x.dim(1), self.in_dim(), "input width mismatch in {}", self.label);
+        assert_eq!(
+            x.dim(1),
+            self.in_dim(),
+            "input width mismatch in {}",
+            self.label
+        );
         // mean |x_j| over the batch: the data-informed sensitivity a(x)
         let mut sens = x.map(f32::abs).sum_rows();
         sens.scale_in_place(1.0 / x.dim(0) as f32);
@@ -100,7 +108,10 @@ impl Layer for LinearBlock {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache_input.take().expect("LinearBlock backward without forward");
+        let x = self
+            .cache_input
+            .take()
+            .expect("LinearBlock backward without forward");
         let mut g = grad_out.clone();
         if self.relu {
             let mask = self.cache_relu_mask.take().expect("missing ReLU cache");
@@ -227,11 +238,14 @@ mod tests {
     #[test]
     fn backward_finite_difference_with_bn_and_relu() {
         let mut rng = Rng::new(3);
-        let l0 = LinearBlock::new("l", 4, 3, &mut rng).with_batch_norm().with_relu();
+        let l0 = LinearBlock::new("l", 4, 3, &mut rng)
+            .with_batch_norm()
+            .with_relu();
         let x = Tensor::rand_uniform(&[6, 4], -1.0, 1.0, &mut rng);
         let w = Tensor::rand_uniform(&[6, 3], -1.0, 1.0, &mut rng); // loss weights
 
-        let loss = |l: &mut LinearBlock, x: &Tensor| -> f32 { l.forward(x, Mode::Train).mul(&w).sum() };
+        let loss =
+            |l: &mut LinearBlock, x: &Tensor| -> f32 { l.forward(x, Mode::Train).mul(&w).sum() };
 
         let mut l = l0.clone();
         let _ = l.forward(&x, Mode::Train);

@@ -49,7 +49,10 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
         grad.set2(r, label, v - 1.0);
     }
     grad.scale_in_place(inv_n);
-    LossOutput { loss, grad_logits: grad }
+    LossOutput {
+        loss,
+        grad_logits: grad,
+    }
 }
 
 /// Fraction of rows whose argmax equals the label.

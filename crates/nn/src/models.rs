@@ -51,9 +51,18 @@ pub fn mlp(
 ///
 /// `input` is `(channels, height, width)`; height and width must be
 /// divisible by 8 (three pooling stages).
-pub fn mini_vgg(name: &str, input: (usize, usize, usize), classes: usize, width: usize, seed: u64) -> Network {
+pub fn mini_vgg(
+    name: &str,
+    input: (usize, usize, usize),
+    classes: usize,
+    width: usize,
+    seed: u64,
+) -> Network {
     let (c, h, w) = input;
-    assert!(h % 8 == 0 && w % 8 == 0, "mini_vgg needs input divisible by 8");
+    assert!(
+        h % 8 == 0 && w % 8 == 0,
+        "mini_vgg needs input divisible by 8"
+    );
     let mut rng = Rng::new(seed);
     let g = ConvGeometry::new(3, 1, 1);
     let mut seq = Sequential::new();
@@ -79,13 +88,18 @@ pub fn mini_vgg(name: &str, input: (usize, usize, usize), classes: usize, width:
     let feat = in_c * hw.0 * hw.1;
     let fc_dim = 4 * width * 4;
     seq.push(Box::new(Flatten::new()));
-    seq.push(Box::new(LinearBlock::new("fc0", feat, fc_dim, &mut rng).with_relu()));
-    seq.push(Box::new(LinearBlock::new("clf", fc_dim, classes, &mut rng).as_classifier()));
+    seq.push(Box::new(
+        LinearBlock::new("fc0", feat, fc_dim, &mut rng).with_relu(),
+    ));
+    seq.push(Box::new(
+        LinearBlock::new("clf", fc_dim, classes, &mut rng).as_classifier(),
+    ));
     Network::new(name, seq, vec![c, h, w], classes)
 }
 
 /// Builds one residual stage of `blocks` basic blocks; the first block may
 /// downsample (stride 2) and change width via a 1×1 projection shortcut.
+#[allow(clippy::too_many_arguments)]
 fn residual_stage(
     seq: &mut Sequential,
     stage: usize,
@@ -98,7 +112,11 @@ fn residual_stage(
 ) -> (usize, usize) {
     let mut cur_hw = hw;
     for b in 0..blocks {
-        let (stride, cin) = if b == 0 { (first_stride, in_c) } else { (1, out_c) };
+        let (stride, cin) = if b == 0 {
+            (first_stride, in_c)
+        } else {
+            (1, out_c)
+        };
         let g1 = ConvGeometry::new(3, stride, 1);
         let g2 = ConvGeometry::new(3, 1, 1);
         let next_hw = g1.output_size(cur_hw.0, cur_hw.1);
@@ -146,18 +164,55 @@ pub fn mini_resnet(
     seed: u64,
 ) -> Network {
     let (c, h, w) = input;
-    assert!(h % 4 == 0 && w % 4 == 0, "mini_resnet needs input divisible by 4");
+    assert!(
+        h % 4 == 0 && w % 4 == 0,
+        "mini_resnet needs input divisible by 4"
+    );
     let mut rng = Rng::new(seed);
     let mut seq = Sequential::new();
     let hw = (h, w);
     seq.push(Box::new(
-        ConvBlock::new("stem", c, base_width, ConvGeometry::new(3, 1, 1), hw, &mut rng)
-            .with_batch_norm()
-            .with_relu(),
+        ConvBlock::new(
+            "stem",
+            c,
+            base_width,
+            ConvGeometry::new(3, 1, 1),
+            hw,
+            &mut rng,
+        )
+        .with_batch_norm()
+        .with_relu(),
     ));
-    let hw = residual_stage(&mut seq, 0, blocks_per_stage, base_width, base_width, 1, hw, &mut rng);
-    let hw = residual_stage(&mut seq, 1, blocks_per_stage, base_width, 2 * base_width, 2, hw, &mut rng);
-    let _hw = residual_stage(&mut seq, 2, blocks_per_stage, 2 * base_width, 4 * base_width, 2, hw, &mut rng);
+    let hw = residual_stage(
+        &mut seq,
+        0,
+        blocks_per_stage,
+        base_width,
+        base_width,
+        1,
+        hw,
+        &mut rng,
+    );
+    let hw = residual_stage(
+        &mut seq,
+        1,
+        blocks_per_stage,
+        base_width,
+        2 * base_width,
+        2,
+        hw,
+        &mut rng,
+    );
+    let _hw = residual_stage(
+        &mut seq,
+        2,
+        blocks_per_stage,
+        2 * base_width,
+        4 * base_width,
+        2,
+        hw,
+        &mut rng,
+    );
     seq.push(Box::new(GlobalAvgPool::new()));
     seq.push(Box::new(
         LinearBlock::new("clf", 4 * base_width, classes, &mut rng).as_classifier(),
@@ -190,14 +245,19 @@ pub fn mini_densenet(
     seed: u64,
 ) -> Network {
     let (c, h, w) = input;
-    assert!(h % 4 == 0 && w % 4 == 0, "mini_densenet needs input divisible by 4");
+    assert!(
+        h % 4 == 0 && w % 4 == 0,
+        "mini_densenet needs input divisible by 4"
+    );
     let mut rng = Rng::new(seed);
     let g3 = ConvGeometry::new(3, 1, 1);
     let mut seq = Sequential::new();
     let stem_c = 2 * growth;
     let mut hw = (h, w);
     seq.push(Box::new(
-        ConvBlock::new("stem", c, stem_c, g3, hw, &mut rng).with_batch_norm().with_relu(),
+        ConvBlock::new("stem", c, stem_c, g3, hw, &mut rng)
+            .with_batch_norm()
+            .with_relu(),
     ));
 
     let mut in_c = stem_c;
@@ -218,16 +278,25 @@ pub fn mini_densenet(
         // transition: compress channels and halve resolution
         let trans_c = out_c / 2;
         seq.push(Box::new(
-            ConvBlock::new(format!("t{blk}"), out_c, trans_c, ConvGeometry::new(1, 1, 0), hw, &mut rng)
-                .with_batch_norm()
-                .with_relu(),
+            ConvBlock::new(
+                format!("t{blk}"),
+                out_c,
+                trans_c,
+                ConvGeometry::new(1, 1, 0),
+                hw,
+                &mut rng,
+            )
+            .with_batch_norm()
+            .with_relu(),
         ));
         seq.push(Box::new(MaxPool::new(2, 2)));
         hw = (hw.0 / 2, hw.1 / 2);
         in_c = trans_c;
     }
     seq.push(Box::new(GlobalAvgPool::new()));
-    seq.push(Box::new(LinearBlock::new("clf", in_c, classes, &mut rng).as_classifier()));
+    seq.push(Box::new(
+        LinearBlock::new("clf", in_c, classes, &mut rng).as_classifier(),
+    ));
     Network::new(name, seq, vec![c, h, w], classes)
 }
 
@@ -244,13 +313,18 @@ pub fn mini_segnet(
 ) -> Network {
     use crate::upsample::NearestUpsample;
     let (c, h, w) = input;
-    assert!(h % 2 == 0 && w % 2 == 0, "mini_segnet needs even input size");
+    assert!(
+        h % 2 == 0 && w % 2 == 0,
+        "mini_segnet needs even input size"
+    );
     let mut rng = Rng::new(seed);
     let g3 = ConvGeometry::new(3, 1, 1);
     let g3s2 = ConvGeometry::new(3, 2, 1);
     let mut seq = Sequential::new();
     seq.push(Box::new(
-        ConvBlock::new("stem", c, width, g3, (h, w), &mut rng).with_batch_norm().with_relu(),
+        ConvBlock::new("stem", c, width, g3, (h, w), &mut rng)
+            .with_batch_norm()
+            .with_relu(),
     ));
     seq.push(Box::new(
         ConvBlock::new("enc0", width, 2 * width, g3s2, (h, w), &mut rng)
@@ -358,7 +432,12 @@ mod tests {
                     n_clf += 1;
                 }
             });
-            assert_eq!(n_clf, 1, "{} should have exactly one classifier", net.name());
+            assert_eq!(
+                n_clf,
+                1,
+                "{} should have exactly one classifier",
+                net.name()
+            );
         }
     }
 

@@ -5,6 +5,7 @@
 use crate::container::Sequential;
 use crate::layer::{Layer, Mode, PrunableLayer};
 use crate::param::{Param, ParamKind};
+use pv_tensor::par;
 use pv_tensor::Tensor;
 
 /// A complete classifier network.
@@ -40,7 +41,12 @@ impl Network {
         input_shape: Vec<usize>,
         num_classes: usize,
     ) -> Self {
-        Self { name: name.into(), root, input_shape, num_classes }
+        Self {
+            name: name.into(),
+            root,
+            input_shape,
+            num_classes,
+        }
     }
 
     /// The network's name.
@@ -90,6 +96,11 @@ impl Network {
     /// Classification accuracy on `(x, labels)`, evaluated in mini-batches
     /// of `batch` samples to bound memory.
     ///
+    /// Mini-batches are scored in parallel when worker threads are
+    /// available (each worker predicts with its own clone of the network;
+    /// eval-mode forward is pure, so the per-batch predictions — and the
+    /// integer correct count — are identical to the serial sweep).
+    ///
     /// # Panics
     ///
     /// Panics if `labels.len()` differs from the number of samples or
@@ -101,19 +112,26 @@ impl Network {
         if n == 0 {
             return 0.0;
         }
-        let mut correct = 0usize;
-        let mut start = 0;
-        while start < n {
+        let n_batches = n.div_ceil(batch);
+        let score_batch = |net: &mut Network, bi: usize| -> usize {
+            let start = bi * batch;
             let end = (start + batch).min(n);
             let xb = x.slice_first_axis(start, end);
-            let preds = self.predict(&xb);
-            correct += preds
+            let preds = net.predict(&xb);
+            preds
                 .iter()
                 .zip(&labels[start..end])
                 .filter(|(p, l)| p == l)
-                .count();
-            start = end;
-        }
+                .count()
+        };
+        let correct: usize = if n_batches > 1 && par::num_threads() > 1 {
+            let this = &*self;
+            par::parallel_map_with(n_batches, || this.clone(), score_batch)
+                .into_iter()
+                .sum()
+        } else {
+            (0..n_batches).map(|bi| score_batch(self, bi)).sum()
+        };
         correct as f64 / n as f64
     }
 

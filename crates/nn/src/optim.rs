@@ -1,8 +1,8 @@
 //! SGD with momentum, learning-rate schedules with warmup, and the training
 //! loop shared by initial training and prune–retrain cycles.
 
-use crate::loss::cross_entropy;
 use crate::layer::Mode;
+use crate::loss::cross_entropy;
 use crate::network::Network;
 use pv_tensor::{Rng, Tensor};
 
@@ -47,7 +47,11 @@ pub struct Schedule {
 impl Schedule {
     /// A constant schedule without warmup.
     pub fn constant(base_lr: f64) -> Self {
-        Self { base_lr, warmup_epochs: 0, decay: LrDecay::Constant }
+        Self {
+            base_lr,
+            warmup_epochs: 0,
+            decay: LrDecay::Constant,
+        }
     }
 
     /// Learning rate for `epoch` (0-based) out of `total_epochs`.
@@ -195,7 +199,11 @@ pub fn train(
             let end = (start + cfg.batch_size).min(n);
             // batch-norm needs >= 2 rows; fold a trailing singleton into
             // the previous batch by extending backwards
-            let begin = if end - start == 1 && start > 0 { start - 1 } else { start };
+            let begin = if end - start == 1 && start > 0 {
+                start - 1
+            } else {
+                start
+            };
             let idx = &order[begin..end];
             let mut xb = inputs.gather_first_axis(idx);
             let yb: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
@@ -251,7 +259,10 @@ mod tests {
         let s = Schedule {
             base_lr: 0.1,
             warmup_epochs: 5,
-            decay: LrDecay::MultiStep { milestones: vec![10, 20], gamma: 0.1 },
+            decay: LrDecay::MultiStep {
+                milestones: vec![10, 20],
+                gamma: 0.1,
+            },
         };
         assert!((s.lr_at(0, 30) - 0.02).abs() < 1e-12);
         assert!((s.lr_at(4, 30) - 0.1).abs() < 1e-12);
@@ -262,11 +273,22 @@ mod tests {
 
     #[test]
     fn schedule_every_and_poly() {
-        let e = Schedule { base_lr: 1.0, warmup_epochs: 0, decay: LrDecay::Every { every: 10, gamma: 0.5 } };
+        let e = Schedule {
+            base_lr: 1.0,
+            warmup_epochs: 0,
+            decay: LrDecay::Every {
+                every: 10,
+                gamma: 0.5,
+            },
+        };
         assert_eq!(e.lr_at(0, 40), 1.0);
         assert_eq!(e.lr_at(10, 40), 0.5);
         assert_eq!(e.lr_at(25, 40), 0.25);
-        let p = Schedule { base_lr: 1.0, warmup_epochs: 0, decay: LrDecay::Poly { power: 0.9 } };
+        let p = Schedule {
+            base_lr: 1.0,
+            warmup_epochs: 0,
+            decay: LrDecay::Poly { power: 0.9 },
+        };
         assert_eq!(p.lr_at(0, 10), 1.0);
         assert!(p.lr_at(9, 10) < 0.2);
     }
@@ -286,7 +308,10 @@ mod tests {
         };
         let report = train(&mut net, &x, &y, &cfg, None);
         assert!(report.epoch_losses.len() == 60);
-        assert!(report.final_loss() < report.epoch_losses[0], "loss should decrease");
+        assert!(
+            report.final_loss() < report.epoch_losses[0],
+            "loss should decrease"
+        );
         let acc = net.accuracy(&x, &y, 64);
         assert!(acc > 0.9, "train accuracy {acc} too low");
     }
@@ -294,7 +319,10 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let (x, y) = toy_data(64, 5);
-        let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        };
         let mut a = make_net(7, 8);
         let mut b = make_net(7, 8);
         let ra = train(&mut a, &x, &y, &cfg, None);
@@ -315,7 +343,10 @@ mod tests {
                 zero_idx = (0..l.weight().len()).filter(|i| i % 3 == 0).collect();
             }
         });
-        let cfg = TrainConfig { epochs: 5, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        };
         train(&mut net, &x, &y, &cfg, None);
         net.visit_prunable(&mut |l| {
             if l.label() == "fc1" {
@@ -331,7 +362,11 @@ mod tests {
         let (x, y) = toy_data(32, 8);
         let mut net = make_net(9, 4);
         let mut calls = 0usize;
-        let cfg = TrainConfig { epochs: 2, batch_size: 8, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            ..TrainConfig::default()
+        };
         let mut hook = |xb: &mut Tensor, _rng: &mut Rng| {
             calls += 1;
             assert_eq!(xb.dim(1), 2);

@@ -43,7 +43,13 @@ impl Param {
     /// Wraps a freshly initialized tensor as a dense parameter.
     pub fn new(value: Tensor, kind: ParamKind) -> Self {
         let grad = Tensor::zeros(value.shape());
-        Self { value, grad, mask: None, velocity: None, kind }
+        Self {
+            value,
+            grad,
+            mask: None,
+            velocity: None,
+            kind,
+        }
     }
 
     /// Number of scalar entries.
@@ -120,7 +126,10 @@ mod tests {
 
     #[test]
     fn mask_projects_value_grad_and_velocity() {
-        let mut p = Param::new(Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]), ParamKind::Weight);
+        let mut p = Param::new(
+            Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]),
+            ParamKind::Weight,
+        );
         p.grad = Tensor::ones(&[2, 2]);
         p.velocity = Some(Tensor::ones(&[2, 2]));
         p.set_mask(Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]));

@@ -17,7 +17,10 @@ pub struct MaxPool {
 impl MaxPool {
     /// Square max pooling with the given window and stride.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        Self { geometry: ConvGeometry::new(kernel, stride, 0), cache: None }
+        Self {
+            geometry: ConvGeometry::new(kernel, stride, 0),
+            cache: None,
+        }
     }
 }
 
@@ -44,7 +47,10 @@ impl Layer for MaxPool {
     }
 
     fn describe(&self) -> String {
-        format!("maxpool{}x{}/s{}", self.geometry.kh, self.geometry.kw, self.geometry.stride)
+        format!(
+            "maxpool{}x{}/s{}",
+            self.geometry.kh, self.geometry.kw, self.geometry.stride
+        )
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -74,7 +80,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (h, w) = self.cache_hw.take().expect("GlobalAvgPool backward without forward");
+        let (h, w) = self
+            .cache_hw
+            .take()
+            .expect("GlobalAvgPool backward without forward");
         global_avg_pool_backward(grad_out, h, w)
     }
 
@@ -118,7 +127,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.cache_shape.take().expect("Flatten backward without forward");
+        let shape = self
+            .cache_shape
+            .take()
+            .expect("Flatten backward without forward");
         grad_out.reshape(&shape)
     }
 

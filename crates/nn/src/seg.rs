@@ -2,8 +2,8 @@
 //! cross-entropy, pixel accuracy, and mean intersection-over-union — the
 //! substrate for the paper's DeeplabV3/VOC experiments.
 
-use crate::loss::cross_entropy;
 use crate::layer::Mode;
+use crate::loss::cross_entropy;
 use crate::network::Network;
 use crate::optim::{sgd_step, TrainConfig, TrainReport};
 use pv_tensor::{matrix_to_nchw, nchw_to_matrix, Rng, Tensor};
@@ -26,7 +26,12 @@ pub fn pixel_cross_entropy(logits: &Tensor, pixel_labels: &[usize]) -> (f32, Ten
 }
 
 /// Per-pixel classification error (%) on a batch.
-pub fn pixel_error_pct(net: &mut Network, images: &Tensor, pixel_labels: &[usize], batch: usize) -> f64 {
+pub fn pixel_error_pct(
+    net: &mut Network,
+    images: &Tensor,
+    pixel_labels: &[usize],
+    batch: usize,
+) -> f64 {
     assert!(batch > 0, "batch must be positive");
     let n = images.dim(0);
     let pixels_per_image = pixel_labels.len() / n.max(1);
@@ -46,7 +51,12 @@ pub fn pixel_error_pct(net: &mut Network, images: &Tensor, pixel_labels: &[usize
 
 /// Mean intersection-over-union (%) over all classes (classes absent from
 /// both prediction and ground truth are skipped).
-pub fn mean_iou_pct(net: &mut Network, images: &Tensor, pixel_labels: &[usize], batch: usize) -> f64 {
+pub fn mean_iou_pct(
+    net: &mut Network,
+    images: &Tensor,
+    pixel_labels: &[usize],
+    batch: usize,
+) -> f64 {
     let n = images.dim(0);
     let pixels_per_image = pixel_labels.len() / n.max(1);
     let k = net.num_classes();
@@ -87,7 +97,12 @@ pub fn mean_iou_pct(net: &mut Network, images: &Tensor, pixel_labels: &[usize], 
 
 /// IoU test *error* (%) — `100 − mean IoU` — the unit of the paper's
 /// Table 7/8 rows.
-pub fn iou_error_pct(net: &mut Network, images: &Tensor, pixel_labels: &[usize], batch: usize) -> f64 {
+pub fn iou_error_pct(
+    net: &mut Network,
+    images: &Tensor,
+    pixel_labels: &[usize],
+    batch: usize,
+) -> f64 {
     100.0 - mean_iou_pct(net, images, pixel_labels, batch)
 }
 
@@ -107,7 +122,11 @@ pub fn train_segmentation(
     assert!(n > 0, "empty training set");
     assert!(cfg.batch_size > 0, "batch_size must be positive");
     let pixels_per_image = pixel_labels.len() / n;
-    assert_eq!(pixel_labels.len(), n * pixels_per_image, "label map mismatch");
+    assert_eq!(
+        pixel_labels.len(),
+        n * pixels_per_image,
+        "label map mismatch"
+    );
 
     let mut shuffle_rng = Rng::new(cfg.seed);
     let mut report = TrainReport::default();
@@ -120,7 +139,11 @@ pub fn train_segmentation(
         let mut start = 0;
         while start < n {
             let end = (start + cfg.batch_size).min(n);
-            let begin = if end - start == 1 && start > 0 { start - 1 } else { start };
+            let begin = if end - start == 1 && start > 0 {
+                start - 1
+            } else {
+                start
+            };
             let idx = &order[begin..end];
             let xb = images.gather_first_axis(idx);
             let mut yb = Vec::with_capacity(idx.len() * pixels_per_image);

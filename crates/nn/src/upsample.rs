@@ -54,9 +54,17 @@ impl Layer for NearestUpsample {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         // adjoint of replication = sum over each f×f block
         assert_eq!(grad_out.ndim(), 4);
-        let (n, c, oh, ow) = (grad_out.dim(0), grad_out.dim(1), grad_out.dim(2), grad_out.dim(3));
+        let (n, c, oh, ow) = (
+            grad_out.dim(0),
+            grad_out.dim(1),
+            grad_out.dim(2),
+            grad_out.dim(3),
+        );
         let f = self.factor;
-        assert!(oh % f == 0 && ow % f == 0, "gradient not divisible by factor");
+        assert!(
+            oh % f == 0 && ow % f == 0,
+            "gradient not divisible by factor"
+        );
         let (h, w) = (oh / f, ow / f);
         let mut grad_in = Tensor::zeros(&[n, c, h, w]);
         let gd = grad_out.data();

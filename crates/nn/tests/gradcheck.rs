@@ -35,10 +35,13 @@ fn gradcheck(mut make: impl FnMut() -> Network, batch_shape: &[usize], seed: u64
     // to dominate f32 rounding in the loss
     let eps = 2e-3f32;
     let mut param_idx = 0;
-    let n_params = grads.len();
-    for pi in 0..n_params {
-        let len = grads[pi].len();
-        let probes: Vec<usize> = if len <= 2 { (0..len).collect() } else { vec![0, len / 2, len - 1] };
+    for (pi, grad) in grads.iter().enumerate() {
+        let len = grad.len();
+        let probes: Vec<usize> = if len <= 2 {
+            (0..len).collect()
+        } else {
+            vec![0, len / 2, len - 1]
+        };
         for &k in &probes {
             let mut eval = |delta: f32| -> f64 {
                 let mut net = make();
@@ -52,7 +55,7 @@ fn gradcheck(mut make: impl FnMut() -> Network, batch_shape: &[usize], seed: u64
                 loss_of(&mut net, &x, &y)
             };
             let num = (eval(eps) - eval(-eps)) / (2.0 * f64::from(eps));
-            let ana = f64::from(grads[pi][k]);
+            let ana = f64::from(grad[k]);
             assert!(
                 (num - ana).abs() < tol.max(0.08 * ana.abs()),
                 "param {pi} coord {k}: numeric {num} vs analytic {ana}"
@@ -70,20 +73,40 @@ fn mlp_with_bn_gradcheck() {
 
 #[test]
 fn mini_resnet_gradcheck() {
-    gradcheck(|| models::mini_resnet("r", (1, 8, 8), 3, 2, 1, 13), &[4, 1, 8, 8], 2, 0.03);
+    gradcheck(
+        || models::mini_resnet("r", (1, 8, 8), 3, 2, 1, 13),
+        &[4, 1, 8, 8],
+        2,
+        0.03,
+    );
 }
 
 #[test]
 fn mini_vgg_gradcheck() {
-    gradcheck(|| models::mini_vgg("v", (1, 8, 8), 3, 2, 17), &[4, 1, 8, 8], 3, 0.03);
+    gradcheck(
+        || models::mini_vgg("v", (1, 8, 8), 3, 2, 17),
+        &[4, 1, 8, 8],
+        3,
+        0.03,
+    );
 }
 
 #[test]
 fn mini_densenet_gradcheck() {
-    gradcheck(|| models::mini_densenet("d", (1, 8, 8), 3, 2, 2, 19), &[4, 1, 8, 8], 4, 0.03);
+    gradcheck(
+        || models::mini_densenet("d", (1, 8, 8), 3, 2, 2, 19),
+        &[4, 1, 8, 8],
+        4,
+        0.03,
+    );
 }
 
 #[test]
 fn mini_wide_resnet_gradcheck() {
-    gradcheck(|| models::mini_wide_resnet("w", (1, 8, 8), 3, 2, 2, 23), &[4, 1, 8, 8], 5, 0.03);
+    gradcheck(
+        || models::mini_wide_resnet("w", (1, 8, 8), 3, 2, 2, 23),
+        &[4, 1, 8, 8],
+        5,
+        0.03,
+    );
 }

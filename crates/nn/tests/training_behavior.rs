@@ -50,11 +50,21 @@ fn momentum_accumulates_velocity() {
 fn warmup_starts_small_everywhere() {
     for decay in [
         LrDecay::Constant,
-        LrDecay::MultiStep { milestones: vec![5], gamma: 0.1 },
-        LrDecay::Every { every: 3, gamma: 0.5 },
+        LrDecay::MultiStep {
+            milestones: vec![5],
+            gamma: 0.1,
+        },
+        LrDecay::Every {
+            every: 3,
+            gamma: 0.5,
+        },
         LrDecay::Poly { power: 0.9 },
     ] {
-        let s = Schedule { base_lr: 0.4, warmup_epochs: 4, decay };
+        let s = Schedule {
+            base_lr: 0.4,
+            warmup_epochs: 4,
+            decay,
+        };
         assert!(
             (s.lr_at(0, 20) - 0.1).abs() < 1e-12,
             "first warmup epoch should be base/4"
@@ -93,7 +103,10 @@ fn train_mode_updates_batchnorm_running_stats() {
 fn training_smaller_lr_changes_less() {
     let (x, y): (Tensor, Vec<usize>) = {
         let mut rng = Rng::new(7);
-        (Tensor::rand_uniform(&[32, 4], 0.0, 1.0, &mut rng), (0..32).map(|i| i % 2).collect())
+        (
+            Tensor::rand_uniform(&[32, 4], 0.0, 1.0, &mut rng),
+            (0..32).map(|i| i % 2).collect(),
+        )
     };
     let weights_after = |lr: f64| -> f32 {
         let mut net = models::mlp("m", 4, &[8], 2, false, 8);
@@ -126,5 +139,8 @@ fn training_smaller_lr_changes_less() {
     };
     let small = weights_after(0.001);
     let large = weights_after(0.1);
-    assert!(small < large, "lr 0.001 moved weights more ({small}) than lr 0.1 ({large})");
+    assert!(
+        small < large,
+        "lr 0.001 moved weights more ({small}) than lr 0.1 ({large})"
+    );
 }

@@ -50,7 +50,9 @@ pub fn all_methods() -> Vec<Box<dyn PruneMethod>> {
 
 /// Looks a method up by its paper name (case-insensitive).
 pub fn method_by_name(name: &str) -> Option<Box<dyn PruneMethod>> {
-    all_methods().into_iter().find(|m| m.name().eq_ignore_ascii_case(name))
+    all_methods()
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

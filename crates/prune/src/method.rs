@@ -22,7 +22,9 @@ impl PruneContext {
 
     /// A context carrying a sensitivity batch.
     pub fn with_batch(batch: Tensor) -> Self {
-        Self { sensitivity_batch: Some(batch) }
+        Self {
+            sensitivity_batch: Some(batch),
+        }
     }
 }
 
@@ -85,7 +87,7 @@ pub(crate) fn collect_active_scores(
         assert_eq!(scores.len(), layer.weight().len(), "score length mismatch");
         let mask = layer.weight().mask.clone();
         for (i, &s) in scores.iter().enumerate() {
-            let active = mask.as_ref().map_or(true, |m| m.data()[i] != 0.0);
+            let active = mask.as_ref().is_none_or(|m| m.data()[i] != 0.0);
             if active {
                 entries.push((li, i, s));
             }
@@ -102,11 +104,10 @@ pub(crate) fn apply_unstructured_prune(net: &mut Network, mut entries: Vec<Score
         return;
     }
     let k = k.min(entries.len());
-    entries.select_nth_unstable_by(k - 1, |a, b| {
-        a.2.partial_cmp(&b.2).expect("NaN score")
-    });
+    entries.select_nth_unstable_by(k - 1, |a, b| a.2.partial_cmp(&b.2).expect("NaN score"));
     // group doomed indices per layer
-    let mut per_layer: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    let mut per_layer: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
     for &(li, idx, _) in &entries[..k] {
         per_layer.entry(li).or_default().push(idx);
     }
@@ -134,7 +135,11 @@ pub(crate) fn active_rows(layer: &dyn pv_nn::PrunableLayer) -> Vec<usize> {
     match &layer.weight().mask {
         None => (0..rows).collect(),
         Some(mask) => (0..rows)
-            .filter(|&r| mask.data()[r * cols..(r + 1) * cols].iter().any(|&v| v != 0.0))
+            .filter(|&r| {
+                mask.data()[r * cols..(r + 1) * cols]
+                    .iter()
+                    .any(|&v| v != 0.0)
+            })
             .collect(),
     }
 }
@@ -169,7 +174,10 @@ pub(crate) fn prune_rows(layer: &mut dyn pv_nn::PrunableLayer, doomed: &[usize])
         bias.set_mask(mask);
     }
     for coupled in layer.coupled_mut() {
-        let mut mask = coupled.mask.clone().unwrap_or_else(|| Tensor::ones(&[rows]));
+        let mut mask = coupled
+            .mask
+            .clone()
+            .unwrap_or_else(|| Tensor::ones(&[rows]));
         for &r in doomed {
             mask.data_mut()[r] = 0.0;
         }

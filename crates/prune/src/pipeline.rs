@@ -62,7 +62,11 @@ impl PruneRetrain {
     /// (LR rewinding, the paper's protocol).
     pub fn new(cycles: usize, retrain: TrainConfig) -> Self {
         assert!(cycles > 0, "need at least one prune-retrain cycle");
-        Self { cycles, retrain, mode: RetrainMode::LrRewind }
+        Self {
+            cycles,
+            retrain,
+            mode: RetrainMode::LrRewind,
+        }
     }
 
     /// Switches the retraining protocol.
@@ -90,7 +94,10 @@ impl PruneRetrain {
     /// overall sparsity after `cycles` cycles: solves
     /// `(1 − r)^cycles = 1 − target`.
     pub fn per_cycle_ratio(&self, target: f64) -> f64 {
-        assert!((0.0..1.0).contains(&target) || target == 0.0, "target must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&target) || target == 0.0,
+            "target must be in [0, 1)"
+        );
         1.0 - (1.0 - target).powf(1.0 / self.cycles as f64)
     }
 
@@ -109,7 +116,15 @@ impl PruneRetrain {
         train_labels: &[usize],
         ctx: &PruneContext,
     ) -> PruneOutcome {
-        self.run_with_augment(parent, method, target, train_inputs, train_labels, ctx, None)
+        self.run_with_augment(
+            parent,
+            method,
+            target,
+            train_inputs,
+            train_labels,
+            ctx,
+            None,
+        )
     }
 
     /// [`PruneRetrain::run`] with an optional retraining augmentation hook
@@ -210,7 +225,10 @@ mod tests {
         let mut parent = models::mlp("m", 8, &[32, 32], 4, false, 3);
         train(&mut parent, &x, &y, &quick_cfg(), None);
         let base_acc = parent.accuracy(&x, &y, 64);
-        assert!(base_acc > 0.95, "parent should master the toy task, got {base_acc}");
+        assert!(
+            base_acc > 0.95,
+            "parent should master the toy task, got {base_acc}"
+        );
 
         let pipeline = PruneRetrain::new(2, quick_cfg());
         let outcome = pipeline.run(
@@ -221,7 +239,11 @@ mod tests {
             &y,
             &PruneContext::data_free(),
         );
-        assert!((outcome.prune_ratio - 0.8).abs() < 0.02, "ratio {}", outcome.prune_ratio);
+        assert!(
+            (outcome.prune_ratio - 0.8).abs() < 0.02,
+            "ratio {}",
+            outcome.prune_ratio
+        );
         assert_eq!(outcome.history.len(), 2);
         assert!(outcome.history[0].prune_ratio < outcome.history[1].prune_ratio);
         let mut pruned = outcome.network;
@@ -237,7 +259,10 @@ mod tests {
     fn pipeline_is_deterministic() {
         let (x, y) = toy_task(64, 5);
         let mut parent = models::mlp("m", 8, &[16], 4, false, 6);
-        let cfg = TrainConfig { epochs: 2, ..quick_cfg() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..quick_cfg()
+        };
         train(&mut parent, &x, &y, &cfg, None);
         let pipeline = PruneRetrain::new(2, cfg);
         let ctx = PruneContext::data_free();
@@ -260,20 +285,33 @@ mod tests {
         cfg.schedule = Schedule {
             base_lr: 0.1,
             warmup_epochs: 0,
-            decay: pv_nn::LrDecay::MultiStep { milestones: vec![2], gamma: 0.1 },
+            decay: pv_nn::LrDecay::MultiStep {
+                milestones: vec![2],
+                gamma: 0.1,
+            },
         };
         let pipeline = PruneRetrain::new(1, cfg).with_mode(RetrainMode::FineTune);
         let cycle_cfg = pipeline.cycle_config();
         // final LR of the rewound schedule is 0.01; fine-tuning holds it
         assert!((cycle_cfg.schedule.lr_at(0, cycle_cfg.epochs) - 0.01).abs() < 1e-12);
-        assert!((cycle_cfg.schedule.lr_at(cycle_cfg.epochs - 1, cycle_cfg.epochs) - 0.01).abs() < 1e-12);
+        assert!(
+            (cycle_cfg
+                .schedule
+                .lr_at(cycle_cfg.epochs - 1, cycle_cfg.epochs)
+                - 0.01)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
     fn both_retrain_modes_run_and_hit_target() {
         let (x, y) = toy_task(128, 9);
         let mut parent = models::mlp("m", 8, &[24], 4, false, 10);
-        let cfg = TrainConfig { epochs: 6, ..quick_cfg() };
+        let cfg = TrainConfig {
+            epochs: 6,
+            ..quick_cfg()
+        };
         train(&mut parent, &x, &y, &cfg, None);
         let ctx = PruneContext::data_free();
         for mode in [RetrainMode::LrRewind, RetrainMode::FineTune] {

@@ -26,7 +26,10 @@ pub struct RandomWeightPruning {
 impl RandomWeightPruning {
     /// Creates the baseline with a seed for its score stream.
     pub fn new(seed: u64) -> Self {
-        Self { seed, calls: AtomicU64::new(0) }
+        Self {
+            seed,
+            calls: AtomicU64::new(0),
+        }
     }
 
     fn next_rng(&self) -> Rng {
@@ -49,10 +52,15 @@ impl PruneMethod for RandomWeightPruning {
     }
 
     fn prune(&self, net: &mut Network, ratio: f64, _ctx: &PruneContext) {
-        assert!((0.0..=1.0).contains(&ratio), "prune ratio must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "prune ratio must be in [0, 1]"
+        );
         let mut rng = self.next_rng();
         let entries = collect_active_scores(net, |_, layer| {
-            (0..layer.weight().len()).map(|_| rng.uniform() as f32).collect()
+            (0..layer.weight().len())
+                .map(|_| rng.uniform() as f32)
+                .collect()
         });
         let k = (ratio * entries.len() as f64).round() as usize;
         apply_unstructured_prune(net, entries, k);
@@ -70,7 +78,10 @@ pub struct RandomFilterPruning {
 impl RandomFilterPruning {
     /// Creates the baseline with a seed for its choice stream.
     pub fn new(seed: u64) -> Self {
-        Self { seed, calls: AtomicU64::new(0) }
+        Self {
+            seed,
+            calls: AtomicU64::new(0),
+        }
     }
 }
 
@@ -88,7 +99,10 @@ impl PruneMethod for RandomFilterPruning {
     }
 
     fn prune(&self, net: &mut Network, ratio: f64, _ctx: &PruneContext) {
-        assert!((0.0..=1.0).contains(&ratio), "prune ratio must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "prune ratio must be in [0, 1]"
+        );
         let call = self.calls.fetch_add(1, Ordering::Relaxed);
         let mut rng = Rng::new(self.seed ^ (call.wrapping_mul(0xA24B_AED4_963E_E407)));
         net.visit_prunable(&mut |layer| {
@@ -96,8 +110,8 @@ impl PruneMethod for RandomFilterPruning {
                 return;
             }
             let rows = active_rows(layer);
-            let k = ((ratio * rows.len() as f64).round() as usize)
-                .min(rows.len().saturating_sub(1));
+            let k =
+                ((ratio * rows.len() as f64).round() as usize).min(rows.len().saturating_sub(1));
             if k == 0 {
                 return;
             }

@@ -43,13 +43,17 @@ impl PruneMethod for FilterThresholding {
     }
 
     fn prune(&self, net: &mut Network, ratio: f64, _ctx: &PruneContext) {
-        assert!((0.0..=1.0).contains(&ratio), "prune ratio must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "prune ratio must be in [0, 1]"
+        );
         net.visit_prunable(&mut |layer| {
             if layer.is_classifier() {
                 return;
             }
             let rows = active_rows(layer);
-            let k = ((ratio * rows.len() as f64).round() as usize).min(rows.len().saturating_sub(1));
+            let k =
+                ((ratio * rows.len() as f64).round() as usize).min(rows.len().saturating_sub(1));
             if k == 0 {
                 return;
             }
@@ -111,7 +115,10 @@ impl PruneMethod for ProvableFilterPruning {
     }
 
     fn prune(&self, net: &mut Network, ratio: f64, ctx: &PruneContext) {
-        assert!((0.0..=1.0).contains(&ratio), "prune ratio must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "prune ratio must be in [0, 1]"
+        );
         prime_sensitivities(net, ctx);
 
         // collect per-layer sensitivity profiles
@@ -138,7 +145,10 @@ impl PruneMethod for ProvableFilterPruning {
                 .collect();
             scored.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("NaN sensitivity"));
             let total: f32 = scored.iter().map(|&(_, s)| s).sum();
-            profiles.push(LayerProfile { rows: scored, total_mass: total.max(1e-12) });
+            profiles.push(LayerProfile {
+                rows: scored,
+                total_mass: total.max(1e-12),
+            });
         });
 
         let total_active: usize = profiles.iter().map(|p| p.rows.len()).sum();
@@ -236,7 +246,11 @@ mod tests {
             let wmask = l.weight().mask.clone().expect("weight mask");
             let rows = l.out_units();
             let dead: Vec<usize> = (0..rows)
-                .filter(|&r| wmask.data()[r * cols..(r + 1) * cols].iter().all(|&v| v == 0.0))
+                .filter(|&r| {
+                    wmask.data()[r * cols..(r + 1) * cols]
+                        .iter()
+                        .all(|&v| v == 0.0)
+                })
                 .collect();
             if let Some(bias) = l.bias_mut() {
                 let bmask = bias.mask.clone().expect("bias mask");
@@ -288,7 +302,10 @@ mod tests {
         });
         let spread = fractions.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - fractions.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread > 1e-6, "PFP allocated perfectly uniformly: {fractions:?}");
+        assert!(
+            spread > 1e-6,
+            "PFP allocated perfectly uniformly: {fractions:?}"
+        );
     }
 
     #[test]
@@ -302,12 +319,17 @@ mod tests {
 
     #[test]
     fn structured_methods_skip_classifier() {
-        for method in [&FilterThresholding as &dyn PruneMethod] {
+        {
+            let method = &FilterThresholding as &dyn PruneMethod;
             let mut n = mlp_net();
             method.prune(&mut n, 0.9, &PruneContext::data_free());
             n.visit_prunable(&mut |l| {
                 if l.is_classifier() {
-                    assert!(l.weight().mask.is_none(), "classifier was pruned by {}", method.name());
+                    assert!(
+                        l.weight().mask.is_none(),
+                        "classifier was pruned by {}",
+                        method.name()
+                    );
                 }
             });
         }

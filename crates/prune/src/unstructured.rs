@@ -1,8 +1,7 @@
 //! Unstructured (weight-level) pruning: WT and SiPP.
 
 use crate::method::{
-    apply_unstructured_prune, collect_active_scores, prime_sensitivities, PruneContext,
-    PruneMethod,
+    apply_unstructured_prune, collect_active_scores, prime_sensitivities, PruneContext, PruneMethod,
 };
 use pv_nn::Network;
 
@@ -27,9 +26,18 @@ impl PruneMethod for WeightThresholding {
     }
 
     fn prune(&self, net: &mut Network, ratio: f64, _ctx: &PruneContext) {
-        assert!((0.0..=1.0).contains(&ratio), "prune ratio must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "prune ratio must be in [0, 1]"
+        );
         let entries = collect_active_scores(net, |_, layer| {
-            layer.weight().value.data().iter().map(|w| w.abs()).collect()
+            layer
+                .weight()
+                .value
+                .data()
+                .iter()
+                .map(|w| w.abs())
+                .collect()
         });
         let k = (ratio * entries.len() as f64).round() as usize;
         apply_unstructured_prune(net, entries, k);
@@ -58,7 +66,10 @@ impl PruneMethod for Sipp {
     }
 
     fn prune(&self, net: &mut Network, ratio: f64, ctx: &PruneContext) {
-        assert!((0.0..=1.0).contains(&ratio), "prune ratio must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "prune ratio must be in [0, 1]"
+        );
         prime_sensitivities(net, ctx);
         let entries = collect_active_scores(net, |_, layer| {
             let sens = layer
@@ -94,7 +105,11 @@ mod tests {
     fn wt_hits_requested_ratio() {
         let mut n = net();
         WeightThresholding.prune(&mut n, 0.5, &PruneContext::data_free());
-        assert!((n.prune_ratio() - 0.5).abs() < 0.01, "ratio {}", n.prune_ratio());
+        assert!(
+            (n.prune_ratio() - 0.5).abs() < 0.01,
+            "ratio {}",
+            n.prune_ratio()
+        );
     }
 
     #[test]
@@ -128,7 +143,11 @@ mod tests {
         let ctx = PruneContext::data_free();
         WeightThresholding.prune(&mut n, 0.5, &ctx);
         WeightThresholding.prune(&mut n, 0.5, &ctx);
-        assert!((n.prune_ratio() - 0.75).abs() < 0.01, "ratio {}", n.prune_ratio());
+        assert!(
+            (n.prune_ratio() - 0.75).abs() < 0.01,
+            "ratio {}",
+            n.prune_ratio()
+        );
     }
 
     #[test]
@@ -146,7 +165,11 @@ mod tests {
         let mut rng = Rng::new(2);
         let batch = Tensor::rand_uniform(&[16, 8], 0.0, 1.0, &mut rng);
         Sipp.prune(&mut n, 0.6, &PruneContext::with_batch(batch));
-        assert!((n.prune_ratio() - 0.6).abs() < 0.01, "ratio {}", n.prune_ratio());
+        assert!(
+            (n.prune_ratio() - 0.6).abs() < 0.01,
+            "ratio {}",
+            n.prune_ratio()
+        );
     }
 
     #[test]

@@ -107,5 +107,8 @@ fn pruned_accuracy_degrades_monotonically_without_retraining() {
         }
         last_acc = acc;
     }
-    assert!(violations == 0, "accuracy rose substantially with more pruning");
+    assert!(
+        violations == 0,
+        "accuracy rose substantially with more pruning"
+    );
 }

@@ -4,9 +4,28 @@
 //! Layout convention is NCHW throughout. The im2col matrix stores one output
 //! position per row (`[N*OH*OW, C*KH*KW]`), so a convolution is a single
 //! matrix product against the flattened filter bank.
+//!
+//! The batched primitives (`im2col`, `col2im`, layout conversions, pooling)
+//! are parallelized over the batch (N) dimension via [`crate::par`]: each
+//! sample's slice of the output is written by exactly one thread with
+//! serial inner loops, so results are bitwise identical for any
+//! `PV_NUM_THREADS`.
 
 use crate::linalg::{matmul, matmul_a_bt, matmul_at_b};
+use crate::par::{parallel_for_chunks_mut, parallel_for_chunks_mut2, worth_parallelizing};
 use crate::tensor::Tensor;
+
+/// Samples per parallel chunk for a batched op over `n` samples of
+/// `per_sample` output elements each: one sample per chunk when the total
+/// work amortizes thread dispatch, otherwise the whole batch in a single
+/// chunk (which [`parallel_for_chunks_mut`] runs serially).
+fn batch_chunk_samples(n: usize, per_sample: usize) -> usize {
+    if n > 1 && worth_parallelizing(n * per_sample) {
+        1
+    } else {
+        n.max(1)
+    }
+}
 
 /// Geometry of a 2-D convolution or pooling window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,7 +43,12 @@ pub struct ConvGeometry {
 impl ConvGeometry {
     /// A square kernel with the given size, stride and padding.
     pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
-        Self { kh: kernel, kw: kernel, stride, pad }
+        Self {
+            kh: kernel,
+            kw: kernel,
+            stride,
+            pad,
+        }
     }
 
     /// Output spatial size for an input of `(h, w)`.
@@ -43,7 +67,10 @@ impl ConvGeometry {
             ph,
             pw
         );
-        ((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1)
+        (
+            (ph - self.kh) / self.stride + 1,
+            (pw - self.kw) / self.stride + 1,
+        )
     }
 }
 
@@ -57,36 +84,43 @@ pub fn im2col(x: &Tensor, g: ConvGeometry) -> Tensor {
     let (oh, ow) = g.output_size(h, w);
     let row_len = c * g.kh * g.kw;
     let mut out = Tensor::zeros(&[n * oh * ow, row_len]);
+    if out.is_empty() {
+        return out;
+    }
     let xd = x.data();
-    let od = out.data_mut();
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * row_len;
-                let iy0 = (oy * g.stride) as isize - g.pad as isize;
-                let ix0 = (ox * g.stride) as isize - g.pad as isize;
-                for ci in 0..c {
-                    let base = row + ci * g.kh * g.kw;
-                    let cbase = (ni * c + ci) * h * w;
-                    for ky in 0..g.kh {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let src = cbase + iy as usize * w;
-                        let dst = base + ky * g.kw;
-                        for kx in 0..g.kw {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= w as isize {
+    let per_sample = oh * ow * row_len;
+    let spc = batch_chunk_samples(n, per_sample);
+    parallel_for_chunks_mut(out.data_mut(), spc * per_sample, |chunk_idx, chunk| {
+        for (si, sample) in chunk.chunks_mut(per_sample).enumerate() {
+            let ni = chunk_idx * spc + si;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (oy * ow + ox) * row_len;
+                    let iy0 = (oy * g.stride) as isize - g.pad as isize;
+                    let ix0 = (ox * g.stride) as isize - g.pad as isize;
+                    for ci in 0..c {
+                        let base = row + ci * g.kh * g.kw;
+                        let cbase = (ni * c + ci) * h * w;
+                        for ky in 0..g.kh {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            od[dst + kx] = xd[src + ix as usize];
+                            let src = cbase + iy as usize * w;
+                            let dst = base + ky * g.kw;
+                            for kx in 0..g.kw {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                sample[dst + kx] = xd[src + ix as usize];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -95,38 +129,49 @@ pub fn im2col(x: &Tensor, g: ConvGeometry) -> Tensor {
 pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, g: ConvGeometry) -> Tensor {
     let (oh, ow) = g.output_size(h, w);
     let row_len = c * g.kh * g.kw;
-    assert_eq!(cols.shape(), &[n * oh * ow, row_len], "col2im shape mismatch");
+    assert_eq!(
+        cols.shape(),
+        &[n * oh * ow, row_len],
+        "col2im shape mismatch"
+    );
     let mut x = Tensor::zeros(&[n, c, h, w]);
+    if x.is_empty() {
+        return x;
+    }
     let cd = cols.data();
-    let xd = x.data_mut();
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * row_len;
-                let iy0 = (oy * g.stride) as isize - g.pad as isize;
-                let ix0 = (ox * g.stride) as isize - g.pad as isize;
-                for ci in 0..c {
-                    let base = row + ci * g.kh * g.kw;
-                    let cbase = (ni * c + ci) * h * w;
-                    for ky in 0..g.kh {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let dst = cbase + iy as usize * w;
-                        let src = base + ky * g.kw;
-                        for kx in 0..g.kw {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= w as isize {
+    let per_sample = c * h * w;
+    let spc = batch_chunk_samples(n, per_sample);
+    parallel_for_chunks_mut(x.data_mut(), spc * per_sample, |chunk_idx, chunk| {
+        for (si, sample) in chunk.chunks_mut(per_sample).enumerate() {
+            let ni = chunk_idx * spc + si;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((ni * oh + oy) * ow + ox) * row_len;
+                    let iy0 = (oy * g.stride) as isize - g.pad as isize;
+                    let ix0 = (ox * g.stride) as isize - g.pad as isize;
+                    for ci in 0..c {
+                        let base = row + ci * g.kh * g.kw;
+                        let cbase = ci * h * w;
+                        for ky in 0..g.kh {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            xd[dst + ix as usize] += cd[src + kx];
+                            let dst = cbase + iy as usize * w;
+                            let src = base + ky * g.kw;
+                            for kx in 0..g.kw {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                sample[dst + ix as usize] += cd[src + kx];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     x
 }
 
@@ -155,7 +200,11 @@ pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
     let mut c_total = 0;
     for p in parts {
         assert_eq!(p.ndim(), 4, "concat_channels expects NCHW");
-        assert_eq!((p.dim(0), p.dim(2), p.dim(3)), (n, h, w), "batch/spatial mismatch");
+        assert_eq!(
+            (p.dim(0), p.dim(2), p.dim(3)),
+            (n, h, w),
+            "batch/spatial mismatch"
+        );
         c_total += p.dim(1);
     }
     let mut out = Tensor::zeros(&[n, c_total, h, w]);
@@ -182,7 +231,10 @@ pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
 pub fn slice_channels(x: &Tensor, from: usize, to: usize) -> Tensor {
     assert_eq!(x.ndim(), 4, "slice_channels expects NCHW");
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    assert!(from <= to && to <= c, "channel range {from}..{to} out of bounds for {c}");
+    assert!(
+        from <= to && to <= c,
+        "channel range {from}..{to} out of bounds for {c}"
+    );
     let plane = h * w;
     let cs = to - from;
     let mut out = Tensor::zeros(&[n, cs, h, w]);
@@ -197,18 +249,25 @@ pub fn slice_channels(x: &Tensor, from: usize, to: usize) -> Tensor {
 fn rows_to_nchw(rows: &Tensor, n: usize, f: usize, oh: usize, ow: usize) -> Tensor {
     assert_eq!(rows.shape(), &[n * oh * ow, f]);
     let mut out = Tensor::zeros(&[n, f, oh, ow]);
+    if out.is_empty() {
+        return out;
+    }
     let rd = rows.data();
-    let od = out.data_mut();
-    for ni in 0..n {
-        for y in 0..oh {
-            for x in 0..ow {
-                let r = ((ni * oh + y) * ow + x) * f;
-                for fi in 0..f {
-                    od[((ni * f + fi) * oh + y) * ow + x] = rd[r + fi];
+    let per_sample = f * oh * ow;
+    let spc = batch_chunk_samples(n, per_sample);
+    parallel_for_chunks_mut(out.data_mut(), spc * per_sample, |chunk_idx, chunk| {
+        for (si, sample) in chunk.chunks_mut(per_sample).enumerate() {
+            let ni = chunk_idx * spc + si;
+            for y in 0..oh {
+                for x in 0..ow {
+                    let r = ((ni * oh + y) * ow + x) * f;
+                    for fi in 0..f {
+                        sample[(fi * oh + y) * ow + x] = rd[r + fi];
+                    }
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -216,18 +275,25 @@ fn rows_to_nchw(rows: &Tensor, n: usize, f: usize, oh: usize, ow: usize) -> Tens
 fn nchw_to_rows(x: &Tensor) -> Tensor {
     let (n, f, oh, ow) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let mut out = Tensor::zeros(&[n * oh * ow, f]);
+    if out.is_empty() {
+        return out;
+    }
     let xd = x.data();
-    let od = out.data_mut();
-    for ni in 0..n {
-        for y in 0..oh {
-            for xw in 0..ow {
-                let r = ((ni * oh + y) * ow + xw) * f;
-                for fi in 0..f {
-                    od[r + fi] = xd[((ni * f + fi) * oh + y) * ow + xw];
+    let per_sample = oh * ow * f;
+    let spc = batch_chunk_samples(n, per_sample);
+    parallel_for_chunks_mut(out.data_mut(), spc * per_sample, |chunk_idx, chunk| {
+        for (si, sample) in chunk.chunks_mut(per_sample).enumerate() {
+            let ni = chunk_idx * spc + si;
+            for y in 0..oh {
+                for xw in 0..ow {
+                    let r = (y * ow + xw) * f;
+                    for fi in 0..f {
+                        sample[r + fi] = xd[((ni * f + fi) * oh + y) * ow + xw];
+                    }
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -258,6 +324,9 @@ pub struct ConvBackward {
 /// * `weight`: `[F, C*KH*KW]` (flattened filter bank)
 /// * `bias`: `[F]`
 ///
+/// Runs batch-parallel end to end: the im2col unfold, the GEMM, and the
+/// layout fold each split their output across worker threads.
+///
 /// # Panics
 ///
 /// Panics on any shape inconsistency.
@@ -271,7 +340,10 @@ pub fn conv2d_forward(x: &Tensor, weight: &Tensor, bias: &Tensor, g: ConvGeometr
     // [N*OH*OW, Ckhkw] x [F, Ckhkw]^T -> [N*OH*OW, F]
     let mut rows = matmul_a_bt(&cols, weight);
     rows.add_row_broadcast(bias);
-    ConvForward { output: rows_to_nchw(&rows, n, f, oh, ow), cols }
+    ConvForward {
+        output: rows_to_nchw(&rows, n, f, oh, ow),
+        cols,
+    }
 }
 
 /// 2-D convolution backward pass.
@@ -293,7 +365,11 @@ pub fn conv2d_backward(
     let grad_bias = g_rows.sum_rows(); // [F]
     let grad_cols = matmul(&g_rows, weight); // [N*OH*OW, Ckhkw]
     let grad_input = col2im(&grad_cols, n, c, h, w, g);
-    ConvBackward { grad_input, grad_weight, grad_bias }
+    ConvBackward {
+        grad_input,
+        grad_weight,
+        grad_bias,
+    }
 }
 
 /// Result of [`maxpool2d_forward`].
@@ -313,50 +389,84 @@ pub fn maxpool2d_forward(x: &Tensor, g: ConvGeometry) -> PoolForward {
     let (oh, ow) = g.output_size(h, w);
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let mut argmax = vec![0usize; n * c * oh * ow];
+    if out.is_empty() {
+        return PoolForward {
+            output: out,
+            argmax,
+        };
+    }
     let xd = x.data();
-    let od = out.data_mut();
-    for ni in 0..n {
-        for ci in 0..c {
-            let cbase = (ni * c + ci) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0;
-                    for ky in 0..g.kh {
-                        let iy = oy * g.stride + ky;
-                        for kx in 0..g.kw {
-                            let ix = ox * g.stride + kx;
-                            let idx = cbase + iy * w + ix;
-                            if xd[idx] > best {
-                                best = xd[idx];
-                                best_idx = idx;
+    let per_sample = c * oh * ow;
+    let spc = batch_chunk_samples(n, per_sample * g.kh * g.kw);
+    parallel_for_chunks_mut2(
+        out.data_mut(),
+        spc * per_sample,
+        &mut argmax,
+        spc * per_sample,
+        |chunk_idx, out_chunk, arg_chunk| {
+            for (si, (sample, arg)) in out_chunk
+                .chunks_mut(per_sample)
+                .zip(arg_chunk.chunks_mut(per_sample))
+                .enumerate()
+            {
+                let ni = chunk_idx * spc + si;
+                for ci in 0..c {
+                    let cbase = (ni * c + ci) * h * w;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_idx = 0;
+                            for ky in 0..g.kh {
+                                let iy = oy * g.stride + ky;
+                                for kx in 0..g.kw {
+                                    let ix = ox * g.stride + kx;
+                                    let idx = cbase + iy * w + ix;
+                                    if xd[idx] > best {
+                                        best = xd[idx];
+                                        best_idx = idx;
+                                    }
+                                }
                             }
+                            let o = (ci * oh + oy) * ow + ox;
+                            sample[o] = best;
+                            arg[o] = best_idx;
                         }
                     }
-                    let o = ((ni * c + ci) * oh + oy) * ow + ox;
-                    od[o] = best;
-                    argmax[o] = best_idx;
                 }
             }
-        }
+        },
+    );
+    PoolForward {
+        output: out,
+        argmax,
     }
-    PoolForward { output: out, argmax }
 }
 
 /// Max pooling backward pass: routes each output gradient to the input
 /// position that produced the maximum.
-pub fn maxpool2d_backward(
-    grad_out: &Tensor,
-    argmax: &[usize],
-    input_shape: &[usize],
-) -> Tensor {
+pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
     assert_eq!(grad_out.len(), argmax.len(), "argmax cache mismatch");
     let mut grad_in = Tensor::zeros(input_shape);
-    let gd = grad_out.data();
-    let gi = grad_in.data_mut();
-    for (o, &src) in argmax.iter().enumerate() {
-        gi[src] += gd[o];
+    if grad_in.is_empty() {
+        return grad_in;
     }
+    let n = input_shape[0];
+    let per_in: usize = input_shape[1..].iter().product();
+    let per_out = argmax.len() / n.max(1);
+    let gd = grad_out.data();
+    // Each argmax entry points inside its own sample's input slice, so the
+    // scatter is disjoint across samples and can run batch-parallel.
+    let spc = batch_chunk_samples(n, per_out);
+    parallel_for_chunks_mut(grad_in.data_mut(), spc * per_in, |chunk_idx, chunk| {
+        for (si, sample) in chunk.chunks_mut(per_in).enumerate() {
+            let ni = chunk_idx * spc + si;
+            let base_in = ni * per_in;
+            let base_out = ni * per_out;
+            for o in base_out..base_out + per_out {
+                sample[argmax[o] - base_in] += gd[o];
+            }
+        }
+    });
     grad_in
 }
 

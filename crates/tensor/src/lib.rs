@@ -16,6 +16,9 @@
 //!   convolution with exact gradients;
 //! * [`Rng`] — a seedable PCG32 generator so every experiment in the
 //!   workspace is bit-for-bit reproducible;
+//! * [`par`] — a zero-dependency `std::thread::scope` parallel runtime
+//!   (`PV_NUM_THREADS`) whose disjoint-chunk scheduling keeps every result
+//!   bitwise identical for any thread count;
 //! * [`stats`] — small descriptive statistics used in reporting.
 //!
 //! # Examples
@@ -36,6 +39,7 @@
 
 pub mod conv;
 pub mod linalg;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod tensor;

@@ -2,12 +2,38 @@
 //!
 //! The three product flavours (`A·B`, `Aᵀ·B`, `A·Bᵀ`) are exactly the ones
 //! needed for a linear layer's forward pass and its two backward products.
-//! All use an `i-k-j` loop order so the innermost loop streams over rows of
-//! the right-hand operand, which auto-vectorizes well.
+//! All three are cache-blocked, branch-free in the hot loop, and
+//! parallelized over disjoint blocks of output rows via [`crate::par`].
+//! Every output element is accumulated by one thread in the same sequential
+//! `k` order regardless of thread count, so results are bitwise identical
+//! under any `PV_NUM_THREADS`.
 
+use crate::par::{num_threads, parallel_for_chunks_mut, worth_parallelizing};
 use crate::tensor::Tensor;
 
+/// Columns of the shared operand processed per cache tile: `KC * n` floats
+/// of `B` stay hot while a row block of `C` is updated.
+const KC: usize = 256;
+
+/// Output rows per cache sub-block in [`matmul_at_b`]: the sub-block of `C`
+/// (`MC * n` floats) stays resident while `A` and `B` stream past.
+const MC: usize = 64;
+
+/// Worker count for a product with `flops` scalar multiply-adds: all
+/// available threads when the work amortizes dispatch, else serial.
+fn matmul_threads(flops: usize) -> usize {
+    if worth_parallelizing(2 * flops) {
+        num_threads()
+    } else {
+        1
+    }
+}
+
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// Row blocks of `C` are computed in parallel; within a block the kernel
+/// walks `k` in [`KC`]-sized tiles and updates two output rows per pass so
+/// each streamed row of `B` is reused from registers.
 ///
 /// # Panics
 ///
@@ -29,27 +55,53 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (kb, n) = (b.dim(0), b.dim(1));
     assert_eq!(k, kb, "matmul: inner dims {k} vs {kb}");
     let mut c = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let cd = c.data_mut();
-    for i in 0..m {
-        let crow = &mut cd[i * n..(i + 1) * n];
-        for p in 0..k {
-            let aip = ad[i * k + p];
-            if aip == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += aip * bv;
-            }
-        }
+    if m == 0 || n == 0 || k == 0 {
+        return c;
     }
+    let (ad, bd) = (a.data(), b.data());
+    let rows_per_block = m.div_ceil(matmul_threads(m * k * n));
+    parallel_for_chunks_mut(c.data_mut(), rows_per_block * n, |block, cblock| {
+        let i0 = block * rows_per_block;
+        let mut p0 = 0;
+        while p0 < k {
+            let p1 = (p0 + KC).min(k);
+            for (pair, cpair) in cblock.chunks_mut(2 * n).enumerate() {
+                let i = i0 + 2 * pair;
+                if cpair.len() == 2 * n {
+                    let (crow0, crow1) = cpair.split_at_mut(n);
+                    let arow0 = &ad[i * k..(i + 1) * k];
+                    let arow1 = &ad[(i + 1) * k..(i + 2) * k];
+                    for p in p0..p1 {
+                        let (a0, a1) = (arow0[p], arow1[p]);
+                        let brow = &bd[p * n..(p + 1) * n];
+                        for ((cv0, cv1), &bv) in crow0.iter_mut().zip(crow1.iter_mut()).zip(brow) {
+                            *cv0 += a0 * bv;
+                            *cv1 += a1 * bv;
+                        }
+                    }
+                } else {
+                    let arow = &ad[i * k..(i + 1) * k];
+                    for p in p0..p1 {
+                        let av = arow[p];
+                        let brow = &bd[p * n..(p + 1) * n];
+                        for (cv, &bv) in cpair.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+            p0 = p1;
+        }
+    });
     c
 }
 
 /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (result `[m, n]`).
 ///
-/// Used for weight gradients: `dW = Xᵀ · dY`.
+/// Used for weight gradients: `dW = Xᵀ · dY`. Row blocks of `C` are
+/// computed in parallel; within a block, [`MC`]-row sub-blocks stay cache
+/// resident while the `k` rows of `A` and `B` stream past in order, so each
+/// output element accumulates over `p = 0..k` sequentially.
 ///
 /// # Panics
 ///
@@ -61,28 +113,36 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (kb, n) = (b.dim(0), b.dim(1));
     assert_eq!(k, kb, "matmul_at_b: leading dims {k} vs {kb}");
     let mut c = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
     let (ad, bd) = (a.data(), b.data());
-    let cd = c.data_mut();
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let crow = &mut cd[i * n..(i + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
+    let rows_per_block = m.div_ceil(matmul_threads(m * k * n));
+    parallel_for_chunks_mut(c.data_mut(), rows_per_block * n, |block, cblock| {
+        let i0 = block * rows_per_block;
+        for (sub, csub) in cblock.chunks_mut(MC * n).enumerate() {
+            let s0 = i0 + sub * MC;
+            for p in 0..k {
+                let arow = &ad[p * m..(p + 1) * m];
+                let brow = &bd[p * n..(p + 1) * n];
+                for (ci, crow) in csub.chunks_mut(n).enumerate() {
+                    let av = arow[s0 + ci];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
             }
         }
-    }
+    });
     c
 }
 
 /// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (result `[m, n]`).
 ///
-/// Used for input gradients: `dX = dY · Wᵀ` when `W: [out, in]` is stored
-/// row-major by output.
+/// Used for input gradients (`dX = dY · Wᵀ` when `W: [out, in]` is stored
+/// row-major by output) and as the GEMM behind im2col convolution. Row
+/// blocks of `C` are computed in parallel; within a block each streamed row
+/// of `B` feeds two dot products at once.
 ///
 /// # Panics
 ///
@@ -94,24 +154,48 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, kb) = (b.dim(0), b.dim(1));
     assert_eq!(k, kb, "matmul_a_bt: trailing dims {k} vs {kb}");
     let mut c = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let cd = c.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut cd[i * n..(i + 1) * n];
-        for (j, cv) in crow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            *cv = acc;
-        }
+    if m == 0 || n == 0 || k == 0 {
+        return c;
     }
+    let (ad, bd) = (a.data(), b.data());
+    let rows_per_block = m.div_ceil(matmul_threads(m * k * n));
+    parallel_for_chunks_mut(c.data_mut(), rows_per_block * n, |block, cblock| {
+        let i0 = block * rows_per_block;
+        for (pair, cpair) in cblock.chunks_mut(2 * n).enumerate() {
+            let i = i0 + 2 * pair;
+            if cpair.len() == 2 * n {
+                let (crow0, crow1) = cpair.split_at_mut(n);
+                let arow0 = &ad[i * k..(i + 1) * k];
+                let arow1 = &ad[(i + 1) * k..(i + 2) * k];
+                for j in 0..n {
+                    let brow = &bd[j * k..(j + 1) * k];
+                    let (mut acc0, mut acc1) = (0.0f32, 0.0f32);
+                    for ((&a0, &a1), &bv) in arow0.iter().zip(arow1).zip(brow) {
+                        acc0 += a0 * bv;
+                        acc1 += a1 * bv;
+                    }
+                    crow0[j] = acc0;
+                    crow1[j] = acc1;
+                }
+            } else {
+                let arow = &ad[i * k..(i + 1) * k];
+                for (j, cv) in cpair.iter_mut().enumerate() {
+                    let brow = &bd[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in arow.iter().zip(brow) {
+                        acc += av * bv;
+                    }
+                    *cv = acc;
+                }
+            }
+        }
+    });
     c
 }
 
 /// Matrix–vector product `y = A · x` for `A: [m, n]`, `x: [n]`.
+///
+/// Small enough in every call site that it stays serial.
 ///
 /// # Panics
 ///
@@ -153,27 +237,60 @@ mod tests {
     #[test]
     fn matmul_matches_naive_on_random() {
         let mut rng = Rng::new(1);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (8, 8, 8), (7, 13, 11)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (8, 8, 8),
+            (7, 13, 11),
+            (2, 300, 3),
+            (65, 4, 9),
+        ] {
             let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
             let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
             let fast = matmul(&a, &b);
             let slow = naive_matmul(&a, &b);
-            assert!(fast.max_abs_diff(&slow) < 1e-5);
+            assert!(fast.max_abs_diff(&slow) < 1e-4, "{m}x{k}x{n}");
         }
     }
 
     #[test]
     fn transposed_variants_match_explicit_transpose() {
         let mut rng = Rng::new(2);
-        let a = Tensor::rand_uniform(&[6, 4], -1.0, 1.0, &mut rng);
-        let b = Tensor::rand_uniform(&[6, 5], -1.0, 1.0, &mut rng);
-        let expect = matmul(&a.transpose2(), &b);
-        assert!(matmul_at_b(&a, &b).max_abs_diff(&expect) < 1e-5);
+        for &(k, m, n) in &[(6, 4, 5), (1, 1, 1), (300, 7, 3), (9, 65, 2)] {
+            let a = Tensor::rand_uniform(&[k, m], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let expect = matmul(&a.transpose2(), &b);
+            assert!(
+                matmul_at_b(&a, &b).max_abs_diff(&expect) < 1e-4,
+                "{k}x{m}x{n}"
+            );
+        }
 
-        let c = Tensor::rand_uniform(&[3, 4], -1.0, 1.0, &mut rng);
-        let d = Tensor::rand_uniform(&[7, 4], -1.0, 1.0, &mut rng);
-        let expect = matmul(&c, &d.transpose2());
-        assert!(matmul_a_bt(&c, &d).max_abs_diff(&expect) < 1e-5);
+        for &(m, k, n) in &[(3, 4, 7), (1, 1, 1), (5, 300, 2), (64, 3, 3)] {
+            let c = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let d = Tensor::rand_uniform(&[n, k], -1.0, 1.0, &mut rng);
+            let expect = matmul(&c, &d.transpose2());
+            assert!(
+                matmul_a_bt(&c, &d).max_abs_diff(&expect) < 1e-4,
+                "{m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_yield_zeros() {
+        assert_eq!(
+            matmul(&Tensor::zeros(&[0, 3]), &Tensor::zeros(&[3, 2])).shape(),
+            &[0, 2]
+        );
+        assert_eq!(
+            matmul(&Tensor::zeros(&[2, 0]), &Tensor::zeros(&[0, 3])).data(),
+            &[0.0; 6]
+        );
+        assert_eq!(
+            matmul_at_b(&Tensor::zeros(&[0, 2]), &Tensor::zeros(&[0, 3])).data(),
+            &[0.0; 6]
+        );
     }
 
     #[test]

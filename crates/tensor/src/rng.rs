@@ -50,7 +50,11 @@ impl Rng {
         let mut sm = seed;
         let state = splitmix64(&mut sm);
         let inc = splitmix64(&mut sm) | 1; // stream must be odd
-        let mut rng = Self { state, inc, spare_normal: None };
+        let mut rng = Self {
+            state,
+            inc,
+            spare_normal: None,
+        };
         // Advance once so that `state` fully mixes with `inc`.
         rng.next_u32();
         rng
@@ -68,7 +72,9 @@ impl Rng {
     #[inline]
     pub fn next_u32(&mut self) -> u32 {
         let old = self.state;
-        self.state = old.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(self.inc);
+        self.state = old
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(self.inc);
         let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
         let rot = (old >> 59) as u32;
         xorshifted.rotate_right(rot)
@@ -222,7 +228,10 @@ mod tests {
         }
         for &c in &counts {
             let expected = n / 7;
-            assert!((c as i64 - expected as i64).unsigned_abs() < 800, "count {c} vs {expected}");
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < 800,
+                "count {c} vs {expected}"
+            );
         }
     }
 

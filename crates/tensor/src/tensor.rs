@@ -32,7 +32,12 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 16 {
             write!(f, " {:?}", self.data)
         } else {
-            write!(f, " [{:?}, ... {} values]", &self.data[..8], self.data.len())
+            write!(
+                f,
+                " [{:?}, ... {} values]",
+                &self.data[..8],
+                self.data.len()
+            )
         }
     }
 }
@@ -40,7 +45,10 @@ impl fmt::Debug for Tensor {
 impl Default for Tensor {
     /// An empty 0-element tensor of shape `[0]`.
     fn default() -> Self {
-        Self { shape: vec![0], data: Vec::new() }
+        Self {
+            shape: vec![0],
+            data: Vec::new(),
+        }
     }
 }
 
@@ -53,7 +61,10 @@ impl Tensor {
 
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
-        Self { shape: shape.to_vec(), data: vec![0.0; num_elements(shape)] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; num_elements(shape)],
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -63,7 +74,10 @@ impl Tensor {
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Self { shape: shape.to_vec(), data: vec![value; num_elements(shape)] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; num_elements(shape)],
+        }
     }
 
     /// Wraps an existing buffer.
@@ -84,7 +98,10 @@ impl Tensor {
     /// Builds a tensor by calling `f` with each flat index.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let n = num_elements(shape);
-        Self { shape: shape.to_vec(), data: (0..n).map(&mut f).collect() }
+        Self {
+            shape: shape.to_vec(),
+            data: (0..n).map(&mut f).collect(),
+        }
     }
 
     /// I.i.d. uniform samples in `[lo, hi)`.
@@ -200,7 +217,10 @@ impl Tensor {
             self.shape,
             self.data.len()
         );
-        Self { shape: shape.to_vec(), data: self.data.clone() }
+        Self {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// In-place variant of [`Tensor::reshape`].
@@ -213,7 +233,10 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -230,8 +253,16 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn zip_map(&self, other: &Self, mut f: impl FnMut(f32, f32) -> f32) -> Self {
         assert_eq!(self.shape, other.shape, "shape mismatch in zip_map");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Self { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Self {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Element-wise addition.
@@ -332,7 +363,10 @@ impl Tensor {
         let inner: usize = self.shape[1..].iter().product();
         let mut shape = self.shape.clone();
         shape[0] = end - start;
-        Self { shape, data: self.data[start * inner..end * inner].to_vec() }
+        Self {
+            shape,
+            data: self.data[start * inner..end * inner].to_vec(),
+        }
     }
 
     /// Copies the rows of the first axis selected by `indices`.
@@ -454,7 +488,10 @@ impl Tensor {
                 *o += x;
             }
         }
-        Self { shape: vec![cols], data: out }
+        Self {
+            shape: vec![cols],
+            data: out,
+        }
     }
 
     // -------------------------------------------------------------- softmax
@@ -521,14 +558,20 @@ impl FromIterator<f32> for Tensor {
     /// Collects into a 1-D tensor.
     fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
         let data: Vec<f32> = iter.into_iter().collect();
-        Self { shape: vec![data.len()], data }
+        Self {
+            shape: vec![data.len()],
+            data,
+        }
     }
 }
 
 impl From<Vec<f32>> for Tensor {
     /// Wraps a buffer as a 1-D tensor.
     fn from(data: Vec<f32>) -> Self {
-        Self { shape: vec![data.len()], data }
+        Self {
+            shape: vec![data.len()],
+            data,
+        }
     }
 }
 
@@ -661,7 +704,7 @@ mod tests {
     fn idx4_layout_is_nchw() {
         let mut t = Tensor::zeros(&[2, 3, 4, 5]);
         t.set4(1, 2, 3, 4, 7.0);
-        assert_eq!(t.data()[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0);
+        assert_eq!(t.data()[((3 + 2) * 4 + 3) * 5 + 4], 7.0);
         assert_eq!(t.at4(1, 2, 3, 4), 7.0);
     }
 }

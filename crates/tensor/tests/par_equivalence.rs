@@ -1,0 +1,103 @@
+//! Serial-vs-parallel equivalence: every kernel must produce **bitwise
+//! identical** outputs at `PV_NUM_THREADS=1` and any higher thread count.
+//!
+//! `Tensor` derives exact `PartialEq` over its `f32` storage, so a plain
+//! `assert_eq!` here is a bit-for-bit comparison.
+
+use pv_tensor::par::set_thread_override;
+use pv_tensor::{
+    col2im, conv2d_backward, conv2d_forward, im2col, matmul, matmul_a_bt, matmul_at_b,
+    maxpool2d_backward, maxpool2d_forward, ConvGeometry, Rng, Tensor,
+};
+use std::sync::Mutex;
+
+/// Serializes tests in this binary around the process-wide thread override.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once per thread count and asserts all results equal the
+/// single-threaded one.
+fn assert_thread_count_invariant<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    set_thread_override(Some(1));
+    let serial = f();
+    for threads in [2, 3, 4, 8] {
+        set_thread_override(Some(threads));
+        let parallel = f();
+        assert_eq!(serial, parallel, "divergence at {threads} threads");
+    }
+    set_thread_override(None);
+}
+
+#[test]
+fn matmul_flavours_are_thread_count_invariant() {
+    let mut rng = Rng::new(11);
+    // Shapes straddle the parallel-dispatch threshold and exercise odd rows.
+    for &(m, k, n) in &[
+        (1, 1, 1),
+        (7, 13, 11),
+        (33, 64, 17),
+        (64, 128, 64),
+        (129, 48, 65),
+    ] {
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        assert_thread_count_invariant(|| matmul(&a, &b));
+
+        let at = Tensor::rand_uniform(&[k, m], -1.0, 1.0, &mut rng);
+        assert_thread_count_invariant(|| matmul_at_b(&at, &b));
+
+        let bt = Tensor::rand_uniform(&[n, k], -1.0, 1.0, &mut rng);
+        assert_thread_count_invariant(|| matmul_a_bt(&a, &bt));
+    }
+}
+
+#[test]
+fn im2col_and_col2im_are_thread_count_invariant() {
+    let mut rng = Rng::new(12);
+    for &(stride, pad) in &[(1usize, 1usize), (2, 1), (1, 0)] {
+        let g = ConvGeometry::new(3, stride, pad);
+        let x = Tensor::rand_uniform(&[6, 3, 10, 10], -1.0, 1.0, &mut rng);
+        assert_thread_count_invariant(|| im2col(&x, g));
+
+        let cols = im2col(&x, g);
+        let y = Tensor::rand_uniform(cols.shape(), -1.0, 1.0, &mut rng);
+        assert_thread_count_invariant(|| col2im(&y, 6, 3, 10, 10, g));
+    }
+}
+
+#[test]
+fn conv_forward_and_backward_are_thread_count_invariant() {
+    let mut rng = Rng::new(13);
+    let g = ConvGeometry::new(3, 1, 1);
+    let x = Tensor::rand_uniform(&[5, 3, 12, 12], -1.0, 1.0, &mut rng);
+    let wt = Tensor::rand_uniform(&[8, 3 * 9], -0.5, 0.5, &mut rng);
+    let bias = Tensor::rand_uniform(&[8], -0.1, 0.1, &mut rng);
+
+    assert_thread_count_invariant(|| {
+        let fwd = conv2d_forward(&x, &wt, &bias, g);
+        (fwd.output, fwd.cols)
+    });
+
+    let fwd = conv2d_forward(&x, &wt, &bias, g);
+    let grad_out = Tensor::rand_uniform(fwd.output.shape(), -1.0, 1.0, &mut rng);
+    assert_thread_count_invariant(|| {
+        let back = conv2d_backward(&grad_out, &fwd.cols, &wt, 3, 12, 12, g);
+        (back.grad_input, back.grad_weight, back.grad_bias)
+    });
+}
+
+#[test]
+fn maxpool_is_thread_count_invariant() {
+    let mut rng = Rng::new(14);
+    let x = Tensor::rand_uniform(&[6, 4, 16, 16], -1.0, 1.0, &mut rng);
+    let g = ConvGeometry::new(2, 2, 0);
+
+    assert_thread_count_invariant(|| {
+        let fwd = maxpool2d_forward(&x, g);
+        (fwd.output, fwd.argmax)
+    });
+
+    let fwd = maxpool2d_forward(&x, g);
+    let grad_out = Tensor::rand_uniform(fwd.output.shape(), -1.0, 1.0, &mut rng);
+    assert_thread_count_invariant(|| maxpool2d_backward(&grad_out, &fwd.argmax, x.shape()));
+}

@@ -17,7 +17,11 @@ fn main() {
     println!("== genuine overparameterization: nominal vs robust gauge ==\n");
     let scale = Scale::from_env();
     let dists = {
-        let mut d = vec![Distribution::Nominal, Distribution::AltTestSet, Distribution::Noise(0.15)];
+        let mut d = vec![
+            Distribution::Nominal,
+            Distribution::AltTestSet,
+            Distribution::Noise(0.15),
+        ];
         d.extend(Distribution::all_corruptions_sev3());
         d
     };

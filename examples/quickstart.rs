@@ -15,10 +15,14 @@ fn main() {
     let scale = Scale::from_env();
     let cfg = preset("resnet20", scale).expect("resnet20 is a known preset");
     println!("== pruneval quickstart ==");
-    println!("model: {} ({:?}), task: {} classes @ {}x{}x{}", cfg.name, cfg.arch,
-        cfg.task.classes, cfg.task.channels, cfg.task.height, cfg.task.width);
-    println!("train: {} samples, {} epochs; {} prune-retrain cycles\n",
-        cfg.n_train, cfg.train.epochs, cfg.cycles);
+    println!(
+        "model: {} ({:?}), task: {} classes @ {}x{}x{}",
+        cfg.name, cfg.arch, cfg.task.classes, cfg.task.channels, cfg.task.height, cfg.task.width
+    );
+    println!(
+        "train: {} samples, {} epochs; {} prune-retrain cycles\n",
+        cfg.n_train, cfg.train.epochs, cfg.cycles
+    );
 
     let methods: Vec<Box<dyn PruneMethod>> =
         vec![Box::new(WeightThresholding), Box::new(FilterThresholding)];
@@ -27,8 +31,11 @@ fn main() {
         let t0 = std::time::Instant::now();
         let mut family = build_family(&cfg, method.as_ref(), 0, None);
         let parent_err = eval_error_pct(&mut family.parent, &family.test_set.clone());
-        println!("[{}] parent test error: {parent_err:.2}%  (built in {:.1?})",
-            method.name(), t0.elapsed());
+        println!(
+            "[{}] parent test error: {parent_err:.2}%  (built in {:.1?})",
+            method.name(),
+            t0.elapsed()
+        );
 
         // prune-accuracy curve on nominal data
         let nominal = family.curve_on(&Distribution::Nominal, 1);

@@ -32,18 +32,29 @@ fn main() {
 
     // nominal-training baseline
     let mut nominal = build_family(&cfg, &WeightThresholding, 0, None);
-    let nominal_train: Vec<f64> =
-        train_dists.iter().map(|d| nominal.potential_on(d, delta, 1)).collect();
-    let nominal_test: Vec<f64> =
-        test_dists.iter().map(|d| nominal.potential_on(d, delta, 1)).collect();
+    let nominal_train: Vec<f64> = train_dists
+        .iter()
+        .map(|d| nominal.potential_on(d, delta, 1))
+        .collect();
+    let nominal_test: Vec<f64> = test_dists
+        .iter()
+        .map(|d| nominal.potential_on(d, delta, 1))
+        .collect();
 
     // robust training
-    let robust_cfg = RobustTraining { split: &split, severity: PAPER_SEVERITY };
+    let robust_cfg = RobustTraining {
+        split: &split,
+        severity: PAPER_SEVERITY,
+    };
     let mut robust = build_family(&cfg, &WeightThresholding, 0, Some(&robust_cfg));
-    let robust_train: Vec<f64> =
-        train_dists.iter().map(|d| robust.potential_on(d, delta, 1)).collect();
-    let robust_test: Vec<f64> =
-        test_dists.iter().map(|d| robust.potential_on(d, delta, 1)).collect();
+    let robust_train: Vec<f64> = train_dists
+        .iter()
+        .map(|d| robust.potential_on(d, delta, 1))
+        .collect();
+    let robust_test: Vec<f64> = test_dists
+        .iter()
+        .map(|d| robust.potential_on(d, delta, 1))
+        .collect();
 
     println!("average prune potential (delta {delta}%):");
     println!("  {:<22} {:>12} {:>12}", "", "train dists", "held-out");

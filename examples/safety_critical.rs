@@ -19,7 +19,10 @@ use pv_prune::WeightThresholding;
 fn main() {
     let cfg = preset("resnet20", Scale::from_env()).expect("known preset");
     println!("== safety-critical deployment audit ==\n");
-    println!("Scenario: a pruned '{}' perception model, validated on nominal", cfg.name);
+    println!(
+        "Scenario: a pruned '{}' perception model, validated on nominal",
+        cfg.name
+    );
     println!("test data, is about to ship. We audit it against weather and");
     println!("sensor-noise shifts it may encounter in the field.\n");
 
@@ -55,17 +58,29 @@ fn main() {
     }
 
     // Step 3: the guideline-compliant decision.
-    println!("\nworst-case potential: {:.1}% (under {worst_label})", 100.0 * worst);
+    println!(
+        "\nworst-case potential: {:.1}% (under {worst_label})",
+        100.0 * worst
+    );
     let headroom = nominal_potential - worst;
-    println!("headroom claimed by the nominal-only pipeline: {:.1} points\n", 100.0 * headroom);
+    println!(
+        "headroom claimed by the nominal-only pipeline: {:.1} points\n",
+        100.0 * headroom
+    );
     if worst < 0.05 {
         println!("guideline #1: distribution shifts are unbounded here — DO NOT ship");
         println!("a pruned model; deploy the unpruned network.");
     } else if headroom > 0.10 {
         println!("guideline #2: prune moderately — cap the prune ratio at the");
-        println!("audited worst case ({:.1}%), not the nominal potential.", 100.0 * worst);
+        println!(
+            "audited worst case ({:.1}%), not the nominal potential.",
+            100.0 * worst
+        );
     } else {
         println!("guideline #3: the audited shifts cost little potential; pruning");
-        println!("to {:.1}% is defensible for this deployment.", 100.0 * worst);
+        println!(
+            "to {:.1}% is defensible for this deployment.",
+            100.0 * worst
+        );
     }
 }

@@ -39,7 +39,11 @@ fn main() {
             println!("  PR {:5.1}% -> IoU error {e:6.2}%", 100.0 * r);
         }
         let p = nominal.prune_potential(cfg.delta_pct);
-        println!("  commensurate PR (delta {}% IoU): {:.1}%", cfg.delta_pct, 100.0 * p);
+        println!(
+            "  commensurate PR (delta {}% IoU): {:.1}%",
+            cfg.delta_pct,
+            100.0 * p
+        );
         let p_fog = study
             .iou_curve(Some((Corruption::Fog, 3)), 1)
             .prune_potential(cfg.delta_pct);

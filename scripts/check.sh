@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo-wide gate: formatting, lints, and the full test suite.
+#
+# Usage: scripts/check.sh
+# Everything runs offline (vendored proptest/criterion shims).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, -D warnings)"
+cargo clippy --workspace --all-targets --all-features -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> gated property tests (--all-features)"
+cargo test -q --workspace --all-features
+
+echo "All checks passed."

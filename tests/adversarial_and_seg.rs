@@ -6,7 +6,9 @@ use pv_metrics::{fgsm, fgsm_error_pct, pgd};
 use pv_prune::WeightThresholding;
 
 fn family() -> pruneval::StudyFamily {
-    let mut cfg = preset("mlp", Scale::Smoke).expect("known preset").with_epochs(16);
+    let mut cfg = preset("mlp", Scale::Smoke)
+        .expect("known preset")
+        .with_epochs(16);
     cfg.n_train = 512;
     cfg.cycles = 3;
     build_family(&cfg, &WeightThresholding, 0, None)
@@ -20,7 +22,10 @@ fn fgsm_hurts_trained_classifier_more_than_clean_eval() {
     let labels = test.labels().to_vec();
     let clean = fam.parent.test_error_pct(&images, &labels, 128);
     let adv = fgsm_error_pct(&mut fam.parent, &images, &labels, 0.1);
-    assert!(adv >= clean, "adversarial error {adv}% below clean {clean}%");
+    assert!(
+        adv >= clean,
+        "adversarial error {adv}% below clean {clean}%"
+    );
 }
 
 #[test]
@@ -66,7 +71,10 @@ fn seg_pipeline_prunes_and_keeps_predicting() {
     // sparsity compounds across cycles
     assert!(study.pruned.last().expect("cycles ran").achieved_ratio > 0.7);
     // all errors are valid percentages
-    assert!(curve.points.iter().all(|&(_, e)| (0.0..=100.0).contains(&e)));
+    assert!(curve
+        .points
+        .iter()
+        .all(|&(_, e)| (0.0..=100.0).contains(&e)));
     // flop accounting moves with sparsity
     let fr = study.pruned.last().expect("cycles ran").flop_reduction;
     assert!(fr > 0.5, "flop reduction {fr}");

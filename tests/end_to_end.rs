@@ -8,7 +8,9 @@ use pv_tensor::Rng;
 
 fn smoke_family() -> pruneval::StudyFamily {
     // enough training to actually learn at smoke scale
-    let mut cfg = preset("mlp", Scale::Smoke).expect("known preset").with_epochs(16);
+    let mut cfg = preset("mlp", Scale::Smoke)
+        .expect("known preset")
+        .with_epochs(16);
     cfg.n_train = 512;
     cfg.cycles = 4;
     build_family(&cfg, &WeightThresholding, 0, None)
@@ -37,11 +39,16 @@ fn pruned_networks_are_functionally_closer_to_parent_than_separate() {
     let images = pruneval::inputs_for(&fam.parent, &fam.test_set.clone());
     let mut rng = Rng::new(3);
     let first_pruned = &mut fam.pruned[0].network;
-    let sim_pruned =
-        noise_similarity(&mut fam.parent, first_pruned, &images, 0.05, 3, &mut rng);
+    let sim_pruned = noise_similarity(&mut fam.parent, first_pruned, &images, 0.05, 3, &mut rng);
     let mut rng = Rng::new(3);
-    let sim_separate =
-        noise_similarity(&mut fam.parent, &mut fam.separate, &images, 0.05, 3, &mut rng);
+    let sim_separate = noise_similarity(
+        &mut fam.parent,
+        &mut fam.separate,
+        &images,
+        0.05,
+        3,
+        &mut rng,
+    );
     assert!(
         sim_pruned.matching_predictions >= sim_separate.matching_predictions,
         "pruned {} vs separate {}",

@@ -39,7 +39,11 @@ fn every_method_prunes_every_architecture() {
             let mut shape = vec![4];
             shape.extend_from_slice(net.input_shape());
             let x = Tensor::rand_uniform(&shape, 0.0, 1.0, &mut rng);
-            assert!(net.forward(&x, Mode::Eval).all_finite(), "{}/{name}", method.name());
+            assert!(
+                net.forward(&x, Mode::Eval).all_finite(),
+                "{}/{name}",
+                method.name()
+            );
         }
     }
 }

@@ -6,7 +6,9 @@ use pv_data::CorruptionSplit;
 use pv_prune::WeightThresholding;
 
 fn smoke_cfg() -> pruneval::ExperimentConfig {
-    let mut cfg = preset("mlp", Scale::Smoke).expect("known preset").with_epochs(12);
+    let mut cfg = preset("mlp", Scale::Smoke)
+        .expect("known preset")
+        .with_epochs(12);
     cfg.n_train = 384;
     cfg.cycles = 3;
     cfg
@@ -16,7 +18,10 @@ fn smoke_cfg() -> pruneval::ExperimentConfig {
 fn robust_family_builds_and_differs_from_nominal() {
     let cfg = smoke_cfg();
     let split = CorruptionSplit::paper_default();
-    let robust = RobustTraining { split: &split, severity: PAPER_SEVERITY };
+    let robust = RobustTraining {
+        split: &split,
+        severity: PAPER_SEVERITY,
+    };
 
     let mut nominal = build_family(&cfg, &WeightThresholding, 0, None);
     let mut robustly = build_family(&cfg, &WeightThresholding, 0, Some(&robust));
@@ -36,7 +41,10 @@ fn robust_training_helps_on_trained_corruptions() {
     let mut cfg = smoke_cfg().with_epochs(24);
     cfg.n_train = 512;
     let split = CorruptionSplit::paper_default();
-    let robust = RobustTraining { split: &split, severity: PAPER_SEVERITY };
+    let robust = RobustTraining {
+        split: &split,
+        severity: PAPER_SEVERITY,
+    };
     let (train_dists, _) = split_distributions(&split);
 
     let mut nominal = build_family(&cfg, &WeightThresholding, 0, None);

@@ -1,0 +1,223 @@
+//! A minimal, dependency-free, offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in environments with no registry access, so the
+//! real `criterion` cannot be fetched. This shim implements the API subset
+//! the workspace's benches use — `Criterion::bench_function`, the
+//! `sample_size`/`measurement_time`/`warm_up_time` builders,
+//! `Bencher::iter`/`iter_with_setup`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — measuring wall-clock time
+//! with `std::time::Instant` and printing mean/min per-iteration timings.
+//!
+//! It does no statistical outlier analysis and writes no HTML reports; it
+//! exists so `cargo bench` runs offline and prints comparable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque-value helper, matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark runner configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be nonzero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before measurement begins.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark: warms up, calibrates an iteration count that
+    /// roughly fills `measurement_time / sample_size` per sample, then
+    /// measures `sample_size` samples and prints mean and min times.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run once to touch caches, then repeat until the warm-up
+        // window elapses.
+        let warm_start = Instant::now();
+        let mut probe_time;
+        loop {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            probe_time = b.elapsed.max(Duration::from_nanos(1));
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+
+        // Calibrate iterations per sample from the last probe.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = (per_sample / probe_time.as_secs_f64()).clamp(1.0, 1e9) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "bench {id:<44} mean {:>12}  min {:>12}  ({} samples x {} iters)",
+            fmt_time(mean),
+            fmt_time(min),
+            self.sample_size,
+            iters
+        );
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` with a fresh un-timed `setup()` input per iteration.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed += total;
+    }
+}
+
+/// Declares a group of benchmark functions, with or without a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_chains() {
+        let mut acc = 0u64;
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4))
+            .warm_up_time(Duration::from_millis(1))
+            .bench_function("noop", |b| b.iter(|| 1u32 + 1))
+            .bench_function("setup", |b| {
+                b.iter_with_setup(
+                    || 3u64,
+                    |x| {
+                        acc = acc.wrapping_add(x);
+                        acc
+                    },
+                )
+            });
+        assert!(acc > 0);
+    }
+
+    criterion_group!(simple_group, trivial_bench);
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.bench_function("trivial", |b| b.iter(|| black_box(2u32).pow(2)));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        // Run the group body manually with a shrunk config.
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        trivial_bench(&mut c);
+        // The generated group fn exists and is callable (not invoked here to
+        // avoid the default 2 s measurement window in unit tests).
+        let _ = simple_group as fn();
+    }
+}
