@@ -1,0 +1,179 @@
+//! Checkpoint subsystem micro-benchmarks: PVCK serialize/deserialize and
+//! save/load throughput for every preset network, plus the cold-vs-warm
+//! `build_family` wall time the artifact cache buys.
+//!
+//! Emits `BENCH_ckpt.json` in the working directory so future PRs can
+//! track the trajectory. Warm results are asserted bitwise identical to
+//! cold ones before any timing is reported.
+
+use pruneval::{build_family_with, preset, ArtifactCache, FamilyBuildOptions, Scale};
+use pv_ckpt::{checkpoint_to_network, network_to_checkpoint, Checkpoint};
+use pv_nn::Network;
+use pv_prune::WeightThresholding;
+use std::time::Instant;
+
+struct CodecRow {
+    name: String,
+    bytes: usize,
+    save_secs: f64,
+    load_secs: f64,
+}
+
+impl CodecRow {
+    fn mb_per_sec(&self, secs: f64) -> f64 {
+        self.bytes as f64 / secs / 1e6
+    }
+}
+
+fn time_secs<O>(runs: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    samples[samples.len() / 2]
+}
+
+fn fingerprint(net: &mut Network) -> Vec<u32> {
+    let mut bits = Vec::new();
+    net.visit_params_named(&mut |_, p| {
+        bits.extend(p.value.data().iter().map(|v| v.to_bits()));
+        if let Some(m) = &p.mask {
+            bits.extend(m.data().iter().map(|v| v.to_bits()));
+        }
+        if let Some(v) = &p.velocity {
+            bits.extend(v.data().iter().map(|x| x.to_bits()));
+        }
+    });
+    net.visit_buffers_named(&mut |_, b| bits.extend(b.iter().map(|v| v.to_bits())));
+    bits
+}
+
+/// Round-trips one preset network through disk and times each leg.
+fn bench_codec(name: &str, dir: &std::path::Path) -> CodecRow {
+    let cfg = preset(name, Scale::Smoke).expect("known preset");
+    let mut net = cfg.arch.build(name, &cfg.task, 7);
+    let bytes = network_to_checkpoint(&mut net).to_bytes().len();
+    let path = dir.join(format!("{name}.pvck"));
+    let save_secs = time_secs(5, || {
+        network_to_checkpoint(&mut net).save(&path).expect("save")
+    });
+    let mut fresh = cfg.arch.build(name, &cfg.task, 8);
+    let load_secs = time_secs(5, || {
+        let ckpt = Checkpoint::load(&path).expect("load");
+        checkpoint_to_network(&ckpt, &mut fresh).expect("read state");
+    });
+    assert_eq!(
+        fingerprint(&mut fresh),
+        fingerprint(&mut net),
+        "{name}: loaded state differs from saved state"
+    );
+    CodecRow {
+        name: name.to_string(),
+        bytes,
+        save_secs,
+        load_secs,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(rows: &[CodecRow], cold_secs: f64, warm_secs: f64) {
+    let mut out = String::from("{\n  \"benchmark\": \"ckpt\",\n  \"unit\": \"seconds\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"bytes\": {}, \"save_secs\": {:.6e}, \
+             \"load_secs\": {:.6e}, \"save_mb_s\": {:.1}, \"load_mb_s\": {:.1}}}{}\n",
+            json_escape(&r.name),
+            r.bytes,
+            r.save_secs,
+            r.load_secs,
+            r.mb_per_sec(r.save_secs),
+            r.mb_per_sec(r.load_secs),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"build_family_cold_secs\": {cold_secs:.6e},\n  \
+         \"build_family_warm_secs\": {warm_secs:.6e},\n  \
+         \"warm_speedup\": {:.1}\n}}\n",
+        cold_secs / warm_secs
+    ));
+    std::fs::write("BENCH_ckpt.json", &out).expect("write BENCH_ckpt.json");
+}
+
+fn main() {
+    pv_bench::banner(
+        "ckpt: PVCK save/load throughput + cold-vs-warm build_family",
+        "the artifact cache turns repeat family builds into pure checkpoint \
+         loads, bitwise identical to training from scratch",
+    );
+    let tmp = std::env::temp_dir().join("pv_bench_ckpt");
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::create_dir_all(&tmp).expect("create temp dir");
+
+    // -- per-preset codec throughput (Smoke-scale architectures) ---------
+    let mut rows = Vec::new();
+    println!("\n  PVCK codec throughput (preset nets, disk round trip):");
+    for name in [
+        "mlp",
+        "resnet20",
+        "resnet56",
+        "vgg16",
+        "densenet22",
+        "wrn16-8",
+    ] {
+        let row = bench_codec(name, &tmp);
+        println!(
+            "    {:<10} {:>8} B  save {:6.1} MB/s  load {:6.1} MB/s",
+            row.name,
+            row.bytes,
+            row.mb_per_sec(row.save_secs),
+            row.mb_per_sec(row.load_secs),
+        );
+        rows.push(row);
+    }
+
+    // -- cold vs warm family build through the artifact cache ------------
+    let cfg = preset("resnet20", pv_bench::scale()).expect("known preset");
+    let cache = ArtifactCache::new(tmp.join("cache"));
+    let opts = FamilyBuildOptions {
+        rep: 0,
+        robust: None,
+        cache: Some(&cache),
+    };
+    let t = Instant::now();
+    let mut cold = build_family_with(&cfg, &WeightThresholding, &opts).expect("cold build");
+    let cold_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut warm = build_family_with(&cfg, &WeightThresholding, &opts).expect("warm build");
+    let warm_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        fingerprint(&mut warm.parent),
+        fingerprint(&mut cold.parent),
+        "warm parent differs from cold parent"
+    );
+    for (w, c) in warm.pruned.iter_mut().zip(cold.pruned.iter_mut()) {
+        assert_eq!(
+            fingerprint(&mut w.network),
+            fingerprint(&mut c.network),
+            "warm pruned model differs from cold"
+        );
+    }
+    println!("\n  build_family (resnet20, WT): cold {cold_secs:.3}s, warm {warm_secs:.3}s");
+    println!(
+        "  warm speedup: {:.1}x (bitwise-identical family)",
+        cold_secs / warm_secs
+    );
+
+    write_json(&rows, cold_secs, warm_secs);
+    println!("\nwrote BENCH_ckpt.json");
+    std::fs::remove_dir_all(&tmp).ok();
+}

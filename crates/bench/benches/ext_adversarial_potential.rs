@@ -5,8 +5,8 @@
 //! significant trade-offs"). This harness tests that conjecture with
 //! white-box FGSM attacks against each (pruned) model.
 
-use pruneval::{build_family, inputs_for, preset, Distribution};
-use pv_bench::{banner, pct, scale, Stopwatch};
+use pruneval::{inputs_for, preset, Distribution};
+use pv_bench::{banner, build_family_cached, pct, scale, Stopwatch};
 use pv_metrics::{fgsm_error_pct, PruneAccuracyCurve};
 use pv_prune::{PruneMethod, WeightThresholding};
 
@@ -19,7 +19,7 @@ fn main() {
     let cfg = preset("resnet20", scale()).expect("known preset");
     let method: &dyn PruneMethod = &WeightThresholding;
     let mut sw = Stopwatch::new();
-    let mut family = build_family(&cfg, method, 0, None);
+    let mut family = build_family_cached(&cfg, method, 0, None);
     sw.lap("family");
 
     let test = family.test_set.clone();

@@ -1,8 +1,8 @@
 //! Figure 1: a network's prune potential collapses as ℓ∞ noise is injected
 //! into the input, even at levels that do not bother a human.
 
-use pruneval::{build_family, preset, Distribution};
-use pv_bench::{banner, pct, scale, Stopwatch};
+use pruneval::{preset, Distribution};
+use pv_bench::{banner, build_family_cached, pct, scale, Stopwatch};
 use pv_data::noise_levels;
 use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
 
@@ -15,7 +15,7 @@ fn main() {
     let methods: [&dyn PruneMethod; 2] = [&WeightThresholding, &FilterThresholding];
     let mut sw = Stopwatch::new();
     for method in methods {
-        let mut family = build_family(&cfg, method, 0, None);
+        let mut family = build_family_cached(&cfg, method, 0, None);
         sw.lap(&format!("{} family", method.name()));
         println!("  method {}  (delta = {}%)", method.name(), cfg.delta_pct);
         for &eps in &noise_levels() {

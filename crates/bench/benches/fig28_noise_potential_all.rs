@@ -1,8 +1,8 @@
 //! Figure 28: prune potential vs noise level across architectures — the
 //! WideResNet analogue stands out as noise-robust, as in the paper.
 
-use pruneval::{build_family, preset, Distribution};
-use pv_bench::{banner, pct, scale, Stopwatch};
+use pruneval::{preset, Distribution};
+use pv_bench::{banner, build_family_cached, pct, scale, Stopwatch};
 use pv_data::noise_levels;
 use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
 
@@ -25,7 +25,7 @@ fn main() {
     for name in models {
         let cfg = preset(name, scale()).expect("known preset");
         for &method in methods {
-            let mut family = build_family(&cfg, method, 0, None);
+            let mut family = build_family_cached(&cfg, method, 0, None);
             sw.lap(&format!("{name} {} family", method.name()));
             print!("  {name:<10} {:<4}", method.name());
             let mut first = 0.0;

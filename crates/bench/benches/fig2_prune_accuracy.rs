@@ -2,8 +2,8 @@
 //! iteratively pruned models across target prune ratios for all four
 //! pruning schemes.
 
-use pruneval::{build_family, preset, Distribution};
-use pv_bench::{banner, print_curve, scale, Stopwatch};
+use pruneval::{preset, Distribution};
+use pv_bench::{banner, build_family_cached, print_curve, scale, Stopwatch};
 use pv_prune::all_methods;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
     let mut weight_best = 0.0f64;
     let mut filter_best = 0.0f64;
     for method in all_methods() {
-        let mut family = build_family(&cfg, method.as_ref(), 0, None);
+        let mut family = build_family_cached(&cfg, method.as_ref(), 0, None);
         sw.lap(&format!("{} family", method.name()));
         let curve = family.curve_on(&Distribution::Nominal, 1);
         print_curve(method.name(), &curve);

@@ -2,8 +2,8 @@
 //! potential grows with δ, but the cross-distribution ordering (nominal ≥
 //! corrupted) is unchanged.
 
-use pruneval::{build_family, preset, Distribution};
-use pv_bench::{banner, pct, scale, Stopwatch};
+use pruneval::{preset, Distribution};
+use pv_bench::{banner, build_family_cached, pct, scale, Stopwatch};
 use pv_data::Corruption;
 use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
 
@@ -25,7 +25,7 @@ fn main() {
     let methods: [&dyn PruneMethod; 2] = [&WeightThresholding, &FilterThresholding];
     let mut sw = Stopwatch::new();
     for method in methods {
-        let mut family = build_family(&cfg, method, 0, None);
+        let mut family = build_family_cached(&cfg, method, 0, None);
         sw.lap(&format!("{} family", method.name()));
         println!(
             "\n  method {} — rows: distribution, columns: delta {deltas:?}",

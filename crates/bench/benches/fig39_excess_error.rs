@@ -3,8 +3,8 @@
 //! positive slopes everywhere except the genuinely overparameterized
 //! WRN analogue.
 
-use pruneval::{build_family, preset, Distribution};
-use pv_bench::{banner, scale, Stopwatch};
+use pruneval::{preset, Distribution};
+use pv_bench::{banner, build_family_cached, scale, Stopwatch};
 use pv_metrics::{fit_through_origin, series_lines};
 use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
 
@@ -37,7 +37,7 @@ fn main() {
     for (name, method) in pairs {
         let cfg = preset(name, scale()).expect("known preset");
         {
-            let mut family = build_family(&cfg, method, 0, None);
+            let mut family = build_family_cached(&cfg, method, 0, None);
             sw.lap(&format!("{name} {} family", method.name()));
             let series = family.excess_error_series(&Distribution::all_corruptions_sev3(), 1);
             println!("\n  {name} / {}:", method.name());

@@ -5,8 +5,8 @@
 //! Pass `PV_GREEDY=1` to use the full greedy BackSelect instead of the
 //! one-shot approximation (slower, closer to Carter et al.).
 
-use pruneval::{build_family, inputs_for, preset};
-use pv_bench::{banner, scale, Stopwatch};
+use pruneval::{inputs_for, preset};
+use pv_bench::{banner, build_family_cached, scale, Stopwatch};
 use pv_metrics::{confidence_heatmap, SelectionMode};
 use pv_nn::Network;
 use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
@@ -33,7 +33,7 @@ fn main() {
     let methods: [&dyn PruneMethod; 2] = [&WeightThresholding, &FilterThresholding];
     let mut sw = Stopwatch::new();
     for method in methods {
-        let family = build_family(&cfg, method, 0, None);
+        let family = build_family_cached(&cfg, method, 0, None);
         sw.lap(&format!("{} family", method.name()));
 
         let mut rng = Rng::new(99);

@@ -3,8 +3,8 @@
 //! and softmax ℓ₂ difference — compared against a separately trained
 //! network.
 
-use pruneval::{build_family, inputs_for, preset};
-use pv_bench::{banner, scale, Stopwatch};
+use pruneval::{inputs_for, preset};
+use pv_bench::{banner, build_family_cached, scale, Stopwatch};
 use pv_data::noise_levels;
 use pv_metrics::similarity_sweep;
 use pv_nn::Network;
@@ -25,7 +25,7 @@ fn main() {
     let methods: [&dyn PruneMethod; 3] = [&WeightThresholding, &Sipp, &FilterThresholding];
     let mut sw = Stopwatch::new();
     for method in methods {
-        let mut family = build_family(&cfg, method, 0, None);
+        let mut family = build_family_cached(&cfg, method, 0, None);
         sw.lap(&format!("{} family", method.name()));
         let images = inputs_for(&family.parent, &family.test_set);
 

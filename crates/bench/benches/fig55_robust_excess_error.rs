@@ -3,8 +3,8 @@
 //! disappears.
 
 use pruneval::robust::{split_distributions, PAPER_SEVERITY};
-use pruneval::{build_family, preset, RobustTraining};
-use pv_bench::{banner, scale, Stopwatch};
+use pruneval::{preset, RobustTraining};
+use pv_bench::{banner, build_family_cached, scale, Stopwatch};
 use pv_data::CorruptionSplit;
 use pv_metrics::{fit_through_origin, series_lines};
 use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
@@ -37,13 +37,13 @@ fn main() {
     let mut sw = Stopwatch::new();
     for &method in methods {
         // robust run
-        let mut family = build_family(&cfg, method, 0, Some(&robust));
+        let mut family = build_family_cached(&cfg, method, 0, Some(&robust));
         sw.lap(&format!("robust {} family", method.name()));
         let series = family.excess_error_series(&shifted, 1);
         let robust_fit = fit_through_origin(&series, 300, 13);
 
         // nominal-training baseline on the same held-out corruptions
-        let mut baseline = build_family(&cfg, method, 0, None);
+        let mut baseline = build_family_cached(&cfg, method, 0, None);
         sw.lap(&format!("nominal {} family", method.name()));
         let base_series = baseline.excess_error_series(&shifted, 1);
         let base_fit = fit_through_origin(&base_series, 300, 13);

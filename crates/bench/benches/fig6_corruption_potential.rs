@@ -2,8 +2,8 @@
 //! prune potential per corruption, and the difference in excess error on
 //! the CIFAR-analogue task.
 
-use pruneval::{build_family, preset, Distribution};
-use pv_bench::{banner, pct, print_curve, scale, Stopwatch};
+use pruneval::{preset, Distribution};
+use pv_bench::{banner, build_family_cached, dists_from_env, pct, print_curve, scale, Stopwatch};
 use pv_data::Corruption;
 use pv_metrics::{fit_through_origin, series_lines};
 use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
@@ -22,7 +22,7 @@ fn main() {
     let mut sw = Stopwatch::new();
 
     for method in methods {
-        let mut family = build_family(&cfg, method, 0, None);
+        let mut family = build_family_cached(&cfg, method, 0, None);
         sw.lap(&format!("{} family", method.name()));
         println!("\n  === method {} ===", method.name());
 
@@ -55,7 +55,9 @@ fn main() {
         println!("    ({zeroed}/16 corruptions leave (almost) no prune potential)");
 
         // (c)/(f): difference in excess error, averaged over all corruptions
-        let series = family.excess_error_series(&Distribution::all_corruptions_sev3(), 1);
+        // (override the set with PV_DISTS, e.g. PV_DISTS=Gauss:3,Fog:3)
+        let shifted = dists_from_env(&Distribution::all_corruptions_sev3());
+        let series = family.excess_error_series(&shifted, 1);
         println!("\n  difference in excess error (avg over all corruptions):");
         print!("{}", series_lines("  excess", &series));
         let fit = fit_through_origin(&series, 300, 7);

@@ -2,8 +2,8 @@
 //! *harder* task standing in for ImageNet — lower and higher-variance
 //! potentials, more pronounced for filter pruning.
 
-use pruneval::{build_family, preset, Distribution};
-use pv_bench::{banner, pct, scale, Stopwatch};
+use pruneval::{preset, Distribution};
+use pv_bench::{banner, build_family_cached, pct, scale, Stopwatch};
 use pv_data::Corruption;
 use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
 use pv_tensor::stats::mean;
@@ -31,7 +31,7 @@ fn main() {
         };
         let mut summary: Vec<(String, f64, f64)> = Vec::new(); // (task, nominal, mean corr)
         for cfg in cfgs {
-            let mut family = build_family(cfg, method, 0, None);
+            let mut family = build_family_cached(cfg, method, 0, None);
             sw.lap(&format!("{} {} family", cfg.name, method.name()));
             let nominal = family.potential_on(&Distribution::Nominal, cfg.delta_pct, 1);
             println!(

@@ -4,8 +4,8 @@
 //! collapse it.
 
 use pruneval::robust::{split_distributions, PAPER_SEVERITY};
-use pruneval::{build_family, preset, Distribution, RobustTraining};
-use pv_bench::{banner, pct, print_curve, scale, Stopwatch};
+use pruneval::{preset, Distribution, RobustTraining};
+use pv_bench::{banner, build_family_cached, pct, print_curve, scale, Stopwatch};
 use pv_data::CorruptionSplit;
 use pv_prune::{FilterThresholding, PruneMethod, WeightThresholding};
 use pv_tensor::stats::mean;
@@ -37,7 +37,7 @@ fn main() {
     let mut sw = Stopwatch::new();
 
     for method in methods {
-        let mut family = build_family(&cfg, method, 0, Some(&robust));
+        let mut family = build_family_cached(&cfg, method, 0, Some(&robust));
         sw.lap(&format!("robust {} family", method.name()));
         println!("\n  === method {} (robust training) ===", method.name());
 

@@ -2,8 +2,8 @@
 //! maximal prune ratio (PR) and FLOP reduction (FR) at which each method
 //! still achieves commensurate accuracy (within δ = 0.5%), per model.
 
-use pruneval::{build_family, preset, Distribution};
-use pv_bench::{banner, scale, Stopwatch};
+use pruneval::{preset, Distribution};
+use pv_bench::{banner, build_family_cached, scale, Stopwatch};
 use pv_metrics::TextTable;
 use pv_prune::all_methods;
 
@@ -26,7 +26,7 @@ fn main() {
     for &name in models {
         let cfg = preset(name, scale()).expect("known preset");
         for method in all_methods() {
-            let mut family = build_family(&cfg, method.as_ref(), 0, None);
+            let mut family = build_family_cached(&cfg, method.as_ref(), 0, None);
             sw.lap(&format!("{name} {} family", method.name()));
             let curve = family.curve_on(&Distribution::Nominal, 1);
             // the commensurate point: largest PR with err - err0 <= delta,

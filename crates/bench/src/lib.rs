@@ -14,13 +14,74 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pruneval::Scale;
+use pruneval::{
+    build_family_with, parse_distributions, ArtifactCache, Distribution, ExperimentConfig,
+    FamilyBuildOptions, RobustTraining, Scale, StudyFamily,
+};
 use pv_metrics::PruneAccuracyCurve;
+use pv_prune::PruneMethod;
 use std::time::Instant;
 
 /// Scale for harness runs (reads `PV_SCALE`, default `Quick`).
 pub fn scale() -> Scale {
     Scale::from_env()
+}
+
+/// The artifact cache harnesses share, from `PV_CACHE_DIR`.
+///
+/// Defaults to `target/pv-cache`; set `PV_CACHE_DIR` to a directory to
+/// relocate it, or to `off`, `0`, or the empty string to disable caching
+/// (every run then trains from scratch). Cached and fresh runs produce
+/// bitwise-identical results, so the cache only changes wall time.
+pub fn cache() -> Option<ArtifactCache> {
+    match std::env::var("PV_CACHE_DIR") {
+        Err(_) => Some(ArtifactCache::new("target/pv-cache")),
+        Ok(v) if v.is_empty() || v == "off" || v == "0" => None,
+        Ok(v) => Some(ArtifactCache::new(v)),
+    }
+}
+
+/// [`pruneval::build_family`] behind the shared [`cache`]: repeated harness
+/// runs load families instead of retraining them, and interrupted runs
+/// resume at the first missing prune–retrain cycle.
+///
+/// # Panics
+///
+/// Panics on a corrupt cache artifact (delete `PV_CACHE_DIR` to recover)
+/// or a config/architecture mismatch.
+pub fn build_family_cached(
+    cfg: &ExperimentConfig,
+    method: &dyn PruneMethod,
+    rep: usize,
+    robust: Option<&RobustTraining<'_>>,
+) -> StudyFamily {
+    let cache = cache();
+    let opts = FamilyBuildOptions {
+        rep,
+        robust,
+        cache: cache.as_ref(),
+    };
+    match build_family_with(cfg, method, &opts) {
+        Ok(f) => f,
+        Err(e) => panic!("family build failed (try clearing PV_CACHE_DIR): {e}"),
+    }
+}
+
+/// Evaluation distributions for a harness: the `PV_DISTS` spec list
+/// (comma-separated, e.g. `nominal,noise:0.2,Gauss:3` — the same notation
+/// as the CLI's `--dist`) when set and non-empty, `default` otherwise.
+///
+/// # Panics
+///
+/// Panics when `PV_DISTS` is set but does not parse.
+pub fn dists_from_env(default: &[Distribution]) -> Vec<Distribution> {
+    match std::env::var("PV_DISTS") {
+        Ok(s) if !s.trim().is_empty() => match parse_distributions(&s) {
+            Ok(dists) => dists,
+            Err(e) => panic!("PV_DISTS: {e}"),
+        },
+        _ => default.to_vec(),
+    }
 }
 
 /// Prints a figure/table banner with the paper reference.

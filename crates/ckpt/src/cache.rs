@@ -1,0 +1,103 @@
+//! A content-addressed artifact cache.
+//!
+//! Artifacts live under `root/<key>/<file>.pvck`, where `<key>` is the
+//! [`StableHasher`](crate::hash::StableHasher) hex digest of the producing
+//! experiment's canonical description. Because the key covers every input
+//! that influences the artifact (config, method, seed, scale), a hit can be
+//! trusted without further validation beyond the file's own CRC.
+//!
+//! Writes are atomic (temp file + rename, via [`Checkpoint::save`]), so a
+//! cache shared between concurrently running benches never exposes a
+//! half-written artifact; a corrupt or truncated file is reported as a
+//! typed error by [`ArtifactCache::load`] and can simply be deleted and
+//! regenerated.
+
+use crate::format::Checkpoint;
+use pv_tensor::error::Result;
+use std::path::{Path, PathBuf};
+
+/// A directory-backed, content-addressed store of checkpoints.
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    root: PathBuf,
+}
+
+impl ArtifactCache {
+    /// Opens (without creating) a cache rooted at `root`.
+    ///
+    /// Directories are created lazily on the first [`ArtifactCache::store`],
+    /// so constructing a cache never touches the filesystem.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory holding all artifacts for `key`.
+    pub fn dir_for(&self, key: &str) -> PathBuf {
+        self.root.join(key)
+    }
+
+    /// Full path of artifact `file` (without extension) under `key`.
+    pub fn path_for(&self, key: &str, file: &str) -> PathBuf {
+        self.dir_for(key).join(format!("{file}.pvck"))
+    }
+
+    /// Whether artifact `file` exists under `key`.
+    pub fn contains(&self, key: &str, file: &str) -> bool {
+        self.path_for(key, file).is_file()
+    }
+
+    /// Loads and CRC-validates an artifact.
+    pub fn load(&self, key: &str, file: &str) -> Result<Checkpoint> {
+        Checkpoint::load(self.path_for(key, file))
+    }
+
+    /// Atomically stores an artifact, creating directories as needed.
+    pub fn store(&self, key: &str, file: &str, ckpt: &Checkpoint) -> Result<()> {
+        ckpt.save(self.path_for(key, file))
+    }
+
+    /// Removes every artifact stored under `key` (a no-op if absent).
+    pub fn evict(&self, key: &str) -> Result<()> {
+        let dir = self.dir_for(key);
+        if dir.is_dir() {
+            std::fs::remove_dir_all(&dir).map_err(|e| pv_tensor::Error::io(dir.display(), e))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_tensor::Tensor;
+
+    #[test]
+    fn store_load_evict_cycle() {
+        let root = std::env::temp_dir().join("pv_ckpt_cache_test");
+        std::fs::remove_dir_all(&root).ok();
+        let cache = ArtifactCache::new(&root);
+        assert!(!cache.contains("abc", "parent"));
+
+        let mut c = Checkpoint::new();
+        c.put_tensor("net/w", &Tensor::from_vec(vec![2], vec![1.0, 2.0]));
+        cache.store("abc", "parent", &c).expect("store");
+        assert!(cache.contains("abc", "parent"));
+        assert_eq!(cache.load("abc", "parent").expect("load"), c);
+
+        cache.evict("abc").expect("evict");
+        assert!(!cache.contains("abc", "parent"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn load_of_missing_artifact_is_typed_io_error() {
+        let cache = ArtifactCache::new(std::env::temp_dir().join("pv_ckpt_cache_missing"));
+        let err = cache.load("nope", "parent").unwrap_err();
+        assert!(matches!(err, pv_tensor::Error::Io(_)), "{err:?}");
+    }
+}

@@ -1,0 +1,100 @@
+//! CRC-32 (IEEE 802.3 polynomial), the integrity footer of every PVCK file.
+//!
+//! Table-driven, reflected form — identical to the checksum produced by
+//! `zlib.crc32`, `cksum -o 3`, and friends, so files can be cross-checked
+//! with standard tools.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Builds the 256-entry lookup table at compile time.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// A streaming CRC-32 accumulator.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Finalizes and returns the checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard test vectors for the IEEE CRC-32.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data = b"hello pruned world";
+        let mut c = Crc32::new();
+        c.update(&data[..5]);
+        c.update(&data[5..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let mut data = vec![0u8; 64];
+        let base = crc32(&data);
+        data[17] ^= 0x04;
+        assert_ne!(crc32(&data), base);
+    }
+}

@@ -1,0 +1,516 @@
+//! The PVCK on-disk container: named, shape-tagged tensor records inside a
+//! versioned, CRC-checked binary envelope.
+//!
+//! Layout (all integers little-endian; see DESIGN.md §8 for the normative
+//! spec):
+//!
+//! ```text
+//! "PVCK"                       magic, 4 bytes
+//! u32   format version         currently 1
+//! u32   record count
+//! per record:
+//!   u16   name length          followed by that many UTF-8 bytes
+//!   u8    dtype                0 = f32, 1 = u32
+//!   u8    ndim                 number of dimensions (0 = scalar)
+//!   u32×ndim  dims
+//!   u64   element count        must equal the product of dims
+//!   4×count   payload          little-endian f32 or u32 values
+//! u32   CRC-32 (IEEE)          over every byte before the footer
+//! ```
+
+use crate::crc32::crc32;
+use pv_tensor::error::Result;
+use pv_tensor::{Error, Tensor};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// File magic, the first four bytes of every checkpoint.
+pub const MAGIC: [u8; 4] = *b"PVCK";
+
+/// Current format version written by this crate.
+///
+/// Versioning policy: readers accept exactly the versions they know how to
+/// decode and reject everything else with [`Error::CorruptCheckpoint`];
+/// bumping the version is reserved for layout changes, not for new record
+/// names (which old readers simply surface to the caller).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Element type of one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dtype {
+    /// 32-bit IEEE-754 float, little-endian.
+    F32,
+    /// 32-bit unsigned integer, little-endian (metadata, counts, labels).
+    U32,
+}
+
+impl Dtype {
+    fn code(self) -> u8 {
+        match self {
+            Dtype::F32 => 0,
+            Dtype::U32 => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self> {
+        match code {
+            0 => Ok(Dtype::F32),
+            1 => Ok(Dtype::U32),
+            other => Err(Error::CorruptCheckpoint(format!(
+                "unknown dtype code {other}"
+            ))),
+        }
+    }
+}
+
+/// Payload of one record.
+#[derive(Debug, Clone, PartialEq)]
+enum RecordData {
+    F32(Vec<f32>),
+    U32(Vec<u32>),
+}
+
+/// A named, shape-tagged array inside a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Record name (a state-dict key such as `parent/s0b0c0.weight`).
+    pub name: String,
+    /// Dimensions; empty for scalars.
+    pub dims: Vec<usize>,
+    data: RecordData,
+}
+
+impl Record {
+    /// The record's element type.
+    pub fn dtype(&self) -> Dtype {
+        match self.data {
+            RecordData::F32(_) => Dtype::F32,
+            RecordData::U32(_) => Dtype::U32,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            RecordData::F32(v) => v.len(),
+            RecordData::U32(v) => v.len(),
+        }
+    }
+
+    /// Whether the record holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An in-memory checkpoint: an ordered collection of named records.
+///
+/// Record order is preserved through serialization, so writing the same
+/// logical content always yields bitwise-identical files.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Checkpoint {
+    records: Vec<Record>,
+    index: BTreeMap<String, usize>,
+}
+
+impl Checkpoint {
+    /// Creates an empty checkpoint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the checkpoint holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Record names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.records.iter().map(|r| r.name.as_str())
+    }
+
+    /// Whether a record with this name exists.
+    pub fn has(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Looks up a record by name.
+    pub fn get(&self, name: &str) -> Option<&Record> {
+        self.index.get(name).map(|&i| &self.records[i])
+    }
+
+    fn push(&mut self, name: String, dims: Vec<usize>, data: RecordData) {
+        assert!(
+            !self.index.contains_key(&name),
+            "duplicate checkpoint record '{name}'"
+        );
+        self.index.insert(name.clone(), self.records.len());
+        self.records.push(Record { name, dims, data });
+    }
+
+    /// Adds an f32 record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken or `data.len()` does not match
+    /// the product of `dims` — both are programming errors on the *write*
+    /// side (the read side reports corruption as [`Error`] values).
+    pub fn put_f32(&mut self, name: impl Into<String>, dims: Vec<usize>, data: Vec<f32>) {
+        assert_eq!(
+            dims.iter().product::<usize>(),
+            data.len(),
+            "dims/len mismatch"
+        );
+        self.push(name.into(), dims, RecordData::F32(data));
+    }
+
+    /// Adds a u32 record (shape `[data.len()]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn put_u32(&mut self, name: impl Into<String>, data: Vec<u32>) {
+        let dims = vec![data.len()];
+        self.push(name.into(), dims, RecordData::U32(data));
+    }
+
+    /// Adds a tensor as an f32 record carrying the tensor's shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn put_tensor(&mut self, name: impl Into<String>, t: &Tensor) {
+        self.put_f32(name, t.shape().to_vec(), t.data().to_vec());
+    }
+
+    /// The f32 payload of a record, or a typed error if the record is
+    /// missing or has the wrong dtype.
+    pub fn f32s(&self, name: &str) -> Result<&[f32]> {
+        match self.get(name) {
+            Some(Record {
+                data: RecordData::F32(v),
+                ..
+            }) => Ok(v),
+            Some(_) => Err(Error::CorruptCheckpoint(format!(
+                "record '{name}' is not f32"
+            ))),
+            None => Err(Error::CorruptCheckpoint(format!("missing record '{name}'"))),
+        }
+    }
+
+    /// The u32 payload of a record, or a typed error if the record is
+    /// missing or has the wrong dtype.
+    pub fn u32s(&self, name: &str) -> Result<&[u32]> {
+        match self.get(name) {
+            Some(Record {
+                data: RecordData::U32(v),
+                ..
+            }) => Ok(v),
+            Some(_) => Err(Error::CorruptCheckpoint(format!(
+                "record '{name}' is not u32"
+            ))),
+            None => Err(Error::CorruptCheckpoint(format!("missing record '{name}'"))),
+        }
+    }
+
+    /// Reconstructs a tensor from an f32 record.
+    pub fn tensor(&self, name: &str) -> Result<Tensor> {
+        let data = self.f32s(name)?.to_vec();
+        let dims = self.get(name).expect("checked above").dims.clone();
+        Ok(Tensor::from_vec(dims, data))
+    }
+
+    /// Reconstructs a tensor and verifies it has `expected` shape,
+    /// reporting [`Error::ShapeMismatch`] otherwise.
+    pub fn tensor_expect(&self, name: &str, expected: &[usize]) -> Result<Tensor> {
+        let t = self.tensor(name)?;
+        if t.shape() != expected {
+            return Err(Error::ShapeMismatch {
+                name: name.to_string(),
+                expected: expected.to_vec(),
+                actual: t.shape().to_vec(),
+            });
+        }
+        Ok(t)
+    }
+
+    /// Serializes to the PVCK byte layout (see module docs), including the
+    /// CRC-32 footer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload: usize = self
+            .records
+            .iter()
+            .map(|r| 16 + r.name.len() + 4 * (r.dims.len() + r.len()))
+            .sum();
+        let mut out = Vec::with_capacity(12 + payload + 4);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        for r in &self.records {
+            let name = r.name.as_bytes();
+            assert!(name.len() <= u16::MAX as usize, "record name too long");
+            assert!(r.dims.len() <= u8::MAX as usize, "too many dimensions");
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name);
+            out.push(r.dtype().code());
+            out.push(r.dims.len() as u8);
+            for &d in &r.dims {
+                out.extend_from_slice(&(d as u32).to_le_bytes());
+            }
+            out.extend_from_slice(&(r.len() as u64).to_le_bytes());
+            match &r.data {
+                RecordData::F32(v) => {
+                    for &x in v {
+                        out.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
+                RecordData::U32(v) => {
+                    for &x in v {
+                        out.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
+            }
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses a PVCK byte stream, validating magic, version, structure, and
+    /// the CRC-32 footer. Every failure mode maps to
+    /// [`Error::CorruptCheckpoint`] with a message naming the defect.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 16 {
+            return Err(Error::CorruptCheckpoint(format!(
+                "file too short ({} bytes)",
+                bytes.len()
+            )));
+        }
+        let (body, footer) = bytes.split_at(bytes.len() - 4);
+        let stored_crc = u32::from_le_bytes(footer.try_into().expect("4-byte footer"));
+        let actual_crc = crc32(body);
+        if stored_crc != actual_crc {
+            return Err(Error::CorruptCheckpoint(format!(
+                "CRC mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+            )));
+        }
+        let mut cur = Cursor { buf: body, pos: 0 };
+        let magic = cur.take(4)?;
+        if magic != MAGIC {
+            return Err(Error::CorruptCheckpoint("bad magic".into()));
+        }
+        let version = cur.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(Error::CorruptCheckpoint(format!(
+                "unsupported format version {version} (reader supports {FORMAT_VERSION})"
+            )));
+        }
+        let count = cur.u32()? as usize;
+        let mut ckpt = Checkpoint::new();
+        for _ in 0..count {
+            let name_len = cur.u16()? as usize;
+            let name_bytes = cur.take(name_len)?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| Error::CorruptCheckpoint("record name is not UTF-8".into()))?
+                .to_string();
+            let dtype = Dtype::from_code(cur.u8()?)?;
+            let ndim = cur.u8()? as usize;
+            let mut dims = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                dims.push(cur.u32()? as usize);
+            }
+            let len = cur.u64()? as usize;
+            if len != dims.iter().product::<usize>() {
+                return Err(Error::CorruptCheckpoint(format!(
+                    "record '{name}': length {len} does not match dims {dims:?}"
+                )));
+            }
+            if ckpt.has(&name) {
+                return Err(Error::CorruptCheckpoint(format!(
+                    "duplicate record '{name}'"
+                )));
+            }
+            let raw = cur.take(len * 4)?;
+            let data = match dtype {
+                Dtype::F32 => RecordData::F32(
+                    raw.chunks_exact(4)
+                        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                        .collect(),
+                ),
+                Dtype::U32 => RecordData::U32(
+                    raw.chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                        .collect(),
+                ),
+            };
+            ckpt.push(name, dims, data);
+        }
+        if cur.pos != body.len() {
+            return Err(Error::CorruptCheckpoint(format!(
+                "{} trailing bytes after last record",
+                body.len() - cur.pos
+            )));
+        }
+        Ok(ckpt)
+    }
+
+    /// Writes the checkpoint to `path` atomically (write to a sibling
+    /// temporary file, then rename over the target).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| Error::io(parent.display(), e))?;
+            }
+        }
+        let tmp = path.with_extension("pvck.tmp");
+        std::fs::write(&tmp, self.to_bytes()).map_err(|e| Error::io(tmp.display(), e))?;
+        std::fs::rename(&tmp, path).map_err(|e| Error::io(path.display(), e))?;
+        Ok(())
+    }
+
+    /// Reads and validates a checkpoint from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| Error::io(path.display(), e))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// A bounds-checked reader over the body bytes.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Error::CorruptCheckpoint(format!(
+                "truncated: needed {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut c = Checkpoint::new();
+        c.put_tensor(
+            "w",
+            &Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 3.5, 0.0, 5.0, -6.25]),
+        );
+        c.put_f32("b", vec![3], vec![0.1, 0.2, 0.3]);
+        c.put_u32("meta", vec![7, 42]);
+        c
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise_identical() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        let c2 = Checkpoint::from_bytes(&bytes).expect("parse");
+        assert_eq!(c, c2);
+        assert_eq!(c2.to_bytes(), bytes, "re-serialization must be stable");
+        assert_eq!(c2.tensor("w").unwrap().shape(), &[2, 3]);
+        assert_eq!(c2.u32s("meta").unwrap(), &[7, 42]);
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 3, 8, 12, bytes.len() / 2, bytes.len() - 1] {
+            let err = Checkpoint::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, Error::CorruptCheckpoint(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_any_bit_flip() {
+        let bytes = sample().to_bytes();
+        for pos in [0, 4, 9, 20, bytes.len() - 2] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                matches!(
+                    Checkpoint::from_bytes(&bad),
+                    Err(Error::CorruptCheckpoint(_))
+                ),
+                "flip at {pos} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut bytes = sample().to_bytes();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        // fix up the CRC so the version check (not the CRC) fires
+        let body_len = bytes.len() - 4;
+        let crc = crate::crc32::crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn typed_lookup_errors() {
+        let c = sample();
+        assert!(matches!(c.f32s("meta"), Err(Error::CorruptCheckpoint(_))));
+        assert!(matches!(c.u32s("w"), Err(Error::CorruptCheckpoint(_))));
+        assert!(matches!(c.tensor("nope"), Err(Error::CorruptCheckpoint(_))));
+        assert!(matches!(
+            c.tensor_expect("w", &[3, 2]),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn save_load_via_filesystem() {
+        let dir = std::env::temp_dir().join("pv_ckpt_fmt_test");
+        let path = dir.join("sample.pvck");
+        let c = sample();
+        c.save(&path).expect("save");
+        let c2 = Checkpoint::load(&path).expect("load");
+        assert_eq!(c, c2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

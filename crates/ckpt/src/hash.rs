@@ -1,0 +1,122 @@
+//! A stable 64-bit content hash for cache keys.
+//!
+//! `std::hash` offers no cross-run stability guarantee (and `SipHash` is
+//! randomly keyed), so artifact keys are computed with FNV-1a over a
+//! canonical byte encoding that the caller feeds in field by field. The
+//! resulting key is a pure function of the experiment description — the
+//! same config always maps to the same cache directory, across runs,
+//! machines, and (little-endian-encoded) platforms.
+
+/// FNV-1a offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a hasher with typed `push_*` helpers.
+///
+/// Each helper writes a fixed-width little-endian encoding (strings are
+/// length-prefixed), so field boundaries are unambiguous and reordering or
+/// merging fields always changes the digest.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Starts a fresh hash.
+    pub fn new() -> Self {
+        Self { state: OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Feeds a length-prefixed UTF-8 string.
+    pub fn push_str(&mut self, s: &str) -> &mut Self {
+        self.push_u64(s.len() as u64);
+        self.push_bytes(s.as_bytes())
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        self.push_bytes(&v.to_le_bytes())
+    }
+
+    /// Feeds a `usize` widened to `u64`.
+    pub fn push_usize(&mut self, v: usize) -> &mut Self {
+        self.push_u64(v as u64)
+    }
+
+    /// Feeds an `f64` by its IEEE-754 bit pattern (so `-0.0 != 0.0`, and
+    /// every distinct hyperparameter value gets a distinct encoding).
+    pub fn push_f64(&mut self, v: f64) -> &mut Self {
+        self.push_u64(v.to_bits())
+    }
+
+    /// Feeds an `f32` by its bit pattern.
+    pub fn push_f32(&mut self, v: f32) -> &mut Self {
+        self.push_u64(v.to_bits() as u64)
+    }
+
+    /// Feeds a boolean as one byte.
+    pub fn push_bool(&mut self, v: bool) -> &mut Self {
+        self.push_bytes(&[v as u8])
+    }
+
+    /// The 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest as a 16-character lowercase hex string — the directory
+    /// name used by the artifact cache.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_field_sensitive() {
+        let key = |name: &str, seed: u64, lr: f64| {
+            let mut h = StableHasher::new();
+            h.push_str(name).push_u64(seed).push_f64(lr);
+            h.hex()
+        };
+        assert_eq!(key("resnet20", 1, 0.1), key("resnet20", 1, 0.1));
+        assert_ne!(key("resnet20", 1, 0.1), key("resnet20", 2, 0.1));
+        assert_ne!(key("resnet20", 1, 0.1), key("resnet20", 1, 0.05));
+        assert_ne!(key("resnet20", 1, 0.1), key("resnet56", 1, 0.1));
+        assert_eq!(key("x", 0, 0.0).len(), 16);
+    }
+
+    #[test]
+    fn length_prefix_prevents_field_merging() {
+        let mut a = StableHasher::new();
+        a.push_str("ab").push_str("c");
+        let mut b = StableHasher::new();
+        b.push_str("a").push_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a of the empty input is the offset basis.
+        assert_eq!(StableHasher::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,53 @@
+//! # pv-ckpt
+//!
+//! A zero-dependency checkpoint and artifact-cache subsystem for the
+//! `pruneval` workspace (a Rust reproduction of *Lost in Pruning*,
+//! Liebenwein et al., MLSys 2021).
+//!
+//! * [`Checkpoint`] — the PVCK container: named, shape-tagged tensor
+//!   records in a versioned little-endian envelope with a CRC-32 footer
+//!   (layout in [`format`] and DESIGN.md §8).
+//! * [`write_network_state`] / [`read_network_state`] — the network codec
+//!   built on `Network::visit_params_named`: values, pruning masks, SGD
+//!   momentum, and batch-norm running statistics round-trip bitwise;
+//!   architectures are rebuilt from configs, never serialized.
+//! * [`StableHasher`] — a cross-run-stable FNV-1a hash used to derive
+//!   content-addressed cache keys from experiment descriptions.
+//! * [`ArtifactCache`] — `root/<key>/<file>.pvck` storage with atomic
+//!   writes, the backing store that lets `build_family` resume per cycle
+//!   and warm bench runs skip training entirely.
+//!
+//! Every fallible path reports the workspace-wide [`pv_tensor::Error`]
+//! (re-exported by the core crate as `pruneval::Error`).
+//!
+//! # Examples
+//!
+//! ```
+//! use pv_ckpt::{network_to_checkpoint, checkpoint_to_network, Checkpoint};
+//! use pv_nn::models;
+//!
+//! let mut net = models::mlp("demo", 8, &[16], 3, false, 0);
+//! let ckpt = network_to_checkpoint(&mut net);
+//! let bytes = ckpt.to_bytes();
+//!
+//! let restored = Checkpoint::from_bytes(&bytes).unwrap();
+//! let mut fresh = models::mlp("demo", 8, &[16], 3, false, 1);
+//! checkpoint_to_network(&restored, &mut fresh).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod crc32;
+pub mod format;
+pub mod hash;
+pub mod state;
+
+pub use cache::ArtifactCache;
+pub use crc32::{crc32, Crc32};
+pub use format::{Checkpoint, Dtype, Record, FORMAT_VERSION, MAGIC};
+pub use hash::StableHasher;
+pub use state::{
+    checkpoint_to_network, network_to_checkpoint, read_network_state, write_network_state,
+};

@@ -1,0 +1,246 @@
+//! Network ⇄ checkpoint codec built on the named state-dict API.
+//!
+//! A network's state is everything a prune–retrain cycle accumulates beyond
+//! the architecture itself: parameter values, pruning masks, SGD momentum
+//! buffers, and batch-norm running statistics. Architectures are *not*
+//! serialized — callers rebuild them deterministically from their configs
+//! and then load state into the fresh network, which keeps files small and
+//! the format immune to architecture-code evolution.
+//!
+//! Record naming, under a caller-chosen `prefix` (e.g. `net/` or
+//! `parent/net/`):
+//!
+//! * `{prefix}{param}` — the value tensor (e.g. `net/s0b0c0.weight`);
+//! * `{prefix}{param}.mask` — the binary pruning mask, when installed;
+//! * `{prefix}{param}.velocity` — the SGD momentum buffer, when created;
+//! * `{prefix}{buffer}` — batch-norm running statistics
+//!   (e.g. `net/stem.bn.running_mean`).
+
+use crate::format::Checkpoint;
+use pv_nn::Network;
+use pv_tensor::error::Result;
+use pv_tensor::Error;
+use std::collections::BTreeSet;
+
+/// Suffix of mask records.
+const MASK: &str = ".mask";
+/// Suffix of momentum records.
+const VELOCITY: &str = ".velocity";
+
+/// Writes the full trainable state of `net` into `ckpt` under `prefix`.
+///
+/// Gradients are deliberately excluded: the training loop zeroes them at
+/// the start of every batch, so they carry no information across a
+/// save/load boundary.
+///
+/// # Panics
+///
+/// Panics if a record name under `prefix` is already taken in `ckpt`.
+pub fn write_network_state(ckpt: &mut Checkpoint, prefix: &str, net: &mut Network) {
+    net.visit_params_named(&mut |name, p| {
+        ckpt.put_tensor(format!("{prefix}{name}"), &p.value);
+        if let Some(mask) = &p.mask {
+            ckpt.put_tensor(format!("{prefix}{name}{MASK}"), mask);
+        }
+        if let Some(v) = &p.velocity {
+            ckpt.put_tensor(format!("{prefix}{name}{VELOCITY}"), v);
+        }
+    });
+    net.visit_buffers_named(&mut |name, buf| {
+        ckpt.put_f32(format!("{prefix}{name}"), vec![buf.len()], buf.to_vec());
+    });
+}
+
+/// Serializes a network's state as a standalone checkpoint (prefix `net/`).
+pub fn network_to_checkpoint(net: &mut Network) -> Checkpoint {
+    let mut ckpt = Checkpoint::new();
+    write_network_state(&mut ckpt, "net/", net);
+    ckpt
+}
+
+/// Loads state stored under `prefix` into `net`, which must have been built
+/// with the same architecture.
+///
+/// Every record is name- and shape-checked: a missing value record, a
+/// wrongly shaped tensor, or a record under `prefix` that the network does
+/// not recognize each produce a typed error ([`Error::CorruptCheckpoint`]
+/// or [`Error::ShapeMismatch`]) and leave no partial writes observable to
+/// correct code paths (the network may have been partially updated, so on
+/// error callers should discard it).
+pub fn read_network_state(net: &mut Network, ckpt: &Checkpoint, prefix: &str) -> Result<()> {
+    let mut expected: BTreeSet<String> = BTreeSet::new();
+    let mut first_err: Option<Error> = None;
+
+    net.visit_params_named(&mut |name, p| {
+        if first_err.is_some() {
+            return;
+        }
+        let key = format!("{prefix}{name}");
+        expected.insert(key.clone());
+        match ckpt.tensor_expect(&key, p.value.shape()) {
+            Ok(t) => p.value = t,
+            Err(e) => {
+                first_err = Some(e);
+                return;
+            }
+        }
+        let mask_key = format!("{key}{MASK}");
+        if ckpt.has(&mask_key) {
+            expected.insert(mask_key.clone());
+            match ckpt.tensor_expect(&mask_key, p.value.shape()) {
+                Ok(t) => p.mask = Some(t),
+                Err(e) => {
+                    first_err = Some(e);
+                    return;
+                }
+            }
+        } else {
+            p.mask = None;
+        }
+        let vel_key = format!("{key}{VELOCITY}");
+        if ckpt.has(&vel_key) {
+            expected.insert(vel_key.clone());
+            match ckpt.tensor_expect(&vel_key, p.value.shape()) {
+                Ok(t) => p.velocity = Some(t),
+                Err(e) => first_err = Some(e),
+            }
+        } else {
+            p.velocity = None;
+        }
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    net.visit_buffers_named(&mut |name, buf| {
+        if first_err.is_some() {
+            return;
+        }
+        let key = format!("{prefix}{name}");
+        expected.insert(key.clone());
+        match ckpt.f32s(&key) {
+            Ok(vals) if vals.len() == buf.len() => buf.copy_from_slice(vals),
+            Ok(vals) => {
+                first_err = Some(Error::ShapeMismatch {
+                    name: key,
+                    expected: vec![buf.len()],
+                    actual: vec![vals.len()],
+                })
+            }
+            Err(e) => first_err = Some(e),
+        }
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    for name in ckpt.names() {
+        if name.starts_with(prefix) && !expected.contains(name) {
+            return Err(Error::CorruptCheckpoint(format!(
+                "unexpected record '{name}' for this architecture"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Loads a standalone network checkpoint (the `net/` prefix written by
+/// [`network_to_checkpoint`]) into `net`.
+pub fn checkpoint_to_network(ckpt: &Checkpoint, net: &mut Network) -> Result<()> {
+    read_network_state(net, ckpt, "net/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_nn::{models, train, Mode, TrainConfig};
+    use pv_tensor::{Rng, Tensor};
+
+    fn trained_net(seed: u64) -> Network {
+        let mut net = models::mlp("t", 6, &[10, 8], 3, true, seed);
+        let mut rng = Rng::new(seed ^ 0x5EED);
+        let x = Tensor::rand_uniform(&[32, 6], -1.0, 1.0, &mut rng);
+        let y: Vec<usize> = (0..32).map(|i| i % 3).collect();
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            ..TrainConfig::default()
+        };
+        train(&mut net, &x, &y, &cfg, None);
+        // install a mask on the first prunable layer so masks round-trip
+        net.visit_prunable(&mut |l| {
+            if l.label() == "fc0" {
+                let shape = [l.out_units(), l.unit_len()];
+                let mask = Tensor::from_fn(&shape, |i| if i % 4 == 0 { 0.0 } else { 1.0 });
+                l.weight_mut().set_mask(mask);
+            }
+        });
+        net
+    }
+
+    fn state_fingerprint(net: &mut Network) -> Vec<u32> {
+        let mut bits = Vec::new();
+        net.visit_params_named(&mut |_, p| {
+            bits.extend(p.value.data().iter().map(|v| v.to_bits()));
+            if let Some(m) = &p.mask {
+                bits.extend(m.data().iter().map(|v| v.to_bits()));
+            }
+            if let Some(v) = &p.velocity {
+                bits.extend(v.data().iter().map(|x| x.to_bits()));
+            }
+        });
+        net.visit_buffers_named(&mut |_, b| bits.extend(b.iter().map(|v| v.to_bits())));
+        bits
+    }
+
+    #[test]
+    fn state_roundtrips_bitwise() {
+        let mut net = trained_net(11);
+        let before = state_fingerprint(&mut net);
+        let ckpt = network_to_checkpoint(&mut net);
+
+        let mut fresh = models::mlp("t", 6, &[10, 8], 3, true, 999); // different init
+        checkpoint_to_network(&ckpt, &mut fresh).expect("load");
+        assert_eq!(state_fingerprint(&mut fresh), before);
+
+        // eval forwards agree bitwise (masks + BN running stats included)
+        let mut rng = Rng::new(3);
+        let x = Tensor::rand_uniform(&[5, 6], -1.0, 1.0, &mut rng);
+        let a = net.forward(&x, Mode::Eval);
+        let b = fresh.forward(&x, Mode::Eval);
+        assert_eq!(
+            a.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn wrong_architecture_is_rejected() {
+        let mut net = trained_net(12);
+        let ckpt = network_to_checkpoint(&mut net);
+        // different hidden width -> shape mismatch on fc0.weight
+        let mut other = models::mlp("t", 6, &[12, 8], 3, true, 0);
+        let err = checkpoint_to_network(&ckpt, &mut other).unwrap_err();
+        assert!(matches!(err, Error::ShapeMismatch { .. }), "{err:?}");
+        // same widths but no batch norm -> the bn records are unexpected
+        let mut no_bn = models::mlp("t", 6, &[10, 8], 3, false, 0);
+        let err = checkpoint_to_network(&ckpt, &mut no_bn).unwrap_err();
+        assert!(matches!(err, Error::CorruptCheckpoint(_)), "{err:?}");
+        // different depth -> a missing record for the extra layer
+        let mut deep = models::mlp("t", 6, &[10, 8, 8], 3, true, 0);
+        let err = checkpoint_to_network(&ckpt, &mut deep).unwrap_err();
+        assert!(matches!(err, Error::CorruptCheckpoint(_)), "{err:?}");
+    }
+
+    #[test]
+    fn mask_absence_clears_stale_mask() {
+        let mut net = trained_net(13);
+        let mut dense = models::mlp("t", 6, &[10, 8], 3, true, 5);
+        let ckpt_dense = network_to_checkpoint(&mut dense);
+        // net has a mask on fc0; loading a dense checkpoint must clear it
+        checkpoint_to_network(&ckpt_dense, &mut net).expect("load");
+        let mut any_mask = false;
+        net.visit_params(&mut |p| any_mask |= p.mask.is_some());
+        assert!(!any_mask);
+    }
+}

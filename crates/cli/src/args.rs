@@ -1,5 +1,6 @@
 //! Minimal `--flag value` argument parsing (no external dependencies).
 
+use pruneval::Error;
 use std::collections::BTreeMap;
 
 /// Parsed command line: a subcommand plus `--key value` options.
@@ -15,8 +16,9 @@ pub struct ParsedArgs {
 ///
 /// # Errors
 ///
-/// Returns a message if an option appears twice or a value is dangling.
-pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
+/// Returns [`Error::Parse`] if an option appears twice or a positional
+/// argument follows the subcommand.
+pub fn parse(args: &[String]) -> Result<ParsedArgs, Error> {
     let mut parsed = ParsedArgs::default();
     let mut i = 0;
     while i < args.len() {
@@ -29,12 +31,12 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
                 "true".to_string()
             };
             if parsed.options.insert(key.to_string(), value).is_some() {
-                return Err(format!("option --{key} given twice"));
+                return Err(Error::Parse(format!("option --{key} given twice")));
             }
         } else if parsed.command.is_empty() {
             parsed.command = a.clone();
         } else {
-            return Err(format!("unexpected argument '{a}'"));
+            return Err(Error::Parse(format!("unexpected argument '{a}'")));
         }
         i += 1;
     }
@@ -51,13 +53,13 @@ impl ParsedArgs {
     ///
     /// # Errors
     ///
-    /// Returns a message if the value does not parse.
-    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    /// Returns [`Error::Parse`] if the value does not parse.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, Error> {
         match self.options.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+                .map_err(|_| Error::Parse(format!("--{key}: cannot parse '{v}'"))),
         }
     }
 

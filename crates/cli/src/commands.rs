@@ -1,7 +1,17 @@
 //! Subcommand implementations.
+//!
+//! Every command returns the workspace-wide [`Error`]: unknown names map to
+//! [`Error::UnknownPreset`] / [`Error::UnknownMethod`], bad flag values to
+//! [`Error::Parse`], filesystem failures to [`Error::Io`], and a damaged
+//! checkpoint surfaces as [`Error::CorruptCheckpoint`] or
+//! [`Error::ShapeMismatch`] — `main` renders them uniformly.
 
 use crate::args::ParsedArgs;
-use pruneval::{build_family, build_seg_family, preset, Distribution, Scale, SegExperimentConfig};
+use pruneval::{
+    build_family_with, build_seg_family, load_family, preset, save_family, try_inputs_for,
+    ArtifactCache, Distribution, Error, ExperimentConfig, FamilyBuildOptions, Scale,
+    SegExperimentConfig, StudyFamily,
+};
 use pv_data::{generate, write_pgm, Corruption, TaskSpec};
 use pv_metrics::TextTable;
 use pv_prune::{all_methods, method_by_name, PruneMethod};
@@ -20,51 +30,59 @@ const PRESETS: [&str; 9] = [
     "mlp",
 ];
 
-fn scale_of(args: &ParsedArgs) -> Result<Scale, String> {
+fn scale_of(args: &ParsedArgs) -> Result<Scale, Error> {
     match args.get_or("scale", "") {
         "" => Ok(Scale::from_env()),
         "smoke" => Ok(Scale::Smoke),
         "quick" => Ok(Scale::Quick),
         "full" => Ok(Scale::Full),
-        other => Err(format!("--scale: unknown scale '{other}'")),
+        other => Err(Error::Parse(format!("--scale: unknown scale '{other}'"))),
     }
 }
 
-fn method_of(args: &ParsedArgs) -> Result<Box<dyn PruneMethod>, String> {
+fn method_of(args: &ParsedArgs) -> Result<Box<dyn PruneMethod>, Error> {
     let name = args.get_or("method", "WT");
-    method_by_name(name).ok_or_else(|| format!("--method: unknown method '{name}'"))
+    method_by_name(name).ok_or_else(|| Error::UnknownMethod(name.to_string()))
 }
 
-/// Parses a distribution spec: `nominal`, `alt`, `noise:<eps>`, or
-/// `<Corruption>:<severity>`.
-fn dist_of(spec: &str) -> Result<Distribution, String> {
-    match spec.to_lowercase().as_str() {
-        "nominal" => return Ok(Distribution::Nominal),
-        "alt" | "alttest" => return Ok(Distribution::AltTestSet),
-        _ => {}
+fn preset_of(args: &ParsedArgs, scale: Scale) -> Result<(String, ExperimentConfig), Error> {
+    let model = args.get_or("model", "resnet20");
+    let cfg = preset(model, scale).ok_or_else(|| Error::UnknownPreset(model.to_string()))?;
+    Ok((model.to_string(), cfg))
+}
+
+/// The artifact cache selected by `--cache-dir <dir>`, if any.
+fn cache_of(args: &ParsedArgs) -> Option<ArtifactCache> {
+    args.options.get("cache-dir").map(ArtifactCache::new)
+}
+
+/// Builds (or resumes from the cache) the family a command operates on.
+fn family_of(
+    cfg: &ExperimentConfig,
+    method: &dyn PruneMethod,
+    rep: usize,
+    cache: Option<&ArtifactCache>,
+) -> Result<StudyFamily, Error> {
+    let t0 = std::time::Instant::now();
+    let opts = FamilyBuildOptions {
+        rep,
+        robust: None,
+        cache,
+    };
+    let family = build_family_with(cfg, method, &opts)?;
+    match cache {
+        Some(c) => println!(
+            "family ready in {:.1?} (cache: {})\n",
+            t0.elapsed(),
+            c.root().display()
+        ),
+        None => println!("family built in {:.1?}\n", t0.elapsed()),
     }
-    if let Some(eps) = spec.to_lowercase().strip_prefix("noise:") {
-        let eps: f32 = eps
-            .parse()
-            .map_err(|_| format!("bad noise level '{eps}'"))?;
-        return Ok(Distribution::Noise(eps));
-    }
-    if let Some((name, sev)) = spec.split_once(':') {
-        let c =
-            Corruption::from_name(name).ok_or_else(|| format!("unknown corruption '{name}'"))?;
-        let s: u8 = sev.parse().map_err(|_| format!("bad severity '{sev}'"))?;
-        if !(1..=5).contains(&s) {
-            return Err(format!("severity {s} out of range 1..=5"));
-        }
-        return Ok(Distribution::Corruption(c, s));
-    }
-    Err(format!(
-        "bad distribution spec '{spec}' (try nominal | alt | noise:0.2 | Gauss:3)"
-    ))
+    Ok(family)
 }
 
 /// `pruneval list`.
-pub fn list() -> Result<(), String> {
+pub fn list() -> Result<(), Error> {
     println!("model presets:");
     for p in PRESETS {
         println!("  {p}");
@@ -94,10 +112,9 @@ pub fn list() -> Result<(), String> {
 }
 
 /// `pruneval study`.
-pub fn study(args: &ParsedArgs) -> Result<(), String> {
+pub fn study(args: &ParsedArgs) -> Result<(), Error> {
     let scale = scale_of(args)?;
-    let model = args.get_or("model", "resnet20");
-    let cfg = preset(model, scale).ok_or_else(|| format!("unknown preset '{model}'"))?;
+    let (model, cfg) = preset_of(args, scale)?;
     let method = method_of(args)?;
     println!(
         "study: {model} / {} at {scale:?} ({} train samples, {} epochs, {} cycles)",
@@ -106,23 +123,21 @@ pub fn study(args: &ParsedArgs) -> Result<(), String> {
         cfg.train.epochs,
         cfg.cycles
     );
-    let t0 = std::time::Instant::now();
-    let mut family = build_family(&cfg, method.as_ref(), 0, None);
-    println!("family built in {:.1?}\n", t0.elapsed());
+    let mut family = family_of(&cfg, method.as_ref(), 0, cache_of(args).as_ref())?;
 
     let nominal = family.curve_on(&Distribution::Nominal, 1);
     let mut table = TextTable::new(&["PR %", "FR %", "test error %"]);
-    table.add_row(vec![
+    table.try_add_row(vec![
         "0.0".into(),
         "0.0".into(),
         format!("{:.2}", nominal.unpruned_error_pct),
-    ]);
+    ])?;
     for (pm, (r, e)) in family.pruned.iter().zip(&nominal.points) {
-        table.add_row(vec![
+        table.try_add_row(vec![
             format!("{:.1}", 100.0 * r),
             format!("{:.1}", 100.0 * pm.flop_reduction),
             format!("{e:.2}"),
-        ]);
+        ])?;
     }
     println!("{}", table.render());
 
@@ -155,7 +170,7 @@ pub fn study(args: &ParsedArgs) -> Result<(), String> {
         .rposition(|pm| pm.achieved_ratio <= p_nominal + 1e-9)
     {
         let test = family.test_set.clone();
-        let images = pruneval::inputs_for(&family.parent, &test);
+        let images = try_inputs_for(&family.parent, &test)?;
         let ratio = family.pruned[idx].achieved_ratio;
         let mut pruned_net = family.pruned[idx].network.clone();
         let impact =
@@ -180,38 +195,37 @@ pub fn study(args: &ParsedArgs) -> Result<(), String> {
 /// Writes the nominal curve as CSV when `--csv <path>` was given.
 fn write_csv(
     args: &ParsedArgs,
-    family: &pruneval::StudyFamily,
+    family: &StudyFamily,
     nominal: &pv_metrics::PruneAccuracyCurve,
-) -> Result<(), String> {
+) -> Result<(), Error> {
     if let Some(path) = args.options.get("csv") {
         let mut csv = TextTable::new(&["prune_ratio", "flop_reduction", "test_error_pct"]);
-        csv.add_row(vec![
+        csv.try_add_row(vec![
             "0".into(),
             "0".into(),
             format!("{}", nominal.unpruned_error_pct),
-        ]);
+        ])?;
         for (pm, (r, e)) in family.pruned.iter().zip(&nominal.points) {
-            csv.add_row(vec![
+            csv.try_add_row(vec![
                 r.to_string(),
                 pm.flop_reduction.to_string(),
                 e.to_string(),
-            ]);
+            ])?;
         }
-        std::fs::write(path, csv.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(path, csv.to_csv()).map_err(|e| Error::io(path, e))?;
         println!("\ncurve written to {path}");
     }
     Ok(())
 }
 
 /// `pruneval potential`.
-pub fn potential(args: &ParsedArgs) -> Result<(), String> {
+pub fn potential(args: &ParsedArgs) -> Result<(), Error> {
     let scale = scale_of(args)?;
-    let model = args.get_or("model", "resnet20");
-    let cfg = preset(model, scale).ok_or_else(|| format!("unknown preset '{model}'"))?;
+    let (model, cfg) = preset_of(args, scale)?;
     let method = method_of(args)?;
-    let dist = dist_of(args.get_or("dist", "nominal"))?;
+    let dist: Distribution = args.get_or("dist", "nominal").parse()?;
     let delta = args.get_num("delta", cfg.delta_pct)?;
-    let mut family = build_family(&cfg, method.as_ref(), 0, None);
+    let mut family = family_of(&cfg, method.as_ref(), 0, cache_of(args).as_ref())?;
     let curve = family.curve_on(&dist, 1);
     println!("{model} / {} on {}:", method.name(), dist.label());
     println!("  unpruned error: {:.2}%", curve.unpruned_error_pct);
@@ -225,33 +239,88 @@ pub fn potential(args: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// `pruneval save`: build a family (resuming from `--cache-dir` when set)
+/// and write it as one portable `.pvck` checkpoint.
+pub fn save(args: &ParsedArgs) -> Result<(), Error> {
+    let scale = scale_of(args)?;
+    let (model, cfg) = preset_of(args, scale)?;
+    let method = method_of(args)?;
+    let rep = args.get_num("rep", 0usize)?;
+    let out = args.get_or("out", "target/family.pvck");
+    println!(
+        "save: {model} / {} at {scale:?}, repetition {rep}",
+        method.name()
+    );
+    let mut family = family_of(&cfg, method.as_ref(), rep, cache_of(args).as_ref())?;
+    save_family(&mut family, out)?;
+    println!(
+        "family (parent + separate + {} pruned models) written to {out}",
+        family.pruned.len()
+    );
+    Ok(())
+}
+
+/// `pruneval load`: restore a family checkpoint written by `save` and print
+/// its nominal prune-accuracy curve — no training happens.
+pub fn load(args: &ParsedArgs) -> Result<(), Error> {
+    let scale = scale_of(args)?;
+    let (model, cfg) = preset_of(args, scale)?;
+    let rep = args.get_num("rep", 0usize)?;
+    let path = args.get_or("in", "target/family.pvck");
+    let mut family = load_family(&cfg, rep, path)?;
+    println!(
+        "loaded {model} family from {path}: method {}, {} pruned models",
+        family.method,
+        family.pruned.len()
+    );
+    let nominal = family.curve_on(&Distribution::Nominal, 1);
+    let mut table = TextTable::new(&["PR %", "FR %", "test error %"]);
+    table.try_add_row(vec![
+        "0.0".into(),
+        "0.0".into(),
+        format!("{:.2}", nominal.unpruned_error_pct),
+    ])?;
+    for (pm, (r, e)) in family.pruned.iter().zip(&nominal.points) {
+        table.try_add_row(vec![
+            format!("{:.1}", 100.0 * r),
+            format!("{:.1}", 100.0 * pm.flop_reduction),
+            format!("{e:.2}"),
+        ])?;
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
 /// `pruneval corrupt`.
-pub fn corrupt(args: &ParsedArgs) -> Result<(), String> {
+pub fn corrupt(args: &ParsedArgs) -> Result<(), Error> {
     let name = args.get_or("corruption", "Gauss");
-    let c = Corruption::from_name(name).ok_or_else(|| format!("unknown corruption '{name}'"))?;
+    let c = Corruption::from_name(name)
+        .ok_or_else(|| Error::Parse(format!("--corruption: unknown corruption '{name}'")))?;
     let severity: u8 = args.get_num("severity", 3)?;
     if !(1..=5).contains(&severity) {
-        return Err(format!("severity {severity} out of range 1..=5"));
+        return Err(Error::Parse(format!(
+            "severity {severity} out of range 1..=5"
+        )));
     }
     let out = args.get_or("out", "target/corrupt");
     let dir = Path::new(out);
-    std::fs::create_dir_all(dir).map_err(|e| format!("creating {out}: {e}"))?;
+    std::fs::create_dir_all(dir).map_err(|e| Error::io(out, e))?;
     let ds = generate(&TaskSpec::cifar_like(), 4, 2021);
     let mut rng = Rng::new(7);
     let corrupted = c.apply_batch(ds.images(), severity, &mut rng);
     for i in 0..ds.len() {
         let clean_path = dir.join(format!("sample{i}_clean.pgm"));
         let corrupt_path = dir.join(format!("sample{i}_{}_s{severity}.pgm", c.name()));
-        write_pgm(&ds.image(i), &clean_path).map_err(|e| e.to_string())?;
+        write_pgm(&ds.image(i), &clean_path).map_err(|e| Error::io(clean_path.display(), e))?;
         write_pgm(&corrupted.slice_first_axis(i, i + 1), &corrupt_path)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| Error::io(corrupt_path.display(), e))?;
     }
     println!("wrote {} clean + corrupted image pairs to {out}", ds.len());
     Ok(())
 }
 
 /// `pruneval segstudy`.
-pub fn segstudy(args: &ParsedArgs) -> Result<(), String> {
+pub fn segstudy(args: &ParsedArgs) -> Result<(), Error> {
     let scale = scale_of(args)?;
     let method = method_of(args)?;
     let cfg = SegExperimentConfig::voc_like(scale);
@@ -286,19 +355,20 @@ mod tests {
 
     #[test]
     fn dist_specs_parse() {
-        assert_eq!(dist_of("nominal").expect("parses"), Distribution::Nominal);
-        assert_eq!(dist_of("alt").expect("parses"), Distribution::AltTestSet);
+        let dist = |s: &str| s.parse::<Distribution>();
+        assert_eq!(dist("nominal").expect("parses"), Distribution::Nominal);
+        assert_eq!(dist("alt").expect("parses"), Distribution::AltTestSet);
         assert_eq!(
-            dist_of("noise:0.25").expect("parses"),
+            dist("noise:0.25").expect("parses"),
             Distribution::Noise(0.25)
         );
         assert_eq!(
-            dist_of("gauss:3").expect("parses"),
+            dist("gauss:3").expect("parses"),
             Distribution::Corruption(Corruption::Gauss, 3)
         );
-        assert!(dist_of("gauss:9").is_err());
-        assert!(dist_of("wat").is_err());
-        assert!(dist_of("noise:abc").is_err());
+        assert!(matches!(dist("gauss:9"), Err(Error::Parse(_))));
+        assert!(matches!(dist("wat"), Err(Error::Parse(_))));
+        assert!(matches!(dist("noise:abc"), Err(Error::Parse(_))));
     }
 
     #[test]
@@ -311,5 +381,37 @@ mod tests {
         for p in PRESETS {
             assert!(preset(p, Scale::Smoke).is_some(), "{p} missing from zoo");
         }
+    }
+
+    #[test]
+    fn unknown_names_map_to_typed_variants() {
+        let args =
+            crate::args::parse(&["study".into(), "--model".into(), "nope".into()]).expect("parses");
+        assert!(matches!(
+            preset_of(&args, Scale::Smoke),
+            Err(Error::UnknownPreset(m)) if m == "nope"
+        ));
+        let args = crate::args::parse(&["study".into(), "--method".into(), "nope".into()])
+            .expect("parses");
+        assert!(matches!(
+            method_of(&args),
+            Err(Error::UnknownMethod(m)) if m == "nope"
+        ));
+        let args =
+            crate::args::parse(&["study".into(), "--scale".into(), "nope".into()]).expect("parses");
+        assert!(matches!(scale_of(&args), Err(Error::Parse(_))));
+    }
+
+    #[test]
+    fn cache_dir_flag_selects_cache() {
+        let args = crate::args::parse(&[
+            "study".into(),
+            "--cache-dir".into(),
+            "target/pv-cache".into(),
+        ])
+        .expect("parses");
+        let cache = cache_of(&args).expect("cache configured");
+        assert_eq!(cache.root(), Path::new("target/pv-cache"));
+        assert!(cache_of(&crate::args::parse(&["study".into()]).expect("parses")).is_none());
     }
 }

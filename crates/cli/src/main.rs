@@ -5,6 +5,8 @@
 //! pruneval list
 //! pruneval study   --model resnet20 --method WT [--scale quick] [--csv out.csv]
 //! pruneval potential --model resnet20 --method WT --dist Gauss:3 [--delta 0.5]
+//! pruneval save    --model resnet20 --method WT --out family.pvck
+//! pruneval load    --model resnet20 --in family.pvck
 //! pruneval corrupt --corruption Gauss --severity 3 --out target/corrupt
 //! pruneval segstudy --method WT [--scale quick]
 //! ```
@@ -12,6 +14,7 @@
 mod args;
 mod commands;
 
+use pruneval::Error;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -28,11 +31,22 @@ COMMANDS:
                   --method <name>     WT | SiPP | FT | PFP (default WT)
                   --scale <s>         smoke | quick | full (default quick)
                   --csv <path>        also write the curve as CSV
+                  --cache-dir <dir>   resume/skip training via the artifact
+                                      cache (bitwise identical to a fresh run)
     potential   prune potential on one distribution
-                  --model, --method, --scale as above
+                  --model, --method, --scale, --cache-dir as above
                   --dist <spec>       nominal | alt | noise:<eps> |
                                       <Corruption>:<severity>  (default nominal)
                   --delta <pct>       margin in percent (default 0.5)
+    save        build a family (honoring --cache-dir) and write it as one
+                portable .pvck checkpoint
+                  --model, --method, --scale, --cache-dir as above
+                  --rep <n>           repetition index (default 0)
+                  --out <path>        (default target/family.pvck)
+    load        restore a family checkpoint and print its nominal curve
+                without any training
+                  --model, --scale, --rep as for save (must match the save)
+                  --in <path>         (default target/family.pvck)
     corrupt     write clean + corrupted sample images as PGM files
                   --corruption <name> (default Gauss)
                   --severity <1..5>   (default 3)
@@ -57,13 +71,15 @@ fn main() -> ExitCode {
         "list" => commands::list(),
         "study" => commands::study(&parsed),
         "potential" => commands::potential(&parsed),
+        "save" => commands::save(&parsed),
+        "load" => commands::load(&parsed),
         "corrupt" => commands::corrupt(&parsed),
         "segstudy" => commands::segstudy(&parsed),
         "" | "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'")),
+        other => Err(Error::Parse(format!("unknown command '{other}'"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -1,0 +1,321 @@
+//! Artifact persistence for study families: content-addressed cache keys,
+//! whole-family checkpoints, and `save`/`load` entry points.
+//!
+//! The experimental unit of the paper (Section 3.2) is the *family* —
+//! parent, separately initialized twin, and one snapshot per prune–retrain
+//! cycle. Training a family dominates every bench and CLI run, so families
+//! are cached content-addressed: [`family_cache_key`] hashes every input
+//! that influences the build (task, architecture, training recipe,
+//! schedule, seed, repetition, method, robust-training setup) into a stable
+//! key, and the per-component artifacts (`parent`, `separate`,
+//! `cycle00`, …) stored under it let
+//! [`build_family_with`](crate::experiment::build_family_with) resume per
+//! cycle or skip training entirely.
+//!
+//! Because the whole workspace is bitwise deterministic (seeded PCG32,
+//! thread-count-invariant kernels), a cache hit is *exactly* the network
+//! the fresh run would have produced — warm results are indistinguishable
+//! from cold ones down to the last bit.
+
+use crate::config::{ArchSpec, ExperimentConfig};
+use crate::experiment::{PrunedModel, RobustTraining, StudyFamily};
+use pv_ckpt::{read_network_state, write_network_state, Checkpoint, StableHasher};
+use pv_data::{generate_split, TaskSpec};
+use pv_nn::{LrDecay, Schedule, TrainConfig};
+use pv_tensor::error::Result;
+use pv_tensor::Error;
+use std::path::Path;
+
+pub use pv_ckpt::ArtifactCache;
+
+/// Version of the *key derivation* (not the file format): bump to
+/// invalidate every cached artifact after a semantic change to training or
+/// pruning that the hashed fields cannot see.
+const KEY_VERSION: u64 = 1;
+
+fn hash_task(h: &mut StableHasher, t: &TaskSpec) {
+    h.push_usize(t.classes)
+        .push_usize(t.channels)
+        .push_usize(t.height)
+        .push_usize(t.width)
+        .push_f32(t.pixel_noise)
+        .push_f32(t.clutter)
+        .push_usize(t.max_shift)
+        .push_f32(t.amplitude_jitter);
+}
+
+fn hash_arch(h: &mut StableHasher, a: &ArchSpec) {
+    match a {
+        ArchSpec::Mlp { hidden, batch_norm } => {
+            h.push_str("mlp").push_usize(hidden.len());
+            for &w in hidden {
+                h.push_usize(w);
+            }
+            h.push_bool(*batch_norm);
+        }
+        ArchSpec::MiniResNet { width, blocks } => {
+            h.push_str("resnet").push_usize(*width).push_usize(*blocks);
+        }
+        ArchSpec::MiniVgg { width } => {
+            h.push_str("vgg").push_usize(*width);
+        }
+        ArchSpec::MiniWideResNet { width, widen } => {
+            h.push_str("wrn").push_usize(*width).push_usize(*widen);
+        }
+        ArchSpec::MiniDenseNet { growth, layers } => {
+            h.push_str("densenet")
+                .push_usize(*growth)
+                .push_usize(*layers);
+        }
+    }
+}
+
+fn hash_schedule(h: &mut StableHasher, s: &Schedule) {
+    h.push_f64(s.base_lr).push_usize(s.warmup_epochs);
+    match &s.decay {
+        LrDecay::Constant => {
+            h.push_str("constant");
+        }
+        LrDecay::MultiStep { milestones, gamma } => {
+            h.push_str("multistep").push_usize(milestones.len());
+            for &m in milestones {
+                h.push_usize(m);
+            }
+            h.push_f64(*gamma);
+        }
+        LrDecay::Every { every, gamma } => {
+            h.push_str("every").push_usize(*every).push_f64(*gamma);
+        }
+        LrDecay::Poly { power } => {
+            h.push_str("poly").push_f64(*power);
+        }
+    }
+}
+
+fn hash_train(h: &mut StableHasher, t: &TrainConfig) {
+    // `t.seed` is deliberately excluded: build_family overwrites it with
+    // the repetition-derived seed, so it never influences the artifact.
+    h.push_usize(t.epochs).push_usize(t.batch_size);
+    hash_schedule(h, &t.schedule);
+    h.push_f64(t.momentum)
+        .push_bool(t.nesterov)
+        .push_f64(t.weight_decay);
+}
+
+/// The content-addressed cache key of one family build: a stable hex hash
+/// of `(task, architecture, training recipe, schedule, cycles, seed,
+/// repetition, method, robust setup)`. Two invocations share a key exactly
+/// when they would produce bitwise-identical families.
+pub fn family_cache_key(
+    cfg: &ExperimentConfig,
+    method: &str,
+    rep: usize,
+    robust: Option<&RobustTraining<'_>>,
+) -> String {
+    let mut h = StableHasher::new();
+    h.push_u64(KEY_VERSION);
+    hash_task(&mut h, &cfg.task);
+    hash_arch(&mut h, &cfg.arch);
+    hash_train(&mut h, &cfg.train);
+    h.push_usize(cfg.n_train)
+        .push_usize(cfg.n_test)
+        .push_usize(cfg.cycles)
+        .push_f64(cfg.per_cycle_ratio)
+        .push_u64(cfg.seed)
+        .push_usize(rep)
+        .push_str(method);
+    match robust {
+        None => {
+            h.push_bool(false);
+        }
+        Some(r) => {
+            h.push_bool(true).push_u64(u64::from(r.severity));
+            h.push_usize(r.split.train.len());
+            for c in &r.split.train {
+                h.push_str(c.name());
+            }
+        }
+    }
+    h.hex()
+}
+
+/// Serializes a whole family into one checkpoint: network states under
+/// `parent/`, `separate/`, and `cycle00/`… prefixes, plus `meta/` records
+/// (cycle count, target ratios, method name) used for validation on load.
+pub fn family_to_checkpoint(family: &mut StudyFamily) -> Checkpoint {
+    let mut ckpt = Checkpoint::new();
+    ckpt.put_u32("meta/cycles", vec![family.pruned.len() as u32]);
+    ckpt.put_f32(
+        "meta/targets",
+        vec![family.pruned.len()],
+        family
+            .pruned
+            .iter()
+            .map(|p| p.target_ratio as f32)
+            .collect(),
+    );
+    ckpt.put_u32(
+        "meta/method_utf8",
+        family.method.bytes().map(u32::from).collect(),
+    );
+    write_network_state(&mut ckpt, "parent/", &mut family.parent);
+    write_network_state(&mut ckpt, "separate/", &mut family.separate);
+    for (i, pm) in family.pruned.iter_mut().enumerate() {
+        write_network_state(&mut ckpt, &format!("cycle{i:02}/"), &mut pm.network);
+    }
+    ckpt
+}
+
+/// Rebuilds a family from a checkpoint written by [`family_to_checkpoint`].
+///
+/// `cfg` and `rep` must match the values used when the family was built:
+/// architectures are re-instantiated and datasets regenerated from them
+/// (data is never serialized), then every state is name- and shape-checked
+/// against the rebuilt networks. Achieved prune ratios and FLOP reductions
+/// are recomputed from the loaded masks.
+pub fn family_from_checkpoint(
+    cfg: &ExperimentConfig,
+    rep: usize,
+    ckpt: &Checkpoint,
+) -> Result<StudyFamily> {
+    let cycles = match ckpt.u32s("meta/cycles")? {
+        [n] => *n as usize,
+        other => {
+            return Err(Error::CorruptCheckpoint(format!(
+                "meta/cycles must hold one value, found {}",
+                other.len()
+            )))
+        }
+    };
+    let stored_targets = ckpt.f32s("meta/targets")?;
+    if stored_targets.len() != cycles {
+        return Err(Error::CorruptCheckpoint(format!(
+            "meta/targets has {} entries for {cycles} cycles",
+            stored_targets.len()
+        )));
+    }
+    let method: String = {
+        let codes = ckpt.u32s("meta/method_utf8")?;
+        let bytes: Vec<u8> = codes
+            .iter()
+            .map(|&c| {
+                u8::try_from(c).map_err(|_| {
+                    Error::CorruptCheckpoint("meta/method_utf8 holds non-byte values".into())
+                })
+            })
+            .collect::<Result<_>>()?;
+        String::from_utf8(bytes)
+            .map_err(|_| Error::CorruptCheckpoint("meta/method_utf8 is not UTF-8".into()))?
+    };
+    let targets = cfg.target_ratios();
+    if targets.len() < cycles {
+        return Err(Error::CorruptCheckpoint(format!(
+            "checkpoint has {cycles} cycles but the config schedules only {}",
+            targets.len()
+        )));
+    }
+    for (i, (&stored, computed)) in stored_targets.iter().zip(&targets).enumerate() {
+        if (f64::from(stored) - computed).abs() > 1e-4 {
+            return Err(Error::CorruptCheckpoint(format!(
+                "cycle {i} target ratio {stored} does not match the config's {computed:.4} — wrong config for this checkpoint?"
+            )));
+        }
+    }
+
+    let seed = cfg.rep_seed(rep);
+    let (train_set, test_set) = generate_split(&cfg.task, cfg.n_train, cfg.n_test, seed);
+    let mut parent = cfg.arch.build(&cfg.name, &cfg.task, seed.wrapping_add(11));
+    read_network_state(&mut parent, ckpt, "parent/")?;
+    let mut separate = cfg.arch.build(
+        &format!("{}-sep", cfg.name),
+        &cfg.task,
+        seed.wrapping_add(271),
+    );
+    read_network_state(&mut separate, ckpt, "separate/")?;
+
+    let mut pruned = Vec::with_capacity(cycles);
+    for (i, &target) in targets.iter().take(cycles).enumerate() {
+        let mut net = cfg.arch.build(&cfg.name, &cfg.task, seed.wrapping_add(11));
+        read_network_state(&mut net, ckpt, &format!("cycle{i:02}/"))?;
+        pruned.push(PrunedModel {
+            target_ratio: target,
+            achieved_ratio: net.prune_ratio(),
+            flop_reduction: net.flop_reduction(),
+            network: net,
+        });
+    }
+
+    Ok(StudyFamily {
+        parent,
+        separate,
+        pruned,
+        train_set,
+        test_set,
+        task: cfg.task.clone(),
+        method,
+    })
+}
+
+/// Saves a family as a single `.pvck` file (CRC-protected, atomic write).
+pub fn save_family(family: &mut StudyFamily, path: impl AsRef<Path>) -> Result<()> {
+    family_to_checkpoint(family).save(path)
+}
+
+/// Loads a family saved by [`save_family`]; `cfg`/`rep` must match the
+/// build (see [`family_from_checkpoint`]).
+pub fn load_family(
+    cfg: &ExperimentConfig,
+    rep: usize,
+    path: impl AsRef<Path>,
+) -> Result<StudyFamily> {
+    family_from_checkpoint(cfg, rep, &Checkpoint::load(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_data::CorruptionSplit;
+
+    fn cfg() -> ExperimentConfig {
+        crate::zoo::preset("mlp", crate::zoo::Scale::Smoke).expect("known preset")
+    }
+
+    #[test]
+    fn cache_key_is_stable_and_sensitive() {
+        let base = cfg();
+        let k = family_cache_key(&base, "WT", 0, None);
+        assert_eq!(k, family_cache_key(&base, "WT", 0, None));
+        assert_eq!(k.len(), 16);
+
+        assert_ne!(k, family_cache_key(&base, "FT", 0, None));
+        assert_ne!(k, family_cache_key(&base, "WT", 1, None));
+
+        let mut other = base.clone();
+        other.seed ^= 1;
+        assert_ne!(k, family_cache_key(&other, "WT", 0, None));
+        let mut other = base.clone();
+        other.train.epochs += 1;
+        assert_ne!(k, family_cache_key(&other, "WT", 0, None));
+        let mut other = base.clone();
+        other.per_cycle_ratio += 0.01;
+        assert_ne!(k, family_cache_key(&other, "WT", 0, None));
+
+        let split = CorruptionSplit::paper_default();
+        let robust = RobustTraining {
+            split: &split,
+            severity: 3,
+        };
+        assert_ne!(k, family_cache_key(&base, "WT", 0, Some(&robust)));
+    }
+
+    #[test]
+    fn key_ignores_fields_that_cannot_affect_the_build() {
+        let base = cfg();
+        let k = family_cache_key(&base, "WT", 0, None);
+        let mut other = base.clone();
+        other.train.seed ^= 77; // overwritten by the rep seed
+        other.delta_pct += 1.0; // evaluation-only knob
+        other.repetitions += 5; // outer-loop knob; `rep` itself is hashed
+        assert_eq!(k, family_cache_key(&other, "WT", 0, None));
+    }
+}

@@ -2,7 +2,9 @@
 //! set, ℓ∞ noise, and the corruption suite.
 
 use pv_data::{generate, linf_noise, Corruption, Dataset, TaskSpec};
-use pv_tensor::Rng;
+use pv_tensor::{Error, Rng};
+use std::fmt;
+use std::str::FromStr;
 
 /// A test distribution `D'` on which prune potential and excess error are
 /// evaluated (Section 5.1).
@@ -63,6 +65,66 @@ impl Distribution {
     }
 }
 
+/// The canonical spec syntax, round-tripping through [`Distribution::from_str`]:
+/// `nominal`, `alt`, `noise:<eps>`, `<Corruption>:<severity>` (e.g.
+/// `Gauss:3`). This is the single notation shared by the CLI `--dist` /
+/// `--dists` flags and the bench harnesses' `PV_DISTS` variable.
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Distribution::Nominal => write!(f, "nominal"),
+            Distribution::AltTestSet => write!(f, "alt"),
+            Distribution::Noise(eps) => write!(f, "noise:{eps}"),
+            Distribution::Corruption(c, s) => write!(f, "{}:{s}", c.name()),
+        }
+    }
+}
+
+impl FromStr for Distribution {
+    type Err = Error;
+
+    /// Parses the spec syntax documented on the [`Display`] impl. All
+    /// failures are [`Error::Parse`] with a message naming the defect.
+    fn from_str(spec: &str) -> Result<Self, Error> {
+        match spec.to_lowercase().as_str() {
+            "nominal" => return Ok(Distribution::Nominal),
+            "alt" | "alttest" => return Ok(Distribution::AltTestSet),
+            _ => {}
+        }
+        if let Some(eps) = spec.to_lowercase().strip_prefix("noise:") {
+            let eps: f32 = eps
+                .parse()
+                .map_err(|_| Error::Parse(format!("bad noise level '{eps}'")))?;
+            return Ok(Distribution::Noise(eps));
+        }
+        if let Some((name, sev)) = spec.split_once(':') {
+            let c = Corruption::from_name(name)
+                .ok_or_else(|| Error::Parse(format!("unknown corruption '{name}'")))?;
+            let s: u8 = sev
+                .parse()
+                .map_err(|_| Error::Parse(format!("bad severity '{sev}'")))?;
+            if !(1..=5).contains(&s) {
+                return Err(Error::Parse(format!("severity {s} out of range 1..=5")));
+            }
+            return Ok(Distribution::Corruption(c, s));
+        }
+        Err(Error::Parse(format!(
+            "bad distribution spec '{spec}' (try nominal | alt | noise:0.2 | Gauss:3)"
+        )))
+    }
+}
+
+/// Parses a comma-separated list of distribution specs (e.g.
+/// `nominal,noise:0.2,Gauss:3`), ignoring empty items.
+pub fn parse_distributions(specs: &str) -> Result<Vec<Distribution>, Error> {
+    specs
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(Distribution::from_str)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +176,40 @@ mod tests {
         assert!(grid
             .iter()
             .all(|d| matches!(d, Distribution::Corruption(_, 3))));
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let mut dists = vec![
+            Distribution::Nominal,
+            Distribution::AltTestSet,
+            Distribution::Noise(0.2),
+            Distribution::Noise(0.125),
+        ];
+        dists.extend(Distribution::all_corruptions_sev3());
+        for d in dists {
+            let spec = d.to_string();
+            let back: Distribution = spec.parse().unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(back, d, "round trip of '{spec}'");
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_bad_specs_with_parse_errors() {
+        use pv_tensor::Error;
+        for bad in ["wat", "noise:abc", "gauss:9", "gauss:x", "nope:3"] {
+            let err = bad.parse::<Distribution>().unwrap_err();
+            assert!(matches!(err, Error::Parse(_)), "{bad}: {err:?}");
+        }
+        assert_eq!(
+            parse_distributions("nominal, noise:0.2,,Gauss:3").expect("parses"),
+            vec![
+                Distribution::Nominal,
+                Distribution::Noise(0.2),
+                Distribution::Corruption(Corruption::Gauss, 3)
+            ]
+        );
+        assert!(parse_distributions("nominal,wat").is_err());
     }
 
     #[test]

@@ -2,14 +2,17 @@
 //! networks (one per prune–retrain cycle), and evaluate curves, prune
 //! potential, and excess error across distributions.
 
+use crate::artifact::family_cache_key;
 use crate::config::ExperimentConfig;
 use crate::distributions::Distribution;
+use pv_ckpt::{checkpoint_to_network, network_to_checkpoint, ArtifactCache};
 use pv_data::{corruption_augment, generate_split, CorruptionSplit, Dataset};
 use pv_metrics::{excess_error_difference, PruneAccuracyCurve};
 use pv_nn::{train, Network, TrainConfig};
 use pv_prune::{PruneContext, PruneMethod};
+use pv_tensor::error::Result;
 use pv_tensor::par;
-use pv_tensor::{Rng, Tensor};
+use pv_tensor::{Error, Rng, Tensor};
 
 /// Evaluation batch size used everywhere (memory bound, not a result knob).
 pub const EVAL_BATCH: usize = 128;
@@ -17,19 +20,36 @@ pub const EVAL_BATCH: usize = 128;
 /// Adapts a dataset's NCHW images to a network's expected input shape
 /// (flattening for MLPs, pass-through for CNNs).
 ///
+/// Fails with [`Error::ShapeMismatch`] when the dataset's per-sample
+/// element count does not match the network's input shape.
+pub fn try_inputs_for(net: &Network, ds: &Dataset) -> Result<Tensor> {
+    let images = ds.images();
+    let per_sample: usize = ds.image_shape().iter().product();
+    let expected: usize = net.input_shape().iter().product();
+    if per_sample != expected {
+        return Err(Error::ShapeMismatch {
+            name: "network input".into(),
+            expected: net.input_shape().to_vec(),
+            actual: ds.image_shape().to_vec(),
+        });
+    }
+    Ok(if net.input_shape().len() == 1 {
+        images.reshape(&[ds.len(), per_sample])
+    } else {
+        images.clone()
+    })
+}
+
+/// Panicking convenience wrapper around [`try_inputs_for`].
+///
 /// # Panics
 ///
 /// Panics if the dataset's per-sample element count does not match the
 /// network's input shape.
 pub fn inputs_for(net: &Network, ds: &Dataset) -> Tensor {
-    let images = ds.images();
-    let per_sample: usize = ds.image_shape().iter().product();
-    let expected: usize = net.input_shape().iter().product();
-    assert_eq!(per_sample, expected, "dataset does not fit network input");
-    if net.input_shape().len() == 1 {
-        images.reshape(&[ds.len(), per_sample])
-    } else {
-        images.clone()
+    match try_inputs_for(net, ds) {
+        Ok(t) => t,
+        Err(e) => panic!("dataset does not fit network input: {e}"),
     }
 }
 
@@ -120,17 +140,73 @@ fn train_with_optional_augment(
     }
 }
 
+/// Options of one [`build_family_with`] invocation beyond the config and
+/// method: which repetition, the optional robust-training setup, and the
+/// optional artifact cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FamilyBuildOptions<'a> {
+    /// Repetition index (derives the seed via `cfg.rep_seed`).
+    pub rep: usize,
+    /// Section 6 corruption-augmented (re)training, when enabled.
+    pub robust: Option<&'a RobustTraining<'a>>,
+    /// Artifact cache to resume from / populate, when enabled.
+    pub cache: Option<&'a ArtifactCache>,
+}
+
+/// Loads a cached component into `net`; `Ok(false)` means a cache miss
+/// (or no cache configured) and the caller must build it fresh.
+fn cache_load(
+    cache: Option<&ArtifactCache>,
+    key: Option<&str>,
+    file: &str,
+    net: &mut Network,
+) -> Result<bool> {
+    let (Some(cache), Some(key)) = (cache, key) else {
+        return Ok(false);
+    };
+    if !cache.contains(key, file) {
+        return Ok(false);
+    }
+    checkpoint_to_network(&cache.load(key, file)?, net)?;
+    Ok(true)
+}
+
+fn cache_store(
+    cache: Option<&ArtifactCache>,
+    key: Option<&str>,
+    file: &str,
+    net: &mut Network,
+) -> Result<()> {
+    let (Some(cache), Some(key)) = (cache, key) else {
+        return Ok(());
+    };
+    cache.store(key, file, &network_to_checkpoint(net))
+}
+
 /// Builds a [`StudyFamily`] for one repetition: generate data, train parent
 /// and separate networks, then run the iterative prune–retrain schedule,
 /// snapshotting the network after every cycle.
 ///
-/// `robust` switches on the Section 6 corruption-augmented (re)training.
-pub fn build_family(
+/// With a cache in `opts`, every component (`parent`, `separate`, each
+/// `cycleNN`) is loaded instead of trained when its artifact exists under
+/// the family's [`family_cache_key`], and stored right after being built
+/// otherwise — so an interrupted run resumes at the first missing cycle and
+/// a repeated run performs **zero** training steps. Checkpoints carry the
+/// complete optimizer-visible state (values, masks, momentum, batch-norm
+/// statistics) and the whole workspace is bitwise deterministic, so cached,
+/// resumed, and fresh builds are indistinguishable bit for bit.
+pub fn build_family_with(
     cfg: &ExperimentConfig,
     method: &dyn PruneMethod,
-    rep: usize,
-    robust: Option<&RobustTraining<'_>>,
-) -> StudyFamily {
+    opts: &FamilyBuildOptions<'_>,
+) -> Result<StudyFamily> {
+    let rep = opts.rep;
+    let robust = opts.robust;
+    let key = opts
+        .cache
+        .map(|_| family_cache_key(cfg, method.name(), rep, robust));
+    let key = key.as_deref();
+
     let seed = cfg.rep_seed(rep);
     let (train_set, test_set) = generate_split(&cfg.task, cfg.n_train, cfg.n_test, seed);
     let is_flat = matches!(cfg.arch, crate::config::ArchSpec::Mlp { .. });
@@ -142,36 +218,42 @@ pub fn build_family(
         seed.wrapping_add(271),
     );
 
-    let x = inputs_for(&parent, &train_set);
+    let x = try_inputs_for(&parent, &train_set)?;
     let y = train_set.labels();
     let mut tc = cfg.train.clone();
     tc.seed = seed;
-    train_with_optional_augment(
-        &mut parent,
-        &x,
-        y,
-        &tc,
-        robust,
-        is_flat,
-        &cfg.task.image_shape(),
-    );
+    if !cache_load(opts.cache, key, "parent", &mut parent)? {
+        train_with_optional_augment(
+            &mut parent,
+            &x,
+            y,
+            &tc,
+            robust,
+            is_flat,
+            &cfg.task.image_shape(),
+        );
+        cache_store(opts.cache, key, "parent", &mut parent)?;
+    }
     tc.seed = seed.wrapping_add(1);
-    train_with_optional_augment(
-        &mut separate,
-        &x,
-        y,
-        &tc,
-        robust,
-        is_flat,
-        &cfg.task.image_shape(),
-    );
+    if !cache_load(opts.cache, key, "separate", &mut separate)? {
+        train_with_optional_augment(
+            &mut separate,
+            &x,
+            y,
+            &tc,
+            robust,
+            is_flat,
+            &cfg.task.image_shape(),
+        );
+        cache_store(opts.cache, key, "separate", &mut separate)?;
+    }
 
     // sensitivity batch for data-informed methods: a training subsample
     // (the paper uses validation data; a train subsample avoids test leak)
     let ctx = if method.is_data_informed() {
         let mut rng = Rng::new(seed.wrapping_add(999));
         let sub = train_set.subsample(cfg.n_train.min(64), &mut rng);
-        PruneContext::with_batch(inputs_for(&parent, &sub))
+        PruneContext::with_batch(try_inputs_for(&parent, &sub)?)
     } else {
         PruneContext::data_free()
     };
@@ -180,18 +262,22 @@ pub fn build_family(
     let mut net = parent.clone();
     let mut pruned = Vec::with_capacity(cfg.cycles);
     for (i, &target) in targets.iter().enumerate() {
-        method.prune(&mut net, cfg.per_cycle_ratio, &ctx);
-        let mut rc = cfg.train.clone();
-        rc.seed = seed.wrapping_add(100 + i as u64);
-        train_with_optional_augment(
-            &mut net,
-            &x,
-            y,
-            &rc,
-            robust,
-            is_flat,
-            &cfg.task.image_shape(),
-        );
+        let file = format!("cycle{i:02}");
+        if !cache_load(opts.cache, key, &file, &mut net)? {
+            method.prune(&mut net, cfg.per_cycle_ratio, &ctx);
+            let mut rc = cfg.train.clone();
+            rc.seed = seed.wrapping_add(100 + i as u64);
+            train_with_optional_augment(
+                &mut net,
+                &x,
+                y,
+                &rc,
+                robust,
+                is_flat,
+                &cfg.task.image_shape(),
+            );
+            cache_store(opts.cache, key, &file, &mut net)?;
+        }
         pruned.push(PrunedModel {
             target_ratio: target,
             achieved_ratio: net.prune_ratio(),
@@ -200,7 +286,7 @@ pub fn build_family(
         });
     }
 
-    StudyFamily {
+    Ok(StudyFamily {
         parent,
         separate,
         pruned,
@@ -208,6 +294,31 @@ pub fn build_family(
         test_set,
         task: cfg.task.clone(),
         method: method.name().to_string(),
+    })
+}
+
+/// Cacheless convenience wrapper around [`build_family_with`].
+///
+/// `robust` switches on the Section 6 corruption-augmented (re)training.
+///
+/// # Panics
+///
+/// Panics if the task's images do not fit the architecture's input shape
+/// (the only fallible step when no cache is involved).
+pub fn build_family(
+    cfg: &ExperimentConfig,
+    method: &dyn PruneMethod,
+    rep: usize,
+    robust: Option<&RobustTraining<'_>>,
+) -> StudyFamily {
+    let opts = FamilyBuildOptions {
+        rep,
+        robust,
+        cache: None,
+    };
+    match build_family_with(cfg, method, &opts) {
+        Ok(f) => f,
+        Err(e) => panic!("family build failed: {e}"),
     }
 }
 
@@ -507,5 +618,61 @@ mod tests {
         let net = cfg.arch.build("m", &cfg.task, 2);
         let x = inputs_for(&net, &train_set);
         assert_eq!(x.shape(), &[8, cfg.task.input_dim()]);
+    }
+
+    #[test]
+    fn try_inputs_for_rejects_mismatched_task() {
+        let cfg = quick_cfg();
+        let net = cfg.arch.build("m", &cfg.task, 2);
+        let mut big = cfg.task.clone();
+        big.height *= 2;
+        let (wrong, _) = generate_split(&big, 4, 4, 1);
+        let err = try_inputs_for(&net, &wrong).unwrap_err();
+        assert!(matches!(err, Error::ShapeMismatch { .. }), "{err:?}");
+    }
+
+    fn family_fingerprint(fam: &mut StudyFamily) -> Vec<u32> {
+        let mut bits = Vec::new();
+        let mut add = |net: &mut Network| {
+            net.visit_params_named(&mut |_, p| {
+                bits.extend(p.value.data().iter().map(|v| v.to_bits()));
+                if let Some(m) = &p.mask {
+                    bits.extend(m.data().iter().map(|v| v.to_bits()));
+                }
+            });
+        };
+        add(&mut fam.parent);
+        add(&mut fam.separate);
+        for pm in &mut fam.pruned {
+            add(&mut pm.network);
+        }
+        bits
+    }
+
+    #[test]
+    fn cached_build_resumes_bitwise_identically() {
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 2;
+        let root = std::env::temp_dir().join("pv_core_cache_resume_test");
+        std::fs::remove_dir_all(&root).ok();
+        let cache = ArtifactCache::new(&root);
+        let opts = FamilyBuildOptions {
+            rep: 0,
+            robust: None,
+            cache: Some(&cache),
+        };
+        let mut cold = build_family_with(&cfg, &WeightThresholding, &opts).expect("cold");
+        let reference = family_fingerprint(&mut cold);
+
+        // fully warm: every component loads from the cache
+        let mut warm = build_family_with(&cfg, &WeightThresholding, &opts).expect("warm");
+        assert_eq!(family_fingerprint(&mut warm), reference);
+
+        // partial resume: drop one mid-schedule artifact, rebuild just it
+        let key = family_cache_key(&cfg, WeightThresholding.name(), 0, None);
+        std::fs::remove_file(cache.path_for(&key, "cycle01")).expect("evict cycle01");
+        let mut resumed = build_family_with(&cfg, &WeightThresholding, &opts).expect("resume");
+        assert_eq!(family_fingerprint(&mut resumed), reference);
+        std::fs::remove_dir_all(&root).ok();
     }
 }

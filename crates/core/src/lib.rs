@@ -19,7 +19,14 @@
 //!   the paper's Definition 1 (prune potential) and Definition 2 (excess
 //!   error) measurements;
 //! * [`RobustTraining`] + [`robust::split_distributions`] — the Section 6
-//!   corruption-augmented (re)training study.
+//!   corruption-augmented (re)training study;
+//! * [`build_family_with`] + [`ArtifactCache`] — content-addressed family
+//!   checkpoints ([`family_cache_key`]) that let interrupted builds resume
+//!   per cycle and repeated runs skip training entirely, bit for bit
+//!   identical to a fresh build.
+//!
+//! Every fallible path across the workspace reports the single [`Error`]
+//! enum (hosted in `pv-tensor`, re-exported here).
 //!
 //! # Examples
 //!
@@ -37,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod config;
 pub mod distributions;
 pub mod experiment;
@@ -44,12 +52,17 @@ pub mod robust;
 pub mod seg_experiment;
 pub mod zoo;
 
-pub use config::{ArchSpec, ExperimentConfig};
-pub use distributions::Distribution;
-pub use experiment::{
-    average_curves, build_family, eval_error_pct, inputs_for, overparameterization_study,
-    potentials_by_distribution, OverparamMeasurement, PrunedModel, RobustTraining, StudyFamily,
-    EVAL_BATCH,
+pub use artifact::{
+    family_cache_key, family_from_checkpoint, family_to_checkpoint, load_family, save_family,
+    ArtifactCache,
 };
+pub use config::{ArchSpec, ExperimentConfig};
+pub use distributions::{parse_distributions, Distribution};
+pub use experiment::{
+    average_curves, build_family, build_family_with, eval_error_pct, inputs_for,
+    overparameterization_study, potentials_by_distribution, try_inputs_for, FamilyBuildOptions,
+    OverparamMeasurement, PrunedModel, RobustTraining, StudyFamily, EVAL_BATCH,
+};
+pub use pv_tensor::Error;
 pub use seg_experiment::{build_seg_family, SegExperimentConfig, SegPrunedModel, SegStudy};
 pub use zoo::{cifar_presets, imagenet_presets, preset, Scale};

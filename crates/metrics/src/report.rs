@@ -1,6 +1,7 @@
 //! Plain-text report formatting: aligned tables, `mean ± std` cells, CSV.
 
 use pv_tensor::stats::{mean, std_dev};
+use pv_tensor::Error;
 
 /// Formats repeated measurements as `mean ± std` with one decimal, the
 /// paper's table convention.
@@ -24,14 +25,30 @@ impl TextTable {
         }
     }
 
-    /// Appends a row.
+    /// Appends a row, rejecting rows whose width differs from the header
+    /// width with [`Error::ShapeMismatch`].
+    pub fn try_add_row(&mut self, row: Vec<String>) -> Result<(), Error> {
+        if row.len() != self.header.len() {
+            return Err(Error::ShapeMismatch {
+                name: "table row".into(),
+                expected: vec![self.header.len()],
+                actual: vec![row.len()],
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Appends a row (panicking convenience wrapper around
+    /// [`TextTable::try_add_row`]).
     ///
     /// # Panics
     ///
     /// Panics if the row width differs from the header width.
     pub fn add_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.header.len(), "row width mismatch");
-        self.rows.push(row);
+        if let Err(e) = self.try_add_row(row) {
+            panic!("row width mismatch: {e}");
+        }
     }
 
     /// Number of data rows.
@@ -133,6 +150,19 @@ mod tests {
     #[should_panic(expected = "row width")]
     fn mismatched_row_panics() {
         TextTable::new(&["a"]).add_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn try_add_row_reports_shape_mismatch() {
+        let mut t = TextTable::new(&["a"]);
+        let err = t.try_add_row(vec!["1".into(), "2".into()]).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::ShapeMismatch { expected, actual, .. }
+                if expected == vec![1] && actual == vec![2]
+        ));
+        t.try_add_row(vec!["1".into()]).expect("fits");
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

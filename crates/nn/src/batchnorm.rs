@@ -50,6 +50,14 @@ impl BatchNormCore {
         self.gamma.len()
     }
 
+    /// Calls `f` with `"{prefix}running_mean"` / `"{prefix}running_var"` and
+    /// mutable views of the running statistics — the non-trainable buffers a
+    /// checkpoint must carry so eval-mode forwards reproduce bitwise.
+    pub fn visit_buffers_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut [f32])) {
+        f(&format!("{prefix}running_mean"), &mut self.running_mean);
+        f(&format!("{prefix}running_var"), &mut self.running_var);
+    }
+
     /// Forward pass on a `[rows, channels]` matrix.
     ///
     /// # Panics

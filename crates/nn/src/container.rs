@@ -70,6 +70,18 @@ impl Layer for Sequential {
         }
     }
 
+    fn visit_params_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params_named(prefix, f);
+        }
+    }
+
+    fn visit_buffers_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_buffers_named(prefix, f);
+        }
+    }
+
     fn visit_prunable(&mut self, f: &mut dyn FnMut(&mut dyn PrunableLayer)) {
         for layer in &mut self.layers {
             layer.visit_prunable(f);
@@ -166,6 +178,20 @@ impl Layer for Residual {
         self.body.visit_params(f);
         if let Some(proj) = &mut self.shortcut {
             proj.visit_params(f);
+        }
+    }
+
+    fn visit_params_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        self.body.visit_params_named(prefix, f);
+        if let Some(proj) = &mut self.shortcut {
+            proj.visit_params_named(prefix, f);
+        }
+    }
+
+    fn visit_buffers_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut [f32])) {
+        self.body.visit_buffers_named(prefix, f);
+        if let Some(proj) = &mut self.shortcut {
+            proj.visit_buffers_named(prefix, f);
         }
     }
 
@@ -295,6 +321,18 @@ impl Layer for DenseBlock {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         for layer in &mut self.layers {
             layer.visit_params(f);
+        }
+    }
+
+    fn visit_params_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params_named(prefix, f);
+        }
+    }
+
+    fn visit_buffers_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_buffers_named(prefix, f);
         }
     }
 

@@ -102,6 +102,33 @@ pub trait Layer: Send + Sync {
     /// order).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
 
+    /// Calls `f` with a stable hierarchical name and a mutable reference to
+    /// every parameter, in exactly the same order as [`Layer::visit_params`].
+    ///
+    /// Containers pass `prefix` through unchanged; leaves emit
+    /// `"{prefix}{label}.{field}"` names such as `s0b0c0.weight`,
+    /// `fc0.bias`, or `stem.bn.gamma`. Leaf labels are unique within a
+    /// network by construction, so the emitted names form a collision-free
+    /// state dictionary — the single addressing scheme used by checkpoint
+    /// save/load and future serving.
+    ///
+    /// The default implementation visits nothing, which is correct for
+    /// parameter-free layers (pooling, flatten, upsample).
+    fn visit_params_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        let _ = (prefix, f);
+    }
+
+    /// Calls `f` with a stable hierarchical name and a mutable view of every
+    /// non-trainable buffer (currently the batch-norm running statistics,
+    /// named `"{prefix}{label}.bn.running_mean"` / `…running_var`).
+    ///
+    /// Buffers are exposed as slices so callers can read or overwrite them
+    /// but never change their length. The default implementation visits
+    /// nothing (correct for layers without buffers).
+    fn visit_buffers_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut [f32])) {
+        let _ = (prefix, f);
+    }
+
     /// Calls `f` on every prunable leaf in forward order.
     fn visit_prunable(&mut self, f: &mut dyn FnMut(&mut dyn PrunableLayer));
 

@@ -62,7 +62,9 @@ pub use layer::{Layer, Mode, PrunableLayer, UnitKind};
 pub use linear::LinearBlock;
 pub use loss::{accuracy, cross_entropy, LossOutput};
 pub use network::Network;
-pub use optim::{sgd_step, train, BatchAugment, LrDecay, Schedule, TrainConfig, TrainReport};
+pub use optim::{
+    sgd_step, train, train_step_count, BatchAugment, LrDecay, Schedule, TrainConfig, TrainReport,
+};
 pub use param::{Param, ParamKind};
 pub use pool::{Flatten, GlobalAvgPool, MaxPool};
 pub use seg::{

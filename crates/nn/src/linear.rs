@@ -135,6 +135,21 @@ impl Layer for LinearBlock {
         }
     }
 
+    fn visit_params_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        f(&format!("{prefix}{}.weight", self.label), &mut self.weight);
+        f(&format!("{prefix}{}.bias", self.label), &mut self.bias);
+        if let Some(bn) = &mut self.bn {
+            f(&format!("{prefix}{}.bn.gamma", self.label), &mut bn.gamma);
+            f(&format!("{prefix}{}.bn.beta", self.label), &mut bn.beta);
+        }
+    }
+
+    fn visit_buffers_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut [f32])) {
+        if let Some(bn) = &mut self.bn {
+            bn.visit_buffers_named(&format!("{prefix}{}.bn.", self.label), f);
+        }
+    }
+
     fn visit_prunable(&mut self, f: &mut dyn FnMut(&mut dyn PrunableLayer)) {
         f(self);
     }

@@ -146,6 +146,30 @@ impl Network {
         self.root.visit_params(f);
     }
 
+    /// Applies `f` to every parameter together with its stable hierarchical
+    /// name (e.g. `s0b0c0.weight`, `fc0.bn.gamma`), in the same order as
+    /// [`Network::visit_params`].
+    ///
+    /// This is the single state-dict API: checkpoint save/load, pruning-mask
+    /// serialization, and serving all address parameters through these
+    /// names, which are unique within a network because leaf labels are.
+    pub fn visit_params_named(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        self.root.visit_params_named("", f);
+    }
+
+    /// Applies `f` to every non-trainable buffer (batch-norm running
+    /// statistics) with its stable name (e.g. `stem.bn.running_mean`).
+    pub fn visit_buffers_named(&mut self, f: &mut dyn FnMut(&str, &mut [f32])) {
+        self.root.visit_buffers_named("", f);
+    }
+
+    /// Names of all parameters in visitation order.
+    pub fn param_names(&mut self) -> Vec<String> {
+        let mut names = Vec::new();
+        self.visit_params_named(&mut |name, _| names.push(name.to_string()));
+        names
+    }
+
     /// Applies `f` to every prunable leaf, in forward order.
     pub fn visit_prunable(&mut self, f: &mut dyn FnMut(&mut dyn PrunableLayer)) {
         self.root.visit_prunable(f);
@@ -317,6 +341,55 @@ mod tests {
         assert!((acc - 1.0).abs() < 1e-12);
         let err = net.test_error_pct(&x, &preds, 3);
         assert!(err.abs() < 1e-9);
+    }
+
+    #[test]
+    fn named_visitation_matches_unnamed_order() {
+        let mut rng = Rng::new(6);
+        let mut net = tiny_net(&mut rng);
+        let mut unnamed_lens = Vec::new();
+        net.visit_params(&mut |p| unnamed_lens.push(p.len()));
+        let mut named = Vec::new();
+        net.visit_params_named(&mut |name, p| named.push((name.to_string(), p.len())));
+        assert_eq!(
+            named.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            unnamed_lens,
+            "named visitation must mirror visit_params order"
+        );
+        let names = net.param_names();
+        assert_eq!(
+            names,
+            vec!["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+        );
+        let unique: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "parameter names must be unique");
+    }
+
+    #[test]
+    fn buffer_visitation_reaches_batch_norm_stats() {
+        let mut rng = Rng::new(7);
+        let root = Sequential::new()
+            .then(
+                LinearBlock::new("fc1", 4, 8, &mut rng)
+                    .with_batch_norm()
+                    .with_relu(),
+            )
+            .then(LinearBlock::new("fc2", 8, 3, &mut rng).as_classifier());
+        let mut net = Network::new("tiny-bn", root, vec![4], 3);
+        let mut seen = Vec::new();
+        net.visit_buffers_named(&mut |name, buf| seen.push((name.to_string(), buf.len())));
+        assert_eq!(
+            seen,
+            vec![
+                ("fc1.bn.running_mean".to_string(), 8),
+                ("fc1.bn.running_var".to_string(), 8)
+            ]
+        );
+        // buffers are writable through the visitor
+        net.visit_buffers_named(&mut |_, buf| buf.fill(0.25));
+        let mut total = 0.0;
+        net.visit_buffers_named(&mut |_, buf| total += buf.iter().sum::<f32>());
+        assert!((total - 16.0 * 0.25).abs() < 1e-6);
     }
 
     #[test]

@@ -5,6 +5,19 @@ use crate::layer::Mode;
 use crate::loss::cross_entropy;
 use crate::network::Network;
 use pv_tensor::{Rng, Tensor};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of optimizer steps, see [`train_step_count`].
+static TRAIN_STEPS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of [`sgd_step`] calls performed by this process so far.
+///
+/// The counter only ever increases; callers interested in a window of work
+/// (e.g. the cache-hit tests asserting that a warm `build_family` performs
+/// *zero* training) snapshot it before and after and compare the delta.
+pub fn train_step_count() -> u64 {
+    TRAIN_STEPS.load(Ordering::Relaxed)
+}
 
 /// Learning-rate decay rule applied after warmup.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,6 +145,7 @@ impl TrainReport {
 /// Applies weight decay, (Nesterov) momentum, the update, and finally
 /// re-projects pruning masks so pruned coordinates stay zero.
 pub fn sgd_step(net: &mut Network, lr: f64, momentum: f64, nesterov: bool, weight_decay: f64) {
+    TRAIN_STEPS.fetch_add(1, Ordering::Relaxed);
     let lr = lr as f32;
     let mu = momentum as f32;
     let wd = weight_decay as f32;

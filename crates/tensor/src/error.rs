@@ -1,0 +1,116 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible path in the `pruneval` workspace — checkpoint I/O,
+//! argument parsing, preset/method lookup, shape validation — reports
+//! through this single enum so callers match on *variants* instead of
+//! string-scraping `Result<_, String>` messages. It lives in `pv-tensor`
+//! (the root of the dependency graph) so every crate can use it; the
+//! `pruneval` core crate re-exports it as `pruneval::Error`.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The single workspace error enum (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An operating-system I/O failure, with the offending path (when
+    /// known) folded into the message.
+    Io(String),
+    /// Malformed user input: a flag value, a distribution spec, a number.
+    Parse(String),
+    /// A tensor/record arrived with the wrong shape.
+    ShapeMismatch {
+        /// Name of the tensor or record being checked.
+        name: String,
+        /// The shape the destination requires.
+        expected: Vec<usize>,
+        /// The shape that actually arrived.
+        actual: Vec<usize>,
+    },
+    /// A checkpoint file failed structural validation (bad magic,
+    /// unsupported version, truncation, CRC mismatch, missing or unknown
+    /// records).
+    CorruptCheckpoint(String),
+    /// A pruning method name not in the registry.
+    UnknownMethod(String),
+    /// A model preset name not in the zoo.
+    UnknownPreset(String),
+}
+
+impl Error {
+    /// Wraps an I/O error with the path it concerns.
+    pub fn io(path: impl fmt::Display, source: std::io::Error) -> Self {
+        Error::Io(format!("{path}: {source}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::Parse(msg) => write!(f, "{msg}"),
+            Error::ShapeMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch for '{name}': expected {expected:?}, got {actual:?}"
+            ),
+            Error::CorruptCheckpoint(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            Error::UnknownMethod(name) => write!(f, "unknown pruning method '{name}'"),
+            Error::UnknownPreset(name) => write!(f, "unknown model preset '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+impl From<std::num::ParseFloatError> for Error {
+    fn from(e: std::num::ParseFloatError) -> Self {
+        Error::Parse(e.to_string())
+    }
+}
+
+impl From<std::num::ParseIntError> for Error {
+    fn from(e: std::num::ParseIntError) -> Self {
+        Error::Parse(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::ShapeMismatch {
+            name: "fc1.weight".into(),
+            expected: vec![8, 4],
+            actual: vec![4, 8],
+        };
+        let s = e.to_string();
+        assert!(s.contains("fc1.weight") && s.contains("[8, 4]") && s.contains("[4, 8]"));
+        assert!(Error::UnknownPreset("alexnet".into())
+            .to_string()
+            .contains("alexnet"));
+    }
+
+    #[test]
+    fn from_conversions() {
+        let io: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(io, Error::Io(_)));
+        let pf: Error = "x".parse::<f32>().unwrap_err().into();
+        assert!(matches!(pf, Error::Parse(_)));
+        let pi: Error = "x".parse::<u8>().unwrap_err().into();
+        assert!(matches!(pi, Error::Parse(_)));
+    }
+}

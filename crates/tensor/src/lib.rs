@@ -19,7 +19,9 @@
 //! * [`par`] — a zero-dependency `std::thread::scope` parallel runtime
 //!   (`PV_NUM_THREADS`) whose disjoint-chunk scheduling keeps every result
 //!   bitwise identical for any thread count;
-//! * [`stats`] — small descriptive statistics used in reporting.
+//! * [`stats`] — small descriptive statistics used in reporting;
+//! * [`Error`] — the workspace-wide typed error enum (re-exported as
+//!   `pruneval::Error`), hosted here at the root of the dependency graph.
 //!
 //! # Examples
 //!
@@ -38,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod conv;
+pub mod error;
 pub mod linalg;
 pub mod par;
 pub mod rng;
@@ -49,6 +52,7 @@ pub use conv::{
     global_avg_pool_forward, im2col, matrix_to_nchw, maxpool2d_backward, maxpool2d_forward,
     nchw_to_matrix, slice_channels, ConvBackward, ConvForward, ConvGeometry, PoolForward,
 };
+pub use error::Error;
 pub use linalg::{matmul, matmul_a_bt, matmul_at_b, matvec};
 pub use rng::Rng;
 pub use tensor::Tensor;

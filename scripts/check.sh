@@ -19,4 +19,9 @@ cargo test -q
 echo "==> gated property tests (--all-features)"
 cargo test -q --workspace --all-features
 
+echo "==> checkpoint round-trip + cache determinism suites (--all-features)"
+cargo test -q -p pv-ckpt --all-features
+cargo test -q -p lost-in-pruning --all-features \
+    --test checkpoint_roundtrip --test cache_determinism
+
 echo "All checks passed."

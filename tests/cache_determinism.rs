@@ -1,0 +1,100 @@
+//! Artifact-cache determinism: a warm `build_family` must perform zero
+//! training steps and produce a family — and downstream metrics — bitwise
+//! identical to the cold build that populated the cache.
+//!
+//! This file deliberately holds a single test: it reads the global
+//! train-step counter as a before/after delta, which stays exact only
+//! while no other test in the same binary trains concurrently.
+
+use pruneval::{build_family_with, preset, ArtifactCache, Distribution, FamilyBuildOptions, Scale};
+use pv_nn::{train_step_count, Network};
+use pv_prune::WeightThresholding;
+
+fn fingerprint(net: &mut Network) -> Vec<u32> {
+    let mut bits = Vec::new();
+    net.visit_params_named(&mut |_, p| {
+        bits.extend(p.value.data().iter().map(|v| v.to_bits()));
+        if let Some(m) = &p.mask {
+            bits.extend(m.data().iter().map(|v| v.to_bits()));
+        }
+        if let Some(v) = &p.velocity {
+            bits.extend(v.data().iter().map(|x| x.to_bits()));
+        }
+    });
+    net.visit_buffers_named(&mut |_, b| bits.extend(b.iter().map(|v| v.to_bits())));
+    bits
+}
+
+#[test]
+fn warm_build_trains_zero_steps_and_is_bitwise_identical() {
+    let cfg = preset("resnet20", Scale::Smoke).expect("known preset");
+    let root = std::env::temp_dir().join("pv_cache_determinism_test");
+    std::fs::remove_dir_all(&root).ok();
+    let cache = ArtifactCache::new(&root);
+    let opts = FamilyBuildOptions {
+        rep: 0,
+        robust: None,
+        cache: Some(&cache),
+    };
+
+    let t0 = train_step_count();
+    let mut cold = build_family_with(&cfg, &WeightThresholding, &opts).expect("cold build");
+    let cold_steps = train_step_count() - t0;
+    assert!(cold_steps > 0, "cold build must actually train");
+
+    let t1 = train_step_count();
+    let mut warm = build_family_with(&cfg, &WeightThresholding, &opts).expect("warm build");
+    let warm_steps = train_step_count() - t1;
+    assert_eq!(warm_steps, 0, "warm build must perform zero training steps");
+
+    // every component of the family is bitwise identical
+    assert_eq!(
+        fingerprint(&mut warm.parent),
+        fingerprint(&mut cold.parent),
+        "parent"
+    );
+    assert_eq!(
+        fingerprint(&mut warm.separate),
+        fingerprint(&mut cold.separate),
+        "separate"
+    );
+    assert_eq!(warm.pruned.len(), cold.pruned.len());
+    for (i, (w, c)) in warm
+        .pruned
+        .iter_mut()
+        .zip(cold.pruned.iter_mut())
+        .enumerate()
+    {
+        assert_eq!(
+            w.target_ratio.to_bits(),
+            c.target_ratio.to_bits(),
+            "cycle {i}"
+        );
+        assert_eq!(
+            w.achieved_ratio.to_bits(),
+            c.achieved_ratio.to_bits(),
+            "cycle {i}"
+        );
+        assert_eq!(
+            fingerprint(&mut w.network),
+            fingerprint(&mut c.network),
+            "cycle {i}"
+        );
+    }
+
+    // ... and so are the metrics computed from it
+    let cold_curve = cold.curve_on(&Distribution::Nominal, 1);
+    let warm_curve = warm.curve_on(&Distribution::Nominal, 1);
+    assert_eq!(
+        warm_curve.unpruned_error_pct.to_bits(),
+        cold_curve.unpruned_error_pct.to_bits()
+    );
+    let bits = |pts: &[(f64, f64)]| -> Vec<(u64, u64)> {
+        pts.iter()
+            .map(|(r, e)| (r.to_bits(), e.to_bits()))
+            .collect()
+    };
+    assert_eq!(bits(&warm_curve.points), bits(&cold_curve.points));
+
+    std::fs::remove_dir_all(&root).ok();
+}

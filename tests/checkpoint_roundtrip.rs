@@ -1,0 +1,116 @@
+//! PVCK round-trip integration tests: every preset network — trained (so
+//! batch-norm running statistics and momentum buffers are live), pruned
+//! (so masks are installed), and retrained — must survive a serialize →
+//! deserialize cycle bitwise, and damaged files must be rejected with the
+//! right [`Error`] variant.
+
+use pruneval::{preset, try_inputs_for, Error, Scale};
+use pv_ckpt::{checkpoint_to_network, network_to_checkpoint, Checkpoint};
+use pv_data::generate_split;
+use pv_nn::{train, Mode, Network, TrainConfig};
+use pv_prune::{PruneContext, PruneMethod, WeightThresholding};
+
+const PRESETS: [&str; 9] = [
+    "resnet20",
+    "resnet56",
+    "resnet110",
+    "vgg16",
+    "densenet22",
+    "wrn16-8",
+    "resnet18",
+    "resnet101",
+    "mlp",
+];
+
+/// Bit pattern of the complete serializable state: values, masks,
+/// momentum, batch-norm running statistics.
+fn fingerprint(net: &mut Network) -> Vec<u32> {
+    let mut bits = Vec::new();
+    net.visit_params_named(&mut |_, p| {
+        bits.extend(p.value.data().iter().map(|v| v.to_bits()));
+        if let Some(m) = &p.mask {
+            bits.extend(m.data().iter().map(|v| v.to_bits()));
+        }
+        if let Some(v) = &p.velocity {
+            bits.extend(v.data().iter().map(|x| x.to_bits()));
+        }
+    });
+    net.visit_buffers_named(&mut |_, b| bits.extend(b.iter().map(|v| v.to_bits())));
+    bits
+}
+
+/// A preset network with every kind of state populated: one training pass
+/// (BN statistics + velocity), a pruning pass (masks), and a masked
+/// retraining pass.
+fn exercised_net(name: &str) -> (pruneval::ExperimentConfig, Network, pv_tensor::Tensor) {
+    let cfg = preset(name, Scale::Smoke).unwrap_or_else(|| panic!("unknown preset {name}"));
+    let seed = cfg.rep_seed(0);
+    let (train_set, _) = generate_split(&cfg.task, 32, 8, seed);
+    let mut net = cfg.arch.build(name, &cfg.task, seed);
+    let x = try_inputs_for(&net, &train_set).expect("inputs fit");
+    let y = train_set.labels();
+    let tc = TrainConfig {
+        epochs: 1,
+        batch_size: 16,
+        seed,
+        ..cfg.train.clone()
+    };
+    train(&mut net, &x, y, &tc, None);
+    WeightThresholding.prune(&mut net, 0.5, &PruneContext::data_free());
+    train(&mut net, &x, y, &tc, None);
+    (cfg, net, x)
+}
+
+#[test]
+fn every_preset_roundtrips_bitwise() {
+    for name in PRESETS {
+        let (cfg, mut net, x) = exercised_net(name);
+        let before = fingerprint(&mut net);
+        assert!(
+            before.iter().any(|&b| b != 0),
+            "{name}: exercised state is all zeros"
+        );
+
+        let bytes = network_to_checkpoint(&mut net).to_bytes();
+        let restored = Checkpoint::from_bytes(&bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut fresh = cfg.arch.build(name, &cfg.task, cfg.rep_seed(0) ^ 0xFF);
+        checkpoint_to_network(&restored, &mut fresh).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(fingerprint(&mut fresh), before, "{name}: state fingerprint");
+
+        let a = net.forward(&x, Mode::Eval);
+        let b = fresh.forward(&x, Mode::Eval);
+        assert_eq!(
+            a.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "{name}: eval forward"
+        );
+    }
+}
+
+#[test]
+fn truncated_files_are_rejected_with_corrupt_checkpoint() {
+    let (_, mut net, _) = exercised_net("resnet20");
+    let bytes = network_to_checkpoint(&mut net).to_bytes();
+    for cut in [0, 1, 3, 7, bytes.len() / 2, bytes.len() - 1] {
+        let err = Checkpoint::from_bytes(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, Error::CorruptCheckpoint(_)),
+            "cut at {cut}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bit_flips_are_rejected_with_corrupt_checkpoint() {
+    let (_, mut net, _) = exercised_net("mlp");
+    let bytes = network_to_checkpoint(&mut net).to_bytes();
+    for pos in [4, bytes.len() / 3, bytes.len() / 2, bytes.len() - 2] {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x10;
+        let err = Checkpoint::from_bytes(&bad).unwrap_err();
+        assert!(
+            matches!(err, Error::CorruptCheckpoint(_)),
+            "flip at {pos}: {err:?}"
+        );
+    }
+}
