@@ -1,0 +1,419 @@
+//! A dependency-free Rust tokenizer, sufficient for invariant linting.
+//!
+//! The lexer understands exactly as much Rust as the rules need: comments
+//! (line, nested block, doc), string/char/byte/raw-string literals,
+//! lifetimes vs. char literals, identifiers, numbers, and single-character
+//! punctuation. Everything inside comments and literals is opaque to the
+//! rules, so `// calls .unwrap()` or `"panic!"` never produce findings.
+//!
+//! While scanning, the lexer also collects `pv-analyze:` suppression
+//! pragmas out of comments (see [`Pragma`]); they are comments to rustc but
+//! directives to the linter.
+
+/// What a token is; rules mostly match on [`TokKind::Ident`] and
+/// [`TokKind::Punct`] sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `thread`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `[`, `!`, ...).
+    Punct,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`) — distinct from [`TokKind::Char`].
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (for [`TokKind::Punct`] a single character; literals
+    /// keep only a placeholder to bound memory).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A `pv-analyze:` suppression pragma found in a comment.
+///
+/// Grammar (inside any `//`-style comment):
+///
+/// ```text
+/// pv-analyze: allow(rule-a, rule-b) -- justification text
+/// pv-analyze: allow-file(rule-a) -- justification text
+/// ```
+///
+/// A line-scoped `allow` suppresses matching findings on the pragma's own
+/// line and on the next token-bearing line (so the pragma can sit on its
+/// own line above the code it excuses). `allow-file` suppresses the rule
+/// for the whole file. The justification after `--` is mandatory; the
+/// linter's `pragma-invalid` rule rejects reason-less pragmas.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Rule identifiers listed in the pragma.
+    pub rules: Vec<String>,
+    /// Whether this is an `allow-file` (whole-file) pragma.
+    pub file_scope: bool,
+    /// 1-based line of the comment containing the pragma.
+    pub line: u32,
+    /// Whether a non-empty justification followed `--`.
+    pub has_reason: bool,
+}
+
+/// Lexer output: the token stream plus any pragmas seen in comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens outside comments and with literal contents elided.
+    pub tokens: Vec<Tok>,
+    /// Suppression pragmas collected from comments.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Tokenizes `src`, collecting pragmas from comments.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    let push = |out: &mut Lexed, kind: TokKind, text: String, line: u32| {
+        out.tokens.push(Tok { kind, text, line });
+    };
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // line comments (//, ///, //!) — scan for a pragma, then skip
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let comment: String = b[start..i].iter().collect();
+            // doc comments (///, //!) are prose — a pragma-shaped phrase
+            // there documents the pragma syntax, it doesn't invoke it
+            let is_doc = comment.starts_with("///") || comment.starts_with("//!");
+            if !is_doc {
+                if let Some(p) = parse_pragma(&comment, line) {
+                    out.pragmas.push(p);
+                }
+            }
+            continue;
+        }
+        // block comments, nested
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // raw strings r"..." / r#"..."# (and br variants)
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let tline = line;
+            i += usize::from(c == 'b'); // skip 'b' of br
+            i += 1; // skip 'r'
+            let mut hashes = 0;
+            while i < n && b[i] == '#' {
+                hashes += 1;
+                i += 1;
+            }
+            i += 1; // opening quote
+            loop {
+                if i >= n {
+                    break;
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                    continue;
+                }
+                if b[i] == '"' {
+                    let mut k = 0;
+                    while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        i += 1 + hashes;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            push(&mut out, TokKind::Str, String::new(), tline);
+            continue;
+        }
+        // plain / byte strings
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let tline = line;
+            i += usize::from(c == 'b') + 1;
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                } else if b[i] == '"' {
+                    i += 1;
+                    break;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            push(&mut out, TokKind::Str, String::new(), tline);
+            continue;
+        }
+        // char literal vs lifetime
+        if c == '\'' || (c == 'b' && i + 1 < n && b[i + 1] == '\'') {
+            let tline = line;
+            let start = i + usize::from(c == 'b');
+            if is_char_literal(&b, start) {
+                i = start + 1;
+                while i < n {
+                    if b[i] == '\\' {
+                        i += 2;
+                    } else if b[i] == '\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                push(&mut out, TokKind::Char, String::new(), tline);
+            } else {
+                // lifetime: 'ident
+                i = start + 1;
+                while i < n && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                push(&mut out, TokKind::Lifetime, String::new(), tline);
+            }
+            continue;
+        }
+        // identifiers / keywords (incl. r#ident escapes)
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_char(b[i]) {
+                i += 1;
+            }
+            push(&mut out, TokKind::Ident, b[start..i].iter().collect(), line);
+            continue;
+        }
+        // numbers (loose: digits + following alphanumerics/underscores/dots
+        // handled as separate puncts is fine for linting)
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            push(&mut out, TokKind::Num, b[start..i].iter().collect(), line);
+            continue;
+        }
+        // everything else: single-char punctuation
+        push(&mut out, TokKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// `r"`, `r#`, `br"`, `br#` introduce raw strings (as opposed to an
+/// identifier starting with `r`/`b`).
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let j = if b[i] == 'b' { i + 1 } else { i };
+    if j >= b.len() || b[j] != 'r' {
+        return false;
+    }
+    let mut k = j + 1;
+    while k < b.len() && b[k] == '#' {
+        k += 1;
+    }
+    k < b.len() && b[k] == '"'
+}
+
+/// Distinguishes `'a'` (char) from `'a` (lifetime): a char literal closes
+/// with `'` after one (possibly escaped) character.
+fn is_char_literal(b: &[char], i: usize) -> bool {
+    // b[i] == '\''
+    if i + 1 >= b.len() {
+        return false;
+    }
+    if b[i + 1] == '\\' {
+        return true; // '\n' etc.
+    }
+    // 'x' where x is one char and the next is a closing quote
+    i + 2 < b.len() && b[i + 2] == '\''
+}
+
+/// Parses a `pv-analyze:` pragma out of one comment's text, if present.
+fn parse_pragma(comment: &str, line: u32) -> Option<Pragma> {
+    let idx = comment.find("pv-analyze:")?;
+    let rest = comment[idx + "pv-analyze:".len()..].trim_start();
+    let (file_scope, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (false, r)
+    } else {
+        // unknown directive: surface as an invalid pragma so it cannot
+        // silently do nothing
+        return Some(Pragma {
+            rules: Vec::new(),
+            file_scope: false,
+            line,
+            has_reason: false,
+        });
+    };
+    let rest = rest.trim_start();
+    let close = rest.find(')');
+    let (rules, tail) = match (rest.strip_prefix('('), close) {
+        (Some(inner), Some(c)) => {
+            let list = &inner[..c - 1];
+            let rules: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            (rules, &rest[c + 1..])
+        }
+        _ => (Vec::new(), rest),
+    };
+    let has_reason = tail
+        .find("--")
+        .map(|p| !tail[p + 2..].trim().is_empty())
+        .unwrap_or(false);
+    Some(Pragma {
+        rules,
+        file_scope,
+        line,
+        has_reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"
+            // calls .unwrap() in a comment
+            /* nested /* block */ panic!() */
+            let s = "contains .unwrap() and panic!";
+            let r = r#"raw "quoted" .expect("x")"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "f", "x", "str", "char"]);
+        let kinds: Vec<TokKind> = lex(src).tokens.iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokKind::Lifetime));
+        assert!(kinds.contains(&TokKind::Char));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a\nb\n\nc";
+        let toks = lex(src).tokens;
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn pragma_parsing() {
+        let l = lex("// pv-analyze: allow(rule-a, rule-b) -- tested contract\nx();");
+        assert_eq!(l.pragmas.len(), 1);
+        let p = &l.pragmas[0];
+        assert_eq!(p.rules, vec!["rule-a", "rule-b"]);
+        assert!(!p.file_scope);
+        assert!(p.has_reason);
+
+        let l = lex("// pv-analyze: allow-file(rule-c) -- kernels are bounds-proven\n");
+        assert!(l.pragmas[0].file_scope);
+
+        let l = lex("// pv-analyze: allow(rule-a)\n");
+        assert!(!l.pragmas[0].has_reason, "missing -- reason detected");
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_pragmas() {
+        let l = lex(
+            "/// pv-analyze: allow(rule-a)\n//! pv-analyze: allow(rule-b)\n// pv-analyze: allow(rule-c) -- real\n",
+        );
+        assert_eq!(l.pragmas.len(), 1);
+        assert_eq!(l.pragmas[0].rules, vec!["rule-c"]);
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let ids = idents("let x = b\"bytes\"; let r#fn = 1;");
+        assert!(ids.contains(&"x".to_string()));
+        // r#fn lexes as raw-ident 'r' handling: 'r' then '#' punct then 'fn'
+        // — acceptable for linting purposes
+        assert!(ids.contains(&"let".to_string()));
+    }
+}

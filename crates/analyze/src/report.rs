@@ -1,0 +1,178 @@
+//! Finding records and report rendering (human text + machine JSON).
+
+use crate::config::Level;
+
+/// One lint finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id from the catalogue (stable, kebab-case).
+    pub rule: &'static str,
+    /// Effective severity after config overrides.
+    pub level: Level,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line: level[rule] message` — one line per finding.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}[{}] {}",
+            self.file,
+            self.line,
+            self.level.name(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Aggregated result of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, ordered by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Findings discarded by inline pragmas across all files.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Number of deny-level findings.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.level == Level::Deny)
+            .count()
+    }
+
+    /// Number of warn-level findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.level == Level::Warn)
+            .count()
+    }
+
+    /// Whether the gate fails: any deny finding, or any warn finding
+    /// when `deny_warnings` is set.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.deny_count() > 0 || (deny_warnings && self.warn_count() > 0)
+    }
+
+    /// Multi-line human-readable report ending in a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "pv-analyze: {} file(s) scanned, {} deny, {} warn, {} suppressed by pragma\n",
+            self.files_scanned,
+            self.deny_count(),
+            self.warn_count(),
+            self.suppressed
+        ));
+        out
+    }
+
+    /// Machine-readable JSON document (hand-rolled; the workspace has no
+    /// serde).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"level\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                json_escape(f.rule),
+                f.level.name(),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"deny\": {},\n  \"warn\": {},\n  \"suppressed\": {}\n}}\n",
+            self.files_scanned,
+            self.deny_count(),
+            self.warn_count(),
+            self.suppressed
+        ));
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(level: Level) -> Finding {
+        Finding {
+            rule: "lib-panic",
+            level,
+            file: "crates/nn/src/optim.rs".to_string(),
+            line: 42,
+            message: "`.unwrap()` in library code".to_string(),
+        }
+    }
+
+    #[test]
+    fn render_includes_location_and_rule() {
+        let r = finding(Level::Deny).render();
+        assert!(r.contains("crates/nn/src/optim.rs:42"));
+        assert!(r.contains("deny[lib-panic]"));
+    }
+
+    #[test]
+    fn gate_semantics() {
+        let mut rep = Report::default();
+        assert!(!rep.fails(true));
+        rep.findings.push(finding(Level::Warn));
+        assert!(!rep.fails(false));
+        assert!(rep.fails(true));
+        rep.findings.push(finding(Level::Deny));
+        assert!(rep.fails(false));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut rep = Report {
+            files_scanned: 3,
+            ..Report::default()
+        };
+        rep.findings.push(finding(Level::Warn));
+        let j = rep.render_json();
+        assert!(j.contains("\"rule\": \"lib-panic\""));
+        assert!(j.contains("\"warn\": 1"));
+        assert!(j.contains("\"deny\": 0"));
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

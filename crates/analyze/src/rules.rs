@@ -1,0 +1,767 @@
+//! The rule catalogue and the per-file analysis engine.
+//!
+//! Each rule is a token-pattern detector bound to a [`Scope`] and a default
+//! [`Level`]. Code under `#[cfg(test)]` / `#[test]` items is exempt from
+//! every rule: tests may unwrap, print, and read clocks freely. Findings
+//! can be suppressed by inline `pv-analyze: allow(...)` pragmas carrying a
+//! mandatory justification (see [`crate::lex::Pragma`]).
+//!
+//! To add a rule: pick a kebab-case id, add a [`RuleSpec`] to [`RULES`],
+//! implement a detector in this module, dispatch it from
+//! [`analyze_source`], and add good/bad fixtures under
+//! `tests/fixtures/` (DESIGN.md §9 walks through an example).
+
+use crate::config::{Config, Level, Scope};
+use crate::lex::{lex, Lexed, Tok, TokKind};
+use crate::report::Finding;
+
+/// Kernel hot-path files: panics and implicit bounds checks here cost
+/// either determinism guarantees or throughput.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/tensor/src/linalg.rs",
+    "crates/tensor/src/conv.rs",
+    "crates/tensor/src/par.rs",
+];
+
+/// Static description of one rule.
+#[derive(Debug, Clone)]
+pub struct RuleSpec {
+    /// Stable kebab-case identifier (used in reports, pragmas, overrides).
+    pub id: &'static str,
+    /// Built-in severity before [`Config`] overrides.
+    pub default_level: Level,
+    /// Which files the rule scans.
+    pub scope: Scope,
+    /// One-line human description.
+    pub summary: &'static str,
+}
+
+/// The workspace rule catalogue.
+pub const RULES: &[RuleSpec] = &[
+    RuleSpec {
+        id: "hotpath-panic",
+        default_level: Level::Deny,
+        scope: Scope::Files(HOT_PATHS),
+        summary: "no unwrap/expect/panic!/unreachable!/todo! in kernel hot paths",
+    },
+    RuleSpec {
+        id: "hotpath-slice-index",
+        default_level: Level::Deny,
+        scope: Scope::Files(HOT_PATHS),
+        summary: "no slice indexing in kernel hot paths (iterators or chunked views instead)",
+    },
+    RuleSpec {
+        id: "thread-outside-par",
+        default_level: Level::Deny,
+        scope: Scope::AllExceptFiles(&["crates/tensor/src/par.rs"]),
+        summary: "thread creation only inside pv-tensor::par (the one sanctioned runtime)",
+    },
+    RuleSpec {
+        id: "nondet-experiment",
+        default_level: Level::Deny,
+        scope: Scope::Crates(&["core", "prune"]),
+        summary: "no SystemTime/Instant::now/env reads in experiment code (breaks reproducibility)",
+    },
+    RuleSpec {
+        id: "print-outside-cli",
+        default_level: Level::Deny,
+        scope: Scope::AllExceptCrates(&["cli", "bench"]),
+        summary: "no println!/print!/dbg! outside the cli and bench crates",
+    },
+    RuleSpec {
+        id: "fallible-api-error",
+        default_level: Level::Deny,
+        scope: Scope::All,
+        summary: "public fallible APIs must return the workspace Error type",
+    },
+    RuleSpec {
+        id: "lib-panic",
+        default_level: Level::Warn,
+        scope: Scope::AllExceptCrates(&["cli", "bench"]),
+        summary: "library code avoids unwrap/expect/panic! (return Error or document the contract)",
+    },
+    RuleSpec {
+        id: "pragma-invalid",
+        default_level: Level::Deny,
+        scope: Scope::All,
+        summary: "pv-analyze pragmas must name known rules and carry a `-- justification`",
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static RuleSpec> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Result of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Findings that survived scoping, severity, and pragmas.
+    pub findings: Vec<Finding>,
+    /// Findings discarded by an inline pragma.
+    pub suppressed: usize,
+}
+
+/// Analyzes one source file (workspace-relative path + contents).
+pub fn analyze_source(rel: &str, src: &str, cfg: &Config) -> FileAnalysis {
+    let lexed = lex(src);
+    let mask = test_token_mask(&lexed.tokens);
+    let token_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+
+    let mut raw: Vec<(&'static str, u32, String)> = Vec::new();
+
+    let active = |id: &str| -> bool {
+        rule_by_id(id).is_some_and(|r| {
+            r.scope.contains(rel) && cfg.level_for(id, rel, r.default_level) != Level::Allow
+        })
+    };
+
+    if active("hotpath-panic") {
+        for (line, what) in panic_calls(&lexed.tokens, &mask) {
+            raw.push(("hotpath-panic", line, format!("{what} in kernel hot path")));
+        }
+    }
+    if active("hotpath-slice-index") {
+        for line in slice_indexing(&lexed.tokens, &mask) {
+            raw.push((
+                "hotpath-slice-index",
+                line,
+                "slice indexing in kernel hot path".to_string(),
+            ));
+        }
+    }
+    if active("thread-outside-par") {
+        for (line, what) in thread_creation(&lexed.tokens, &mask) {
+            raw.push((
+                "thread-outside-par",
+                line,
+                format!("thread::{what} outside pv-tensor::par"),
+            ));
+        }
+    }
+    if active("nondet-experiment") {
+        for (line, what) in nondeterminism(&lexed.tokens, &mask) {
+            raw.push((
+                "nondet-experiment",
+                line,
+                format!("{what} makes experiment code nondeterministic"),
+            ));
+        }
+    }
+    if active("print-outside-cli") {
+        for (line, what) in print_macros(&lexed.tokens, &mask) {
+            raw.push((
+                "print-outside-cli",
+                line,
+                format!("{what}! outside the cli/bench crates"),
+            ));
+        }
+    }
+    if active("fallible-api-error") {
+        for (line, what) in non_workspace_results(&lexed.tokens, &mask) {
+            raw.push(("fallible-api-error", line, what));
+        }
+    }
+    if active("lib-panic") && !HOT_PATHS.contains(&rel) {
+        for (line, what) in panic_calls(&lexed.tokens, &mask) {
+            raw.push((
+                "lib-panic",
+                line,
+                format!("{what} in library code (return Error or justify via pragma)"),
+            ));
+        }
+    }
+
+    let mut out = FileAnalysis::default();
+
+    // pragma validity findings are never themselves suppressible
+    if active("pragma-invalid") {
+        for p in &lexed.pragmas {
+            let bad_reason = !p.has_reason;
+            let no_rules = p.rules.is_empty();
+            let unknown: Vec<&String> =
+                p.rules.iter().filter(|r| rule_by_id(r).is_none()).collect();
+            if bad_reason || no_rules || !unknown.is_empty() {
+                let mut msg = String::from("invalid pv-analyze pragma:");
+                if no_rules {
+                    msg.push_str(" no rules listed;");
+                }
+                for u in unknown {
+                    msg.push_str(&format!(" unknown rule '{u}';"));
+                }
+                if bad_reason {
+                    msg.push_str(" missing `-- justification`;");
+                }
+                out.findings.push(Finding {
+                    rule: "pragma-invalid",
+                    level: cfg.level_for("pragma-invalid", rel, Level::Deny),
+                    file: rel.to_string(),
+                    line: p.line,
+                    message: msg.trim_end_matches(';').to_string(),
+                });
+            }
+        }
+    }
+
+    for (rule, line, message) in raw {
+        if suppressed_by_pragma(&lexed, &token_lines, rule, line) {
+            out.suppressed += 1;
+            continue;
+        }
+        let level = cfg.level_for(
+            rule,
+            rel,
+            rule_by_id(rule).map_or(Level::Deny, |r| r.default_level),
+        );
+        out.findings.push(Finding {
+            rule,
+            level,
+            file: rel.to_string(),
+            line,
+            message,
+        });
+    }
+    out.findings
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Whether a pragma excuses a finding of `rule` at `line`.
+///
+/// Line-scoped pragmas cover their own line (trailing comment) and the
+/// next token-bearing line (pragma on its own line above the code).
+fn suppressed_by_pragma(lexed: &Lexed, token_lines: &[u32], rule: &str, line: u32) -> bool {
+    lexed.pragmas.iter().any(|p| {
+        if !p.has_reason || !p.rules.iter().any(|r| r == rule) {
+            return false;
+        }
+        if p.file_scope {
+            return true;
+        }
+        if p.line == line {
+            return true;
+        }
+        // next token-bearing line after the pragma
+        token_lines
+            .iter()
+            .filter(|&&l| l > p.line)
+            .min()
+            .is_some_and(|&next| next == line)
+    })
+}
+
+/// Marks every token that belongs to a `#[cfg(test)]` / `#[test]`
+/// attributed item (typically the `mod tests { ... }` block).
+fn test_token_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            let attr_end = match matching_close(toks, i + 1, '[', ']') {
+                Some(e) => e,
+                None => break,
+            };
+            let attr_toks = &toks[i + 2..attr_end];
+            let is_test_attr = attr_toks.iter().any(|t| t.is_ident("test"))
+                && (attr_toks.iter().any(|t| t.is_ident("cfg"))
+                    || attr_toks.first().is_some_and(|t| t.is_ident("test")));
+            if is_test_attr {
+                // skip any further attributes, then the attributed item
+                let mut j = attr_end + 1;
+                while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+                    j = match matching_close(toks, j + 1, '[', ']') {
+                        Some(e) => e + 1,
+                        None => return mask,
+                    };
+                }
+                let end = item_end(toks, j);
+                for m in mask.iter_mut().take(end.min(toks.len())).skip(i) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index just past the item starting at `start` (ends at `;` outside all
+/// brackets, or at the matching `}` of its body).
+fn item_end(toks: &[Tok], start: usize) -> usize {
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        return j + 1;
+                    }
+                }
+                ";" if paren == 0 && bracket == 0 && brace == 0 => return j + 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Index of the token closing the bracket opened at `open_idx`.
+fn matching_close(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// `.unwrap()` / `.expect(` / `panic!`-family macro calls.
+fn panic_calls(toks: &[Tok], mask: &[bool]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] {
+            continue;
+        }
+        if toks[i].is_punct('.')
+            && i + 2 < toks.len()
+            && (toks[i + 1].is_ident("unwrap") || toks[i + 1].is_ident("expect"))
+            && toks[i + 2].is_punct('(')
+        {
+            out.push((toks[i + 1].line, format!(".{}()", toks[i + 1].text)));
+        }
+        if toks[i].kind == TokKind::Ident
+            && PANIC_MACROS.contains(&toks[i].text.as_str())
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('!')
+        {
+            out.push((toks[i].line, format!("{}!", toks[i].text)));
+        }
+    }
+    out
+}
+
+/// Keywords that legitimately precede `[` without indexing anything.
+const NON_INDEX_PRECEDERS: &[&str] = &[
+    "let", "mut", "in", "return", "as", "else", "match", "if", "while", "ref", "move",
+];
+
+/// `expr[...]` indexing: `[` preceded by an identifier, `]`, or `)`.
+fn slice_indexing(toks: &[Tok], mask: &[bool]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for i in 1..toks.len() {
+        if mask[i] || !toks[i].is_punct('[') {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let indexes = match prev.kind {
+            TokKind::Ident => !NON_INDEX_PRECEDERS.contains(&prev.text.as_str()),
+            TokKind::Punct => prev.is_punct(']') || prev.is_punct(')'),
+            _ => false,
+        };
+        if indexes {
+            out.push(toks[i].line);
+        }
+    }
+    out
+}
+
+/// `thread::spawn` / `thread::scope` / `thread::Builder`.
+fn thread_creation(toks: &[Tok], mask: &[bool]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len().saturating_sub(3) {
+        if mask[i] {
+            continue;
+        }
+        if toks[i].is_ident("thread")
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && (toks[i + 3].is_ident("spawn")
+                || toks[i + 3].is_ident("scope")
+                || toks[i + 3].is_ident("Builder"))
+        {
+            out.push((toks[i + 3].line, toks[i + 3].text.clone()));
+        }
+    }
+    out
+}
+
+/// Wall clocks and environment reads in experiment code.
+fn nondeterminism(toks: &[Tok], mask: &[bool]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] {
+            continue;
+        }
+        if toks[i].is_ident("SystemTime") {
+            out.push((toks[i].line, "SystemTime".to_string()));
+        }
+        if i + 3 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && ((toks[i].is_ident("Instant") && toks[i + 3].is_ident("now"))
+                || (toks[i].is_ident("env")
+                    && (toks[i + 3].is_ident("var")
+                        || toks[i + 3].is_ident("var_os")
+                        || toks[i + 3].is_ident("vars"))))
+        {
+            out.push((
+                toks[i + 3].line,
+                format!("{}::{}", toks[i].text, toks[i + 3].text),
+            ));
+        }
+    }
+    out
+}
+
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// `println!`-family macros.
+fn print_macros(toks: &[Tok], mask: &[bool]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len().saturating_sub(1) {
+        if mask[i] {
+            continue;
+        }
+        if toks[i].kind == TokKind::Ident
+            && PRINT_MACROS.contains(&toks[i].text.as_str())
+            && toks[i + 1].is_punct('!')
+        {
+            out.push((toks[i].line, toks[i].text.clone()));
+        }
+    }
+    out
+}
+
+/// `pub fn ... -> Result<_, E>` where `E` is not the workspace `Error`.
+fn non_workspace_results(toks: &[Tok], mask: &[bool]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if mask[i] || !toks[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // pub(crate)/pub(super) are not public API
+        if j < toks.len() && toks[j].is_punct('(') {
+            i = matching_close(toks, j, '(', ')').map_or(toks.len(), |e| e + 1);
+            continue;
+        }
+        // allow qualifiers between pub and fn (const, async, unsafe, extern)
+        while j < toks.len()
+            && toks[j].kind == TokKind::Ident
+            && ["const", "async", "unsafe", "extern"].contains(&toks[j].text.as_str())
+        {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let fn_line = toks[j].line;
+        let fn_name = toks.get(j + 1).map(|t| t.text.clone()).unwrap_or_default();
+        // find the parameter list and skip it
+        let mut k = j + 1;
+        while k < toks.len() && !toks[k].is_punct('(') {
+            // generics may contain parens only via Fn bounds; step over
+            // angle sections conservatively
+            k += 1;
+        }
+        let after_params = match matching_close(toks, k, '(', ')') {
+            Some(e) => e + 1,
+            None => break,
+        };
+        // return type region: `-> ... {` or `;` or `where`
+        if after_params + 1 < toks.len()
+            && toks[after_params].is_punct('-')
+            && toks[after_params + 1].is_punct('>')
+        {
+            let mut r = after_params + 2;
+            let mut region = Vec::new();
+            let (mut paren, mut bracket) = (0i32, 0i32);
+            while r < toks.len() {
+                let t = &toks[r];
+                if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") {
+                    break;
+                }
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    _ => {}
+                }
+                let _ = (paren, bracket);
+                region.push(r);
+                r += 1;
+            }
+            if let Some(msg) = bad_result_type(toks, &region) {
+                out.push((fn_line, format!("pub fn {fn_name} {msg}")));
+            }
+            i = r;
+            continue;
+        }
+        i = after_params;
+    }
+    out
+}
+
+/// Checks a return-type token region for a non-workspace `Result`.
+fn bad_result_type(toks: &[Tok], region: &[usize]) -> Option<String> {
+    for (pos, &ri) in region.iter().enumerate() {
+        if !toks[ri].is_ident("Result") {
+            continue;
+        }
+        // io::Result (any path ending ...io::Result) is never the
+        // workspace alias
+        if pos >= 2
+            && toks[region[pos - 1]].is_punct(':')
+            && toks[region[pos - 2]].is_punct(':')
+            && pos >= 3
+            && toks[region[pos - 3]].is_ident("io")
+        {
+            return Some("returns io::Result (use the workspace Error)".to_string());
+        }
+        // Result<...>: inspect the second top-level generic argument
+        let next = region.get(pos + 1).copied();
+        if next.is_none_or(|ni| !toks[ni].is_punct('<')) {
+            continue;
+        }
+        let (mut angle, mut paren, mut bracket) = (0i32, 0i32, 0i32);
+        let mut args: Vec<Vec<usize>> = vec![Vec::new()];
+        for &ai in &region[pos + 1..] {
+            let t = &toks[ai];
+            match t.text.as_str() {
+                "<" => {
+                    angle += 1;
+                    if angle == 1 {
+                        continue;
+                    }
+                }
+                ">" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        break;
+                    }
+                }
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "," if angle == 1 && paren == 0 && bracket == 0 => {
+                    args.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+            if let Some(last) = args.last_mut() {
+                last.push(ai);
+            }
+        }
+        if args.len() < 2 {
+            continue; // workspace `Result<T>` alias
+        }
+        let err_idents: Vec<&str> = args[1]
+            .iter()
+            .filter(|&&ei| toks[ei].kind == TokKind::Ident)
+            .map(|&ei| toks[ei].text.as_str())
+            .collect();
+        let last_is_error = err_idents.last() == Some(&"Error");
+        let routed_through_io = err_idents.contains(&"io");
+        if !last_is_error || routed_through_io {
+            let ty = err_idents.join("::");
+            return Some(format!(
+                "returns Result<_, {ty}> instead of the workspace Error"
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        analyze_source(rel, src, &Config::workspace_default()).findings
+    }
+
+    #[test]
+    fn hot_path_panics_flagged() {
+        let f = run(
+            "crates/tensor/src/linalg.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); panic!(\"no\"); }",
+        );
+        assert!(f.iter().any(|x| x.rule == "hotpath-panic" && x.line == 1));
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "
+#[cfg(test)]
+mod tests {
+    fn t() { Some(1).unwrap(); println!(\"ok\"); }
+}
+";
+        let f = run("crates/tensor/src/linalg.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn slice_indexing_only_in_hot_paths() {
+        let src = "fn f(a: &[f32]) -> f32 { a[0] }";
+        assert!(run("crates/tensor/src/conv.rs", src)
+            .iter()
+            .any(|x| x.rule == "hotpath-slice-index"));
+        assert!(run("crates/nn/src/linear.rs", src)
+            .iter()
+            .all(|x| x.rule != "hotpath-slice-index"));
+    }
+
+    #[test]
+    fn array_type_and_macro_brackets_not_flagged() {
+        let src = "fn f() { let a: [f32; 2] = [0.0, 1.0]; let v = vec![1]; let [x, y] = a; }";
+        let f = run("crates/tensor/src/conv.rs", src);
+        assert!(f.iter().all(|x| x.rule != "hotpath-slice-index"), "{f:?}");
+    }
+
+    #[test]
+    fn thread_spawn_outside_par_flagged() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert!(run("crates/nn/src/optim.rs", src)
+            .iter()
+            .any(|x| x.rule == "thread-outside-par"));
+        assert!(run("crates/tensor/src/par.rs", src)
+            .iter()
+            .all(|x| x.rule != "thread-outside-par"));
+    }
+
+    #[test]
+    fn nondeterminism_in_core_flagged() {
+        let src = "fn f() { let _ = std::env::var(\"X\"); let _t = Instant::now(); }";
+        let f = run("crates/core/src/zoo.rs", src);
+        assert_eq!(
+            f.iter().filter(|x| x.rule == "nondet-experiment").count(),
+            2
+        );
+        assert!(run("crates/cli/src/main.rs", src)
+            .iter()
+            .all(|x| x.rule != "nondet-experiment"));
+    }
+
+    #[test]
+    fn prints_outside_cli_flagged() {
+        let src = "fn f() { println!(\"hi\"); }";
+        assert!(run("crates/metrics/src/report.rs", src)
+            .iter()
+            .any(|x| x.rule == "print-outside-cli"));
+        assert!(run("crates/cli/src/commands.rs", src).is_empty());
+        assert!(run("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fallible_api_rule() {
+        let bad = "pub fn f() -> io::Result<()> { Ok(()) }";
+        assert!(run("crates/data/src/pgm.rs", bad)
+            .iter()
+            .any(|x| x.rule == "fallible-api-error"));
+        let bad2 = "pub fn f() -> Result<u8, String> { Ok(1) }";
+        assert!(run("crates/data/src/pgm.rs", bad2)
+            .iter()
+            .any(|x| x.rule == "fallible-api-error"));
+        let good = "pub fn f() -> Result<u8, Error> { Ok(1) }\n\
+                    pub fn g() -> Result<Vec<(usize, f64)>, pv_tensor::Error> { Ok(vec![]) }\n\
+                    pub fn h() -> Result<u8> { Ok(1) }";
+        let f = run("crates/data/src/pgm.rs", good);
+        assert!(f.iter().all(|x| x.rule != "fallible-api-error"), "{f:?}");
+        // pub(crate) is not public API
+        let internal = "pub(crate) fn f() -> io::Result<()> { Ok(()) }";
+        assert!(run("crates/data/src/pgm.rs", internal).is_empty());
+    }
+
+    #[test]
+    fn lib_panic_is_warn_level() {
+        let src = "fn f(x: Option<u8>) { x.expect(\"set\"); }";
+        let f = run("crates/nn/src/optim.rs", src);
+        let w = f.iter().find(|x| x.rule == "lib-panic").expect("flagged");
+        assert_eq!(w.level, Level::Warn);
+    }
+
+    #[test]
+    fn pragma_suppresses_with_reason() {
+        let src = "
+// pv-analyze: allow(lib-panic) -- velocity is set two lines above
+fn f(x: Option<u8>) { x.expect(\"set\"); }
+";
+        let a = analyze_source("crates/nn/src/optim.rs", src, &Config::workspace_default());
+        assert!(a.findings.iter().all(|x| x.rule != "lib-panic"));
+        assert_eq!(a.suppressed, 1);
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_finding_and_does_not_suppress() {
+        let src = "
+// pv-analyze: allow(lib-panic)
+fn f(x: Option<u8>) { x.expect(\"set\"); }
+";
+        let f = run("crates/nn/src/optim.rs", src);
+        assert!(f.iter().any(|x| x.rule == "pragma-invalid"));
+        assert!(f.iter().any(|x| x.rule == "lib-panic"), "not suppressed");
+    }
+
+    #[test]
+    fn pragma_unknown_rule_is_flagged() {
+        let src = "// pv-analyze: allow(not-a-rule) -- whatever\nfn f() {}\n";
+        let f = run("crates/nn/src/optim.rs", src);
+        assert!(f.iter().any(|x| x.rule == "pragma-invalid"));
+    }
+
+    #[test]
+    fn file_pragma_suppresses_everywhere() {
+        let src = "
+// pv-analyze: allow-file(hotpath-slice-index) -- tile loops are bounds-proven
+fn f(a: &[f32]) -> f32 { a[0] + a[1] }
+fn g(a: &[f32]) -> f32 { a[2] }
+";
+        let a = analyze_source(
+            "crates/tensor/src/conv.rs",
+            src,
+            &Config::workspace_default(),
+        );
+        assert!(a.findings.iter().all(|x| x.rule != "hotpath-slice-index"));
+        assert_eq!(a.suppressed, 3);
+    }
+
+    #[test]
+    fn overrides_change_levels() {
+        let mut cfg = Config::workspace_default();
+        cfg.set("lib-panic", Level::Deny);
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }";
+        let a = analyze_source("crates/nn/src/optim.rs", src, &cfg);
+        assert_eq!(a.findings[0].level, Level::Deny);
+        cfg.set("lib-panic", Level::Allow);
+        let a = analyze_source("crates/nn/src/optim.rs", src, &cfg);
+        assert!(a.findings.is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+//! Bad: public fallible APIs that bypass the workspace error type.
+
+use std::io;
+
+pub fn load() -> io::Result<()> {
+    Ok(())
+}
+
+pub fn parse() -> Result<u8, String> {
+    Ok(1)
+}

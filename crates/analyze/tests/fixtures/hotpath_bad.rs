@@ -1,0 +1,10 @@
+//! Bad: panicking call and direct slice indexing in a kernel hot path.
+
+pub fn sum(a: &[f32]) -> f32 {
+    let first = a.first().unwrap();
+    let mut acc = *first;
+    for i in 1..a.len() {
+        acc += a[i];
+    }
+    acc
+}

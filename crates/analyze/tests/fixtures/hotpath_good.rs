@@ -1,0 +1,11 @@
+//! Good: iterator-based kernel code — no panics, no direct indexing.
+
+pub fn sum(a: &[f32]) -> f32 {
+    a.iter().copied().sum()
+}
+
+pub fn axpy(y: &mut [f32], x: &[f32], alpha: f32) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}

@@ -1,0 +1,5 @@
+//! Warn-level: a panicking call in ordinary library code.
+
+pub fn double(x: Option<u32>) -> u32 {
+    2 * x.unwrap()
+}

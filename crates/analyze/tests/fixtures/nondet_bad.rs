@@ -1,0 +1,8 @@
+//! Bad: wall-clock and environment reads in experiment code.
+
+pub fn seed() -> u64 {
+    let from_env = std::env::var("SEED").ok();
+    let clock = std::time::SystemTime::now();
+    drop((from_env, clock));
+    7
+}

@@ -1,0 +1,12 @@
+//! Bad: a suppression without a justification, and one naming an unknown
+//! rule. Neither suppresses anything.
+
+pub fn last(xs: &[u32]) -> u32 {
+    // pv-analyze: allow(lib-panic)
+    *xs.last().expect("non-empty")
+}
+
+// pv-analyze: allow(no-such-rule) -- the rule id has a typo
+pub fn id(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,6 @@
+//! Good: a justified, line-scoped suppression.
+
+pub fn last(xs: &[u32]) -> u32 {
+    // pv-analyze: allow(lib-panic) -- callers guarantee non-empty input
+    *xs.last().expect("non-empty")
+}

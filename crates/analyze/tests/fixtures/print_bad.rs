@@ -1,0 +1,5 @@
+//! Bad: console output from a library crate.
+
+pub fn report(x: f64) {
+    println!("x = {x}");
+}

@@ -1,0 +1,6 @@
+//! Bad: ad-hoc thread creation outside the pv-par runtime.
+
+pub fn run() -> u64 {
+    let h = std::thread::spawn(|| 42u64);
+    h.join().unwrap_or(0)
+}

@@ -1,0 +1,7 @@
+//! Seeded violation tree for the check.sh gate self-test: this file is a
+//! fake `crates/tensor/src/linalg.rs` (a kernel hot path) containing a
+//! deliberate panic, so `pv analyze --root .../selftest` must exit non-zero.
+
+pub fn first(a: &[f32]) -> f32 {
+    *a.first().unwrap()
+}

@@ -1,0 +1,135 @@
+//! Static-analysis micro-benchmarks: full-workspace lint wall time,
+//! tokenizer throughput on a synthetic source blob, and `infer_shapes`
+//! latency per zoo preset (the cost the shape gate adds before training).
+//!
+//! Emits `BENCH_analyze.json` in the working directory so future PRs can
+//! track the gate's overhead.
+
+use pruneval::{preset, Scale};
+use pv_analyze::{analyze_workspace, lex::lex, Config};
+use std::path::Path;
+use std::time::Instant;
+
+/// One measurement row.
+struct BenchRow {
+    name: String,
+    /// Work per run (bytes lexed, files scanned, or layers inferred).
+    work: u64,
+    unit: &'static str,
+    secs: f64,
+}
+
+/// Median-of-runs wall time for one invocation of `f`.
+fn time_secs<O>(f: &mut dyn FnMut() -> O, runs: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    samples[samples.len() / 2]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(rows: &[BenchRow]) {
+    let mut out = String::from("{\n  \"benchmark\": \"analyze\",\n  \"unit\": \"seconds\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"work\": {}, \"work_unit\": \"{}\", \"secs\": {:.6e}}}{}\n",
+            json_escape(&r.name),
+            r.work,
+            r.unit,
+            r.secs,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_analyze.json", &out).expect("write BENCH_analyze.json");
+}
+
+fn main() {
+    pv_bench::banner(
+        "analyze: linter + shape-checker overhead",
+        "the static gates must stay cheap enough to run on every check.sh invocation",
+    );
+    let mut rows: Vec<BenchRow> = Vec::new();
+
+    // -- full workspace lint --------------------------------------------
+    // benches run from the workspace root (cargo bench -p pv-bench), but
+    // fall back to the manifest-relative root when invoked elsewhere
+    let root = if Path::new("crates").is_dir() {
+        Path::new(".").to_path_buf()
+    } else {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    };
+    let cfg = Config::workspace_default();
+    let report = analyze_workspace(&root, &cfg).expect("workspace lint");
+    println!(
+        "workspace lint: {} files, {} deny, {} warn, {} suppressed",
+        report.files_scanned,
+        report.deny_count(),
+        report.warn_count(),
+        report.suppressed
+    );
+    let files = report.files_scanned as u64;
+    let secs = time_secs(&mut || analyze_workspace(&root, &cfg).expect("lint"), 5);
+    rows.push(BenchRow {
+        name: "workspace lint".to_string(),
+        work: files,
+        unit: "files",
+        secs,
+    });
+
+    // -- tokenizer throughput -------------------------------------------
+    let unit_src = r#"
+/// A doc comment with `code` and "strings".
+pub fn f(xs: &[f32]) -> f32 {
+    let mut acc = 0.0_f32; // running total
+    for (i, x) in xs.iter().enumerate() {
+        acc += *x * i as f32; /* nested /* comment */ here */
+    }
+    acc
+}
+"#;
+    let blob = unit_src.repeat(512);
+    let bytes = blob.len() as u64;
+    let secs = time_secs(&mut || lex(&blob), 9);
+    println!(
+        "lexer: {:.1} MB/s over a {} KiB blob",
+        bytes as f64 / secs / 1e6,
+        bytes / 1024
+    );
+    rows.push(BenchRow {
+        name: "lex synthetic blob".to_string(),
+        work: bytes,
+        unit: "bytes",
+        secs,
+    });
+
+    // -- shape inference per preset -------------------------------------
+    for name in ["resnet110", "vgg16", "densenet22", "mlp"] {
+        let cfg = preset(name, Scale::Smoke).expect("known preset");
+        let net = cfg.arch.build(&cfg.name, &cfg.task, 0);
+        let leaves = net.infer_shapes().expect("shapes").records.len() as u64;
+        let secs = time_secs(&mut || net.infer_shapes().expect("shapes"), 25);
+        println!(
+            "infer_shapes {name}: {leaves} leaves in {:.1} us",
+            secs * 1e6
+        );
+        rows.push(BenchRow {
+            name: format!("infer_shapes {name}"),
+            work: leaves,
+            unit: "leaf layers",
+            secs,
+        });
+    }
+
+    write_json(&rows);
+    println!("wrote BENCH_analyze.json ({} rows)", rows.len());
+}

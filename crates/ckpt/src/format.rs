@@ -221,6 +221,7 @@ impl Checkpoint {
     /// Reconstructs a tensor from an f32 record.
     pub fn tensor(&self, name: &str) -> Result<Tensor> {
         let data = self.f32s(name)?.to_vec();
+        // pv-analyze: allow(lib-panic) -- record existence was just checked by the f32s() lookup above
         let dims = self.get(name).expect("checked above").dims.clone();
         Ok(Tensor::from_vec(dims, data))
     }
@@ -292,6 +293,7 @@ impl Checkpoint {
             )));
         }
         let (body, footer) = bytes.split_at(bytes.len() - 4);
+        // pv-analyze: allow(lib-panic) -- split_at guarantees the footer is exactly 4 bytes
         let stored_crc = u32::from_le_bytes(footer.try_into().expect("4-byte footer"));
         let actual_crc = crc32(body);
         if stored_crc != actual_crc {
@@ -339,11 +341,13 @@ impl Checkpoint {
             let data = match dtype {
                 Dtype::F32 => RecordData::F32(
                     raw.chunks_exact(4)
+                        // pv-analyze: allow(lib-panic) -- chunks_exact(4) yields exactly 4-byte slices
                         .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
                         .collect(),
                 ),
                 Dtype::U32 => RecordData::U32(
                     raw.chunks_exact(4)
+                        // pv-analyze: allow(lib-panic) -- chunks_exact(4) yields exactly 4-byte slices
                         .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
                         .collect(),
                 ),
@@ -408,18 +412,21 @@ impl<'a> Cursor<'a> {
 
     fn u16(&mut self) -> Result<u16> {
         Ok(u16::from_le_bytes(
+            // pv-analyze: allow(lib-panic) -- take(2) returned exactly 2 bytes
             self.take(2)?.try_into().expect("2 bytes"),
         ))
     }
 
     fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(
+            // pv-analyze: allow(lib-panic) -- take(4) returned exactly 4 bytes
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
     fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(
+            // pv-analyze: allow(lib-panic) -- take(8) returned exactly 8 bytes
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }

@@ -26,6 +26,8 @@ use std::collections::BTreeSet;
 const MASK: &str = ".mask";
 /// Suffix of momentum records.
 const VELOCITY: &str = ".velocity";
+/// Name of the per-sample input-shape record (under the prefix).
+const INPUT_SHAPE: &str = "meta/input_shape";
 
 /// Writes the full trainable state of `net` into `ckpt` under `prefix`.
 ///
@@ -49,6 +51,12 @@ pub fn write_network_state(ckpt: &mut Checkpoint, prefix: &str, net: &mut Networ
     net.visit_buffers_named(&mut |name, buf| {
         ckpt.put_f32(format!("{prefix}{name}"), vec![buf.len()], buf.to_vec());
     });
+    let shape = net.input_shape().to_vec();
+    ckpt.put_f32(
+        format!("{prefix}{INPUT_SHAPE}"),
+        vec![shape.len()],
+        shape.iter().map(|&d| d as f32).collect(),
+    );
 }
 
 /// Serializes a network's state as a standalone checkpoint (prefix `net/`).
@@ -67,6 +75,11 @@ pub fn network_to_checkpoint(net: &mut Network) -> Checkpoint {
 /// or [`Error::ShapeMismatch`]) and leave no partial writes observable to
 /// correct code paths (the network may have been partially updated, so on
 /// error callers should discard it).
+///
+/// Two static checks guard against architecture drift: the stored
+/// `meta/input_shape` record (when present — older checkpoints predate it)
+/// must equal the rebuilt network's declared input shape, and
+/// [`Network::infer_shapes`] must succeed on the rebuilt network.
 pub fn read_network_state(net: &mut Network, ckpt: &Checkpoint, prefix: &str) -> Result<()> {
     let mut expected: BTreeSet<String> = BTreeSet::new();
     let mut first_err: Option<Error> = None;
@@ -134,6 +147,21 @@ pub fn read_network_state(net: &mut Network, ckpt: &Checkpoint, prefix: &str) ->
         return Err(e);
     }
 
+    // shape gate: older checkpoints lack the record (back-compat); newer
+    // ones must agree with the network the caller rebuilt
+    let shape_key = format!("{prefix}{INPUT_SHAPE}");
+    if ckpt.has(&shape_key) {
+        expected.insert(shape_key.clone());
+        let stored: Vec<usize> = ckpt.f32s(&shape_key)?.iter().map(|&v| v as usize).collect();
+        if stored != net.input_shape() {
+            return Err(Error::ShapeMismatch {
+                name: shape_key,
+                expected: stored,
+                actual: net.input_shape().to_vec(),
+            });
+        }
+    }
+
     for name in ckpt.names() {
         if name.starts_with(prefix) && !expected.contains(name) {
             return Err(Error::CorruptCheckpoint(format!(
@@ -141,6 +169,10 @@ pub fn read_network_state(net: &mut Network, ckpt: &Checkpoint, prefix: &str) ->
             )));
         }
     }
+
+    // static dataflow check: the rebuilt architecture must still propagate
+    // a sample from its declared input shape to its class count
+    net.infer_shapes()?;
     Ok(())
 }
 
@@ -230,6 +262,35 @@ mod tests {
         let mut deep = models::mlp("t", 6, &[10, 8, 8], 3, true, 0);
         let err = checkpoint_to_network(&ckpt, &mut deep).unwrap_err();
         assert!(matches!(err, Error::CorruptCheckpoint(_)), "{err:?}");
+    }
+
+    #[test]
+    fn input_shape_record_written_and_checked() {
+        let mut net = trained_net(14);
+        let ckpt = network_to_checkpoint(&mut net);
+        assert_eq!(ckpt.f32s("net/meta/input_shape").expect("record"), &[6.0]);
+
+        // absent record (pre-shape-gate checkpoint) still loads
+        let mut legacy = Checkpoint::new();
+        for name in ckpt.names().map(String::from).collect::<Vec<_>>() {
+            if name != "net/meta/input_shape" {
+                let t = ckpt.tensor(&name).expect("tensor");
+                legacy.put_tensor(name, &t);
+            }
+        }
+        let mut fresh = models::mlp("t", 6, &[10, 8], 3, true, 7);
+        checkpoint_to_network(&legacy, &mut fresh).expect("legacy load");
+
+        // a stored shape that disagrees with the rebuilt net is rejected
+        let mut bad = Checkpoint::new();
+        for name in legacy.names().map(String::from).collect::<Vec<_>>() {
+            let t = legacy.tensor(&name).expect("tensor");
+            bad.put_tensor(name, &t);
+        }
+        bad.put_f32("net/meta/input_shape", vec![1], vec![9.0]);
+        let mut fresh2 = models::mlp("t", 6, &[10, 8], 3, true, 7);
+        let err = checkpoint_to_network(&bad, &mut fresh2).unwrap_err();
+        assert!(matches!(err, Error::ShapeMismatch { .. }), "{err:?}");
     }
 
     #[test]

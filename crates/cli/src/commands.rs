@@ -311,9 +311,8 @@ pub fn corrupt(args: &ParsedArgs) -> Result<(), Error> {
     for i in 0..ds.len() {
         let clean_path = dir.join(format!("sample{i}_clean.pgm"));
         let corrupt_path = dir.join(format!("sample{i}_{}_s{severity}.pgm", c.name()));
-        write_pgm(&ds.image(i), &clean_path).map_err(|e| Error::io(clean_path.display(), e))?;
-        write_pgm(&corrupted.slice_first_axis(i, i + 1), &corrupt_path)
-            .map_err(|e| Error::io(corrupt_path.display(), e))?;
+        write_pgm(&ds.image(i), &clean_path)?;
+        write_pgm(&corrupted.slice_first_axis(i, i + 1), &corrupt_path)?;
     }
     println!("wrote {} clean + corrupted image pairs to {out}", ds.len());
     Ok(())
@@ -346,6 +345,61 @@ pub fn segstudy(args: &ParsedArgs) -> Result<(), Error> {
         cfg.delta_pct,
         100.0 * curve.prune_potential(cfg.delta_pct)
     );
+    Ok(())
+}
+
+/// `pruneval shapes`: statically infer per-layer activation shapes for a
+/// preset without allocating activations or running a forward pass.
+pub fn shapes(args: &ParsedArgs) -> Result<(), Error> {
+    let scale = scale_of(args)?;
+    let (model, cfg) = preset_of(args, scale)?;
+    let net = cfg.arch.build(&cfg.name, &cfg.task, 0);
+    let report = net.infer_shapes()?;
+    println!(
+        "{model} at {scale:?}: input {:?}, {} leaf layers",
+        net.input_shape(),
+        report.records.len()
+    );
+    print!("{}", report.render());
+    if let Some(out) = report.output_shape() {
+        println!("output: {out:?} ({} classes)", net.num_classes());
+    }
+    Ok(())
+}
+
+/// `pruneval analyze`: run the workspace invariant linter.
+pub fn analyze(args: &ParsedArgs) -> Result<(), Error> {
+    let root = args.get_or("root", ".");
+    let mut cfg = pv_analyze::Config::workspace_default();
+    for (flag, level) in [
+        ("allow", pv_analyze::Level::Allow),
+        ("warn", pv_analyze::Level::Warn),
+        ("deny", pv_analyze::Level::Deny),
+    ] {
+        if let Some(specs) = args.options.get(flag) {
+            for spec in specs.split(',').filter(|s| !s.trim().is_empty()) {
+                let spec = spec.trim();
+                let rule = spec.split('@').next().unwrap_or(spec);
+                if pv_analyze::rule_by_id(rule).is_none() {
+                    return Err(Error::Parse(format!("--{flag}: unknown rule '{rule}'")));
+                }
+                cfg.set(spec, level);
+            }
+        }
+    }
+    let report = pv_analyze::analyze_workspace(Path::new(root), &cfg)?;
+    if args.has("json") {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.fails(args.has("deny-warnings")) {
+        return Err(Error::Analysis(format!(
+            "{} deny, {} warn finding(s)",
+            report.deny_count(),
+            report.warn_count()
+        )));
+    }
     Ok(())
 }
 

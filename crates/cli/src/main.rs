@@ -53,6 +53,17 @@ COMMANDS:
                   --out <dir>         (default target/corrupt)
     segstudy    dense-prediction (VOC-analogue) study
                   --method, --scale as above
+    analyze     run the workspace invariant linter (pv-analyze) over
+                crates/*/src and print findings
+                  --root <dir>        workspace root (default .)
+                  --json              machine-readable report
+                  --deny-warnings     warn-level findings also fail the gate
+                  --allow/--warn/--deny <rule[@crate],...>
+                                      override rule severities
+    shapes      statically infer per-layer activation shapes for a preset
+                (no allocation, no forward pass)
+                  --model <preset>    (default resnet20)
+                  --scale <s>         smoke | quick | full (default quick)
 
 ENVIRONMENT:
     PV_SCALE    default scale when --scale is not given
@@ -75,6 +86,8 @@ fn main() -> ExitCode {
         "load" => commands::load(&parsed),
         "corrupt" => commands::corrupt(&parsed),
         "segstudy" => commands::segstudy(&parsed),
+        "analyze" => commands::analyze(&parsed),
+        "shapes" => commands::shapes(&parsed),
         "" | "help" | "--help" => {
             println!("{USAGE}");
             Ok(())

@@ -49,6 +49,7 @@ pub fn try_inputs_for(net: &Network, ds: &Dataset) -> Result<Tensor> {
 pub fn inputs_for(net: &Network, ds: &Dataset) -> Tensor {
     match try_inputs_for(net, ds) {
         Ok(t) => t,
+        // pv-analyze: allow(lib-panic) -- documented panicking convenience wrapper over try_inputs_for
         Err(e) => panic!("dataset does not fit network input: {e}"),
     }
 }
@@ -217,6 +218,9 @@ pub fn build_family_with(
         &cfg.task,
         seed.wrapping_add(271),
     );
+    // static shape gate: catch an inconsistent architecture before any
+    // training step rather than mid-epoch inside a kernel
+    parent.infer_shapes()?;
 
     let x = try_inputs_for(&parent, &train_set)?;
     let y = train_set.labels();
@@ -318,6 +322,7 @@ pub fn build_family(
     };
     match build_family_with(cfg, method, &opts) {
         Ok(f) => f,
+        // pv-analyze: allow(lib-panic) -- documented panicking convenience wrapper over build_family_with
         Err(e) => panic!("family build failed: {e}"),
     }
 }
@@ -330,6 +335,7 @@ impl StudyFamily {
     pub fn curve_on(&mut self, dist: &Distribution, eval_seed: u64) -> PruneAccuracyCurve {
         self.curves_on(std::slice::from_ref(dist), eval_seed)
             .pop()
+            // pv-analyze: allow(lib-panic) -- curves_on returns one curve per requested distribution
             .expect("one curve")
     }
 

@@ -20,6 +20,7 @@ impl Scale {
     /// Reads the scale from the `PV_SCALE` environment variable
     /// (`smoke` / `quick` / `full`), defaulting to `Quick`.
     pub fn from_env() -> Self {
+        // pv-analyze: allow(nondet-experiment) -- PV_SCALE is an explicit experimenter override read once at startup; the resolved scale is recorded in every config
         match std::env::var("PV_SCALE")
             .unwrap_or_default()
             .to_lowercase()
@@ -229,6 +230,7 @@ pub fn cifar_presets(scale: Scale) -> Vec<ExperimentConfig> {
         "wrn16-8",
     ]
     .iter()
+    // pv-analyze: allow(lib-panic) -- preset names are compile-time constants from the zoo table
     .map(|n| preset(n, scale).expect("known preset"))
     .collect()
 }
@@ -237,6 +239,7 @@ pub fn cifar_presets(scale: Scale) -> Vec<ExperimentConfig> {
 pub fn imagenet_presets(scale: Scale) -> Vec<ExperimentConfig> {
     ["resnet18", "resnet101"]
         .iter()
+        // pv-analyze: allow(lib-panic) -- preset names are compile-time constants from the zoo table
         .map(|n| preset(n, scale).expect("known preset"))
         .collect()
 }

@@ -1,8 +1,8 @@
 //! Plain-text PGM image dumps (used by the Figure 5 harness to emit the
 //! noisy example images the paper shows to a human test subject).
 
-use pv_tensor::Tensor;
-use std::io::{self, Write};
+use pv_tensor::{Error, Tensor};
+use std::io::Write;
 use std::path::Path;
 
 /// Writes channel 0 of a `[1, C, H, W]` or `[C, H, W]` image as an ASCII
@@ -10,12 +10,9 @@ use std::path::Path;
 ///
 /// # Errors
 ///
-/// Returns any I/O error from creating or writing the file.
-///
-/// # Panics
-///
-/// Panics if the tensor rank is not 3 or 4.
-pub fn write_pgm(image: &Tensor, path: &Path) -> io::Result<()> {
+/// Returns [`Error::ShapeMismatch`] if the tensor rank is not 3 or 4, and
+/// [`Error::Io`] for any failure creating or writing the file.
+pub fn write_pgm(image: &Tensor, path: &Path) -> Result<(), Error> {
     let (h, w, plane): (usize, usize, &[f32]) = match image.ndim() {
         4 => {
             let (h, w) = (image.dim(2), image.dim(3));
@@ -25,7 +22,13 @@ pub fn write_pgm(image: &Tensor, path: &Path) -> io::Result<()> {
             let (h, w) = (image.dim(1), image.dim(2));
             (h, w, &image.data()[..h * w])
         }
-        n => panic!("write_pgm expects a 3-D or 4-D tensor, got rank {n}"),
+        n => {
+            return Err(Error::ShapeMismatch {
+                name: "write_pgm (rank)".to_string(),
+                expected: vec![3, 4],
+                actual: vec![n],
+            })
+        }
     };
     let mut out = String::with_capacity(h * w * 4 + 32);
     out.push_str(&format!("P2\n{w} {h}\n255\n"));
@@ -41,8 +44,9 @@ pub fn write_pgm(image: &Tensor, path: &Path) -> io::Result<()> {
         out.push_str(&row.join(" "));
         out.push('\n');
     }
-    let mut f = std::fs::File::create(path)?;
+    let mut f = std::fs::File::create(path).map_err(|e| Error::io(path.display(), e))?;
     f.write_all(out.as_bytes())
+        .map_err(|e| Error::io(path.display(), e))
 }
 
 /// Renders channel 0 as coarse ASCII art (useful in terminal reports).
@@ -58,6 +62,7 @@ pub fn ascii_art(image: &Tensor) -> String {
             image.dim(2),
             &image.data()[..image.dim(1) * image.dim(2)],
         ),
+        // pv-analyze: allow(lib-panic) -- documented # Panics contract on tensor rank
         n => panic!("ascii_art expects a 3-D or 4-D tensor, got rank {n}"),
     };
     const RAMP: &[u8] = b" .:-=+*#%@";

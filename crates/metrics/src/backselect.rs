@@ -24,6 +24,7 @@ fn pixel_count(sample_shape: &[usize]) -> usize {
     match sample_shape.len() {
         3 => sample_shape[1] * sample_shape[2],
         1 => sample_shape[0],
+        // pv-analyze: allow(lib-panic) -- documented # Panics contract on input rank
         n => panic!("backselect supports [C,H,W] or [D] inputs, got rank {n}"),
     }
 }
@@ -49,6 +50,7 @@ fn mask_pixel(batch: &mut Tensor, p: usize) {
                 d[ni * dim + p] = 0.0;
             }
         }
+        // pv-analyze: allow(lib-panic) -- documented # Panics contract on batch rank
         r => panic!("mask_pixel expects a batch of rank 2 or 4, got {r}"),
     }
 }
@@ -115,6 +117,7 @@ pub fn backselect_order(
                 (0..n_pixels).map(|p| (p, probs.at2(p, class))).collect();
             // high remaining confidence after masking = uninformative pixel;
             // remove those first
+            // pv-analyze: allow(lib-panic) -- confidences come from softmax outputs, which are finite
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN confidence"));
             scored.into_iter().map(|(p, _)| p).collect()
         }

@@ -14,6 +14,7 @@ pub struct PruneAccuracyCurve {
 impl PruneAccuracyCurve {
     /// Creates a curve, sorting points by prune ratio.
     pub fn new(unpruned_error_pct: f64, mut points: Vec<(f64, f64)>) -> Self {
+        // pv-analyze: allow(lib-panic) -- prune ratios are finite by construction (counts over totals)
         points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN prune ratio"));
         Self {
             unpruned_error_pct,
@@ -55,6 +56,7 @@ impl PruneAccuracyCurve {
                 return e0 + t * (e1 - e0);
             }
         }
+        // pv-analyze: allow(lib-panic) -- non-emptiness is asserted at function entry
         self.points.last().expect("nonempty").1
     }
 }

@@ -53,6 +53,7 @@ pub fn fit_through_origin(points: &[(f64, f64)], n_boot: usize, seed: u64) -> Or
         }
         slopes.push(slope_of(&resample));
     }
+    // pv-analyze: allow(lib-panic) -- slopes are computed from finite curve points
     slopes.sort_by(|a, b| a.partial_cmp(b).expect("NaN slope"));
     let lo_idx = ((n_boot as f64) * 0.025).floor() as usize;
     let hi_idx = (((n_boot as f64) * 0.975).ceil() as usize).min(n_boot - 1);

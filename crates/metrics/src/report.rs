@@ -47,6 +47,7 @@ impl TextTable {
     /// Panics if the row width differs from the header width.
     pub fn add_row(&mut self, row: Vec<String>) {
         if let Err(e) = self.try_add_row(row) {
+            // pv-analyze: allow(lib-panic) -- documented panicking convenience wrapper over try_add_row
             panic!("row width mismatch: {e}");
         }
     }

@@ -144,6 +144,7 @@ impl BatchNormCore {
         let cache = self
             .cache
             .take()
+            // pv-analyze: allow(lib-panic) -- documented contract: backward requires a preceding Train-mode forward
             .expect("batch norm backward without train forward");
         let (rows, c) = (grad_out.dim(0), grad_out.dim(1));
         assert_eq!(cache.x_hat.shape(), grad_out.shape(), "grad shape mismatch");

@@ -4,7 +4,8 @@
 use crate::convblock::ConvBlock;
 use crate::layer::{Layer, Mode, PrunableLayer};
 use crate::param::Param;
-use pv_tensor::{concat_channels, slice_channels, Tensor};
+use crate::shape::ShapeReport;
+use pv_tensor::{concat_channels, slice_channels, Error, Tensor};
 
 /// A chain of layers applied in order.
 #[derive(Clone, Default)]
@@ -52,6 +53,8 @@ impl Layer for Sequential {
         let mut h = x.clone();
         for layer in &mut self.layers {
             h = layer.forward(&h, mode);
+            #[cfg(feature = "sanitize")]
+            crate::sanitize::check_finite("forward output", &layer.describe(), &h);
         }
         h
     }
@@ -60,8 +63,18 @@ impl Layer for Sequential {
         let mut g = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
             g = layer.backward(&g);
+            #[cfg(feature = "sanitize")]
+            crate::sanitize::check_finite("backward input-gradient", &layer.describe(), &g);
         }
         g
+    }
+
+    fn infer_shape(&self, input: &[usize], report: &mut ShapeReport) -> Result<Vec<usize>, Error> {
+        let mut shape = input.to_vec();
+        for layer in &self.layers {
+            shape = layer.infer_shape(&shape, report)?;
+        }
+        Ok(shape)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -163,6 +176,7 @@ impl Layer for Residual {
         let mask = self
             .relu_mask
             .take()
+            // pv-analyze: allow(lib-panic) -- documented contract: backward requires a preceding Train-mode forward
             .expect("Residual backward without forward");
         let mut g = grad_out.clone();
         g.mul_assign(&mask);
@@ -172,6 +186,22 @@ impl Layer for Residual {
             None => g,
         };
         gb.add(&gs)
+    }
+
+    fn infer_shape(&self, input: &[usize], report: &mut ShapeReport) -> Result<Vec<usize>, Error> {
+        let body_out = self.body.infer_shape(input, report)?;
+        let shortcut_out = match &self.shortcut {
+            Some(proj) => proj.infer_shape(input, report)?,
+            None => input.to_vec(),
+        };
+        if body_out != shortcut_out {
+            return Err(Error::ShapeMismatch {
+                name: "residual (body vs shortcut)".to_string(),
+                expected: body_out,
+                actual: shortcut_out,
+            });
+        }
+        Ok(body_out)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -293,6 +323,7 @@ impl Layer for DenseBlock {
         let features = self
             .cache_features
             .take()
+            // pv-analyze: allow(lib-panic) -- documented contract: backward requires a preceding Train-mode forward
             .expect("DenseBlock backward without forward");
         let n_feats = features.len();
         // split output gradient into per-feature slices
@@ -316,6 +347,33 @@ impl Layer for DenseBlock {
             }
         }
         feat_grads.swap_remove(0)
+    }
+
+    fn infer_shape(&self, input: &[usize], report: &mut ShapeReport) -> Result<Vec<usize>, Error> {
+        crate::shape::require_rank("dense block", input, 3)?;
+        let (h, w) = (input[1], input[2]);
+        if input[0] != self.channel_plan[0] {
+            return Err(Error::ShapeMismatch {
+                name: "dense block (input channels)".to_string(),
+                expected: vec![self.channel_plan[0]],
+                actual: vec![input[0]],
+            });
+        }
+        let mut seen = self.channel_plan[0];
+        for (i, layer) in self.layers.iter().enumerate() {
+            let out = layer.infer_shape(&[seen, h, w], report)?;
+            // inner convolutions must preserve the spatial size, or the
+            // channel concatenation in forward() would be ill-formed
+            if out != [self.channel_plan[i + 1], h, w] {
+                return Err(Error::ShapeMismatch {
+                    name: format!("dense block (inner layer {i})"),
+                    expected: vec![self.channel_plan[i + 1], h, w],
+                    actual: out,
+                });
+            }
+            seen += self.channel_plan[i + 1];
+        }
+        Ok(vec![seen, h, w])
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -116,6 +116,26 @@ impl ConvBlock {
 }
 
 impl Layer for ConvBlock {
+    fn infer_shape(
+        &self,
+        input: &[usize],
+        report: &mut crate::shape::ShapeReport,
+    ) -> Result<Vec<usize>, pv_tensor::Error> {
+        crate::shape::require_rank(&self.label, input, 3)?;
+        if input[0] != self.in_c {
+            return Err(pv_tensor::Error::ShapeMismatch {
+                name: format!("{} (input channels)", self.label),
+                expected: vec![self.in_c],
+                actual: vec![input[0]],
+            });
+        }
+        let (oh, ow) =
+            crate::shape::checked_output_size(&self.label, self.geometry, input[1], input[2])?;
+        let out = vec![self.out_c, oh, ow];
+        report.push(self.describe(), input, &out);
+        Ok(out)
+    }
+
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(x.ndim(), 4, "ConvBlock expects NCHW input");
         assert_eq!(x.dim(1), self.in_c, "channel mismatch in {}", self.label);
@@ -158,6 +178,7 @@ impl Layer for ConvBlock {
         let cache = self
             .cache
             .take()
+            // pv-analyze: allow(lib-panic) -- documented contract: backward requires a preceding Train-mode forward
             .expect("ConvBlock backward without forward");
         let mut g = grad_out.clone();
         if let Some(mask) = &cache.relu_mask {

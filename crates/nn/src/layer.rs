@@ -2,7 +2,8 @@
 //! visitation, and structured-pruning hooks.
 
 use crate::param::Param;
-use pv_tensor::Tensor;
+use crate::shape::ShapeReport;
+use pv_tensor::{Error, Tensor};
 
 /// Whether a forward pass is part of training (batch statistics, caching for
 /// backward) or evaluation (running statistics, no caching requirements).
@@ -97,6 +98,21 @@ pub trait Layer: Send + Sync {
     /// Implementations may panic if called without a preceding `Train`
     /// forward pass.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Statically maps a per-sample input shape (no batch axis, e.g.
+    /// `[3, 16, 16]` or `[256]`) to this layer's output shape without
+    /// allocating activations or touching parameters.
+    ///
+    /// Leaves append a record to `report`; containers recurse. Returns
+    /// [`Error::ShapeMismatch`] when the layer cannot accept `input` —
+    /// wrong rank, wrong channel/feature count, or a conv/pool window
+    /// that does not fit.
+    ///
+    /// This is a *required* method: a new layer cannot be added to the
+    /// workspace without declaring its shape semantics, which is what the
+    /// preset validation in `pruneval-core` and the checkpoint-load check
+    /// in `pv-ckpt` rely on.
+    fn infer_shape(&self, input: &[usize], report: &mut ShapeReport) -> Result<Vec<usize>, Error>;
 
     /// Calls `f` on every parameter of the layer (depth-first, forward
     /// order).

@@ -52,7 +52,9 @@ pub mod network;
 pub mod optim;
 pub mod param;
 pub mod pool;
+pub mod sanitize;
 pub mod seg;
+pub mod shape;
 pub mod upsample;
 
 pub use batchnorm::BatchNormCore;
@@ -71,4 +73,5 @@ pub use seg::{
     iou_error_pct, logits_to_pixel_matrix, mean_iou_pct, pixel_cross_entropy, pixel_error_pct,
     train_segmentation,
 };
+pub use shape::{ShapeRecord, ShapeReport};
 pub use upsample::NearestUpsample;

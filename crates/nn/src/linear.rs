@@ -76,6 +76,24 @@ impl LinearBlock {
 }
 
 impl Layer for LinearBlock {
+    fn infer_shape(
+        &self,
+        input: &[usize],
+        report: &mut crate::shape::ShapeReport,
+    ) -> Result<Vec<usize>, pv_tensor::Error> {
+        crate::shape::require_rank(&self.label, input, 1)?;
+        if input[0] != self.in_dim() {
+            return Err(pv_tensor::Error::ShapeMismatch {
+                name: format!("{} (input width)", self.label),
+                expected: vec![self.in_dim()],
+                actual: vec![input[0]],
+            });
+        }
+        let out = vec![self.out_dim()];
+        report.push(self.describe(), input, &out);
+        Ok(out)
+    }
+
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(x.ndim(), 2, "LinearBlock expects [N, in] input");
         assert_eq!(
@@ -111,9 +129,11 @@ impl Layer for LinearBlock {
         let x = self
             .cache_input
             .take()
+            // pv-analyze: allow(lib-panic) -- documented contract: backward requires a preceding Train-mode forward
             .expect("LinearBlock backward without forward");
         let mut g = grad_out.clone();
         if self.relu {
+            // pv-analyze: allow(lib-panic) -- ReLU cache is written by the same Train-mode forward
             let mask = self.cache_relu_mask.take().expect("missing ReLU cache");
             g.mul_assign(&mask);
         }

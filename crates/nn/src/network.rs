@@ -5,8 +5,9 @@
 use crate::container::Sequential;
 use crate::layer::{Layer, Mode, PrunableLayer};
 use crate::param::{Param, ParamKind};
+use crate::shape::ShapeReport;
 use pv_tensor::par;
-use pv_tensor::Tensor;
+use pv_tensor::{Error, Tensor};
 
 /// A complete classifier network.
 ///
@@ -69,6 +70,36 @@ impl Network {
         self.root.describe()
     }
 
+    /// Statically propagates the network's declared per-sample input shape
+    /// through every layer (no activations are allocated) and returns the
+    /// per-leaf trace.
+    ///
+    /// Beyond per-layer compatibility, this checks that the final shape
+    /// carries `num_classes` in its leading dimension — `[classes]` for
+    /// classifiers, `[classes, H, W]` for dense-prediction heads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] naming the first offending layer.
+    pub fn infer_shapes(&self) -> Result<ShapeReport, Error> {
+        self.infer_shapes_for(&self.input_shape)
+    }
+
+    /// [`Network::infer_shapes`] from an explicit per-sample input shape
+    /// (used by checkpoint validation to cross-check a stored shape).
+    pub fn infer_shapes_for(&self, input_shape: &[usize]) -> Result<ShapeReport, Error> {
+        let mut report = ShapeReport::default();
+        let out = self.root.infer_shape(input_shape, &mut report)?;
+        if out.first() != Some(&self.num_classes) {
+            return Err(Error::ShapeMismatch {
+                name: format!("{} (output classes)", self.name),
+                expected: vec![self.num_classes],
+                actual: out,
+            });
+        }
+        Ok(report)
+    }
+
     /// Forward pass on a batch (first axis = batch), producing logits
     /// `[N, classes]`.
     pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
@@ -78,6 +109,8 @@ impl Network {
             "input shape mismatch for {}",
             self.name
         );
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::check_finite("forward input", &self.name, x);
         let out = self.root.forward(x, mode);
         debug_assert_eq!(out.dim(1), self.num_classes);
         out

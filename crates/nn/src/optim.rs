@@ -146,6 +146,10 @@ impl TrainReport {
 /// re-projects pruning masks so pruned coordinates stay zero.
 pub fn sgd_step(net: &mut Network, lr: f64, momentum: f64, nesterov: bool, weight_decay: f64) {
     TRAIN_STEPS.fetch_add(1, Ordering::Relaxed);
+    #[cfg(feature = "sanitize")]
+    net.visit_params_named(&mut |name, p| {
+        crate::sanitize::check_finite("gradient", name, &p.grad);
+    });
     let lr = lr as f32;
     let mu = momentum as f32;
     let wd = weight_decay as f32;
@@ -160,10 +164,10 @@ pub fn sgd_step(net: &mut Network, lr: f64, momentum: f64, nesterov: bool, weigh
             v.add_assign(&g);
             if nesterov {
                 let mut u = g;
-                u.add_scaled(p.velocity.as_ref().expect("velocity just set"), mu);
+                u.add_scaled(v, mu);
                 u
             } else {
-                p.velocity.as_ref().expect("velocity just set").clone()
+                v.clone()
             }
         } else {
             g

@@ -25,6 +25,19 @@ impl MaxPool {
 }
 
 impl Layer for MaxPool {
+    fn infer_shape(
+        &self,
+        input: &[usize],
+        report: &mut crate::shape::ShapeReport,
+    ) -> Result<Vec<usize>, pv_tensor::Error> {
+        crate::shape::require_rank("maxpool", input, 3)?;
+        let (oh, ow) =
+            crate::shape::checked_output_size("maxpool", self.geometry, input[1], input[2])?;
+        let out = vec![input[0], oh, ow];
+        report.push(self.describe(), input, &out);
+        Ok(out)
+    }
+
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         let fwd = maxpool2d_forward(x, self.geometry);
         if mode == Mode::Train {
@@ -34,6 +47,7 @@ impl Layer for MaxPool {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // pv-analyze: allow(lib-panic) -- documented contract: backward requires a preceding Train-mode forward
         let (argmax, shape) = self.cache.take().expect("MaxPool backward without forward");
         maxpool2d_backward(grad_out, &argmax, &shape)
     }
@@ -72,6 +86,17 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
+    fn infer_shape(
+        &self,
+        input: &[usize],
+        report: &mut crate::shape::ShapeReport,
+    ) -> Result<Vec<usize>, pv_tensor::Error> {
+        crate::shape::require_rank("gap", input, 3)?;
+        let out = vec![input[0]];
+        report.push(self.describe(), input, &out);
+        Ok(out)
+    }
+
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         if mode == Mode::Train {
             self.cache_hw = Some((x.dim(2), x.dim(3)));
@@ -83,6 +108,7 @@ impl Layer for GlobalAvgPool {
         let (h, w) = self
             .cache_hw
             .take()
+            // pv-analyze: allow(lib-panic) -- documented contract: backward requires a preceding Train-mode forward
             .expect("GlobalAvgPool backward without forward");
         global_avg_pool_backward(grad_out, h, w)
     }
@@ -118,6 +144,23 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn infer_shape(
+        &self,
+        input: &[usize],
+        report: &mut crate::shape::ShapeReport,
+    ) -> Result<Vec<usize>, pv_tensor::Error> {
+        if input.is_empty() {
+            return Err(pv_tensor::Error::ShapeMismatch {
+                name: "flatten (rank)".to_string(),
+                expected: vec![1],
+                actual: vec![0],
+            });
+        }
+        let out = vec![input.iter().product()];
+        report.push(self.describe(), input, &out);
+        Ok(out)
+    }
+
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         if mode == Mode::Train {
             self.cache_shape = Some(x.shape().to_vec());
@@ -130,6 +173,7 @@ impl Layer for Flatten {
         let shape = self
             .cache_shape
             .take()
+            // pv-analyze: allow(lib-panic) -- documented contract: backward requires a preceding Train-mode forward
             .expect("Flatten backward without forward");
         grad_out.reshape(&shape)
     }

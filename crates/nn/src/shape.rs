@@ -1,0 +1,125 @@
+//! Static shape inference: propagate per-sample activation shapes through a
+//! network without allocating activations or running a forward pass.
+//!
+//! Every [`crate::Layer`] implements
+//! [`crate::Layer::infer_shape`], mapping a per-sample input shape (no
+//! batch axis — e.g. `[3, 16, 16]` or `[256]`) to its output shape, or a
+//! typed [`Error::ShapeMismatch`] when the layer cannot accept that input.
+//! Leaves append a [`ShapeRecord`] to the [`ShapeReport`] as they go, so
+//! the report reads like an architecture trace; containers only recurse.
+//!
+//! [`crate::Network::infer_shapes`] runs the propagation from the
+//! network's declared input shape and additionally checks that the final
+//! shape carries `num_classes` in its leading dimension (covering both
+//! classifiers, `[classes]`, and dense-prediction heads,
+//! `[classes, H, W]`).
+
+use pv_tensor::Error;
+
+/// One leaf layer's resolved input/output shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeRecord {
+    /// The leaf's `describe()` string (e.g. `conv3x3(16->32)/s2`).
+    pub layer: String,
+    /// Per-sample input shape.
+    pub input: Vec<usize>,
+    /// Per-sample output shape.
+    pub output: Vec<usize>,
+}
+
+/// The trace produced by static shape inference.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShapeReport {
+    /// Leaf records in forward order.
+    pub records: Vec<ShapeRecord>,
+}
+
+impl ShapeReport {
+    /// Appends a leaf record (called by `Layer::infer_shape` impls).
+    pub fn push(&mut self, layer: impl Into<String>, input: &[usize], output: &[usize]) {
+        self.records.push(ShapeRecord {
+            layer: layer.into(),
+            input: input.to_vec(),
+            output: output.to_vec(),
+        });
+    }
+
+    /// The final output shape (of the last leaf), if any.
+    pub fn output_shape(&self) -> Option<&[usize]> {
+        self.records.last().map(|r| r.output.as_slice())
+    }
+
+    /// Per-sample output shapes of all leaves, in forward order.
+    pub fn leaf_outputs(&self) -> Vec<Vec<usize>> {
+        self.records.iter().map(|r| r.output.clone()).collect()
+    }
+
+    /// Multi-line human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!("  {:?} -> {:?}  {}\n", r.input, r.output, r.layer));
+        }
+        out
+    }
+}
+
+/// Shape-checks a rank requirement, producing the workspace error shape.
+pub(crate) fn require_rank(name: &str, input: &[usize], rank: usize) -> Result<(), Error> {
+    if input.len() != rank {
+        return Err(Error::ShapeMismatch {
+            name: format!("{name} (rank)"),
+            expected: vec![rank],
+            actual: vec![input.len()],
+        });
+    }
+    Ok(())
+}
+
+/// Checks that a conv/pool window fits the padded input, returning the
+/// output spatial size without risking the panic in
+/// [`pv_tensor::ConvGeometry::output_size`].
+pub(crate) fn checked_output_size(
+    name: &str,
+    g: pv_tensor::ConvGeometry,
+    h: usize,
+    w: usize,
+) -> Result<(usize, usize), Error> {
+    let (ph, pw) = (h + 2 * g.pad, w + 2 * g.pad);
+    if ph < g.kh || pw < g.kw {
+        return Err(Error::ShapeMismatch {
+            name: format!("{name} (window)"),
+            expected: vec![g.kh, g.kw],
+            actual: vec![ph, pw],
+        });
+    }
+    Ok(g.output_size(h, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_tensor::ConvGeometry;
+
+    #[test]
+    fn report_records_and_output() {
+        let mut rep = ShapeReport::default();
+        assert!(rep.output_shape().is_none());
+        rep.push("conv", &[3, 8, 8], &[16, 8, 8]);
+        rep.push("gap", &[16, 8, 8], &[16]);
+        assert_eq!(rep.output_shape(), Some(&[16][..]));
+        assert_eq!(rep.leaf_outputs(), vec![vec![16, 8, 8], vec![16]]);
+        let text = rep.render();
+        assert!(text.contains("conv") && text.contains("[16, 8, 8]"));
+    }
+
+    #[test]
+    fn rank_and_window_checks() {
+        assert!(require_rank("x", &[3, 8, 8], 3).is_ok());
+        let e = require_rank("x", &[8], 3).expect_err("rank mismatch");
+        assert!(matches!(e, Error::ShapeMismatch { .. }));
+        let g = ConvGeometry::new(3, 1, 0);
+        assert_eq!(checked_output_size("c", g, 8, 8).expect("fits"), (6, 6));
+        assert!(checked_output_size("c", g, 2, 2).is_err());
+    }
+}

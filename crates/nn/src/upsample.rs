@@ -29,6 +29,17 @@ impl NearestUpsample {
 }
 
 impl Layer for NearestUpsample {
+    fn infer_shape(
+        &self,
+        input: &[usize],
+        report: &mut crate::shape::ShapeReport,
+    ) -> Result<Vec<usize>, pv_tensor::Error> {
+        crate::shape::require_rank("upsample", input, 3)?;
+        let out = vec![input[0], input[1] * self.factor, input[2] * self.factor];
+        report.push(self.describe(), input, &out);
+        Ok(out)
+    }
+
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(x.ndim(), 4, "NearestUpsample expects NCHW input");
         let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));

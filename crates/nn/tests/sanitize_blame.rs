@@ -1,0 +1,71 @@
+//! Integration tests for the `sanitize` feature: a poisoned parameter must
+//! abort the forward (or optimizer) sweep with a blame report naming the
+//! offending layer. Run with `cargo test -p pv-nn --features sanitize`.
+
+use pv_nn::{models, sgd_step, Mode};
+use pv_tensor::Tensor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f` and returns the panic payload as a string.
+fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+    let err = catch_unwind(f).expect_err("expected a sanitizer panic");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a string")
+}
+
+#[test]
+fn clean_network_forwards_under_sanitizer() {
+    let mut net = models::mlp("clean", 4, &[6], 3, false, 7);
+    let x = Tensor::ones(&[2, 4]);
+    let y = net.forward(&x, Mode::Eval);
+    assert_eq!(y.shape(), &[2, 3]);
+}
+
+#[test]
+fn poisoned_weight_blames_the_layer() {
+    let mut net = models::mlp("poisoned", 4, &[6], 3, false, 7);
+    net.visit_prunable(&mut |l| {
+        if l.label() == "fc0" {
+            l.weight_mut().value.data_mut()[0] = f32::NAN;
+        }
+    });
+    let x = Tensor::ones(&[2, 4]);
+    let msg = panic_message(AssertUnwindSafe(move || {
+        let _ = net.forward(&x, Mode::Eval);
+    }));
+    assert!(msg.contains("numeric sanitizer"), "{msg}");
+    assert!(msg.contains("forward output"), "{msg}");
+    assert!(msg.contains("linear(4->6)"), "blame names the layer: {msg}");
+}
+
+#[test]
+fn non_finite_input_is_reported_at_the_network_boundary() {
+    let mut net = models::mlp("badinput", 4, &[6], 3, false, 7);
+    let mut x = Tensor::ones(&[2, 4]);
+    x.data_mut()[3] = f32::INFINITY;
+    let msg = panic_message(AssertUnwindSafe(move || {
+        let _ = net.forward(&x, Mode::Eval);
+    }));
+    assert!(msg.contains("forward input"), "{msg}");
+    assert!(msg.contains("badinput"), "{msg}");
+}
+
+#[test]
+fn poisoned_gradient_blames_the_parameter() {
+    let mut net = models::mlp("badgrad", 4, &[6], 3, false, 7);
+    let x = Tensor::ones(&[2, 4]);
+    let y = net.forward(&x, Mode::Train);
+    let _ = net.backward(&Tensor::ones(y.shape()));
+    net.visit_params_named(&mut |name, p| {
+        if name == "fc0.bias" {
+            p.grad.data_mut()[0] = f32::NAN;
+        }
+    });
+    let msg = panic_message(AssertUnwindSafe(move || {
+        sgd_step(&mut net, 0.1, 0.9, false, 0.0);
+    }));
+    assert!(msg.contains("gradient"), "{msg}");
+    assert!(msg.contains("fc0.bias"), "blame names the parameter: {msg}");
+}

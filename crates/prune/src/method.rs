@@ -64,6 +64,7 @@ pub(crate) fn prime_sensitivities(net: &mut Network, ctx: &PruneContext) {
     let batch = ctx
         .sensitivity_batch
         .as_ref()
+        // pv-analyze: allow(lib-panic) -- documented contract: data-informed methods require a prepared sensitivity batch
         .expect("data-informed pruning requires a sensitivity batch");
     let _ = net.forward(batch, Mode::Eval);
 }
@@ -104,6 +105,7 @@ pub(crate) fn apply_unstructured_prune(net: &mut Network, mut entries: Vec<Score
         return;
     }
     let k = k.min(entries.len());
+    // pv-analyze: allow(lib-panic) -- saliency scores are finite by construction
     entries.select_nth_unstable_by(k - 1, |a, b| a.2.partial_cmp(&b.2).expect("NaN score"));
     // group doomed indices per layer
     let mut per_layer: std::collections::HashMap<usize, Vec<usize>> =

@@ -74,6 +74,7 @@ impl PruneMethod for Sipp {
         let entries = collect_active_scores(net, |_, layer| {
             let sens = layer
                 .input_sensitivity()
+                // pv-analyze: allow(lib-panic) -- documented contract: prepare() runs the sensitivity forward before scoring
                 .expect("sensitivity batch did not reach this layer");
             let cols = layer.unit_len();
             let a = sens.data();

@@ -11,6 +11,11 @@
 //! serial inner loops, so results are bitwise identical for any
 //! `PV_NUM_THREADS`.
 
+// pv-analyze: allow-file(hotpath-slice-index) -- im2col/col2im index into
+// per-sample chunk views whose bounds are established by the tiling
+// arithmetic above each loop; iterator rewrites measurably regress the
+// kernels (see BENCH_kernels.json)
+
 use crate::linalg::{matmul, matmul_a_bt, matmul_at_b};
 use crate::par::{parallel_for_chunks_mut, parallel_for_chunks_mut2, worth_parallelizing};
 use crate::tensor::Tensor;

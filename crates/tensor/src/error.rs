@@ -37,6 +37,9 @@ pub enum Error {
     UnknownMethod(String),
     /// A model preset name not in the zoo.
     UnknownPreset(String),
+    /// The static-analysis gate failed (`pv analyze`): the message
+    /// summarizes deny/warn counts; the full findings are on stdout.
+    Analysis(String),
 }
 
 impl Error {
@@ -62,6 +65,7 @@ impl fmt::Display for Error {
             Error::CorruptCheckpoint(msg) => write!(f, "corrupt checkpoint: {msg}"),
             Error::UnknownMethod(name) => write!(f, "unknown pruning method '{name}'"),
             Error::UnknownPreset(name) => write!(f, "unknown model preset '{name}'"),
+            Error::Analysis(msg) => write!(f, "analysis failed: {msg}"),
         }
     }
 }

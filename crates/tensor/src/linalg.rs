@@ -8,6 +8,11 @@
 //! `k` order regardless of thread count, so results are bitwise identical
 //! under any `PV_NUM_THREADS`.
 
+// pv-analyze: allow-file(hotpath-slice-index) -- the cache-blocked products
+// index into row slices whose bounds are established by the blocking
+// arithmetic; iterator rewrites measurably regress the kernels (see
+// BENCH_kernels.json)
+
 use crate::par::{num_threads, parallel_for_chunks_mut, worth_parallelizing};
 use crate::tensor::Tensor;
 

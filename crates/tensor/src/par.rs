@@ -253,6 +253,7 @@ where
             })
             .collect();
         for h in handles {
+            // pv-analyze: allow(hotpath-panic) -- propagating a worker panic preserves the original panic message
             out.extend(h.join().expect("pv-par worker panicked"));
         }
     });
@@ -303,6 +304,7 @@ where
             })
             .collect();
         for h in handles {
+            // pv-analyze: allow(hotpath-panic) -- propagating a worker panic preserves the original panic message
             out.extend(h.join().expect("pv-par worker panicked"));
         }
     });

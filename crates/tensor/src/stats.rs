@@ -40,6 +40,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
     let mut sorted = xs.to_vec();
+    // pv-analyze: allow(lib-panic) -- metric inputs are finite by construction in this workspace
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;

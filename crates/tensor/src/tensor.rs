@@ -152,6 +152,21 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Counts of `(NaN, ±Inf)` elements — the probe behind the `sanitize`
+    /// feature's per-layer numeric checks.
+    pub fn non_finite_counts(&self) -> (usize, usize) {
+        let mut nan = 0;
+        let mut inf = 0;
+        for &v in &self.data {
+            if v.is_nan() {
+                nan += 1;
+            } else if v.is_infinite() {
+                inf += 1;
+            }
+        }
+        (nan, inf)
+    }
+
     /// Consumes the tensor, returning its buffer.
     pub fn into_vec(self) -> Vec<f32> {
         self.data

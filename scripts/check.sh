@@ -16,6 +16,22 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> pv analyze --deny-warnings (workspace invariant linter + pragma audit)"
+cargo run -q --release -p pruneval-cli -- analyze --deny-warnings
+
+echo "==> pv analyze exits non-zero on a seeded violation (gate self-test)"
+if cargo run -q --release -p pruneval-cli -- analyze \
+    --root crates/analyze/tests/selftest >/dev/null 2>&1; then
+    echo "ERROR: analyze did not fail on the violation fixture" >&2
+    exit 1
+fi
+
+echo "==> numeric sanitizer smoke test (pv-nn --features sanitize)"
+cargo test -q -p pv-nn --features sanitize
+
+echo "==> static-analysis micro-bench (BENCH_analyze.json)"
+cargo bench -q -p pv-bench --bench analyze
+
 echo "==> gated property tests (--all-features)"
 cargo test -q --workspace --all-features
 

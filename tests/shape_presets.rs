@@ -1,0 +1,90 @@
+//! Static shape checker vs. reality: for every zoo preset the shapes
+//! propagated by `Network::infer_shapes` must agree with an actual forward
+//! pass, and impossible inputs must be rejected *statically* (no
+//! activations allocated).
+
+use pruneval::{preset, Scale};
+use pv_nn::models;
+use pv_tensor::Error;
+
+const PRESETS: &[&str] = &[
+    "resnet20",
+    "resnet56",
+    "resnet110",
+    "vgg16",
+    "wrn16-8",
+    "densenet22",
+    "resnet18",
+    "resnet101",
+    "mlp",
+];
+
+#[test]
+fn every_preset_infers_shapes_matching_forward() {
+    for name in PRESETS {
+        let cfg = preset(name, Scale::Smoke).expect("known preset");
+        let mut net = cfg.arch.build(&cfg.name, &cfg.task, 0);
+        let report = net.infer_shapes().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!report.records.is_empty(), "{name}: no leaf layers");
+
+        // the first leaf consumes the declared input shape
+        assert_eq!(
+            report.records[0].input,
+            net.input_shape(),
+            "{name}: first leaf input"
+        );
+
+        // the statically inferred output matches a real forward pass
+        let inferred = report.output_shape().expect("nonempty report").to_vec();
+        let logits = models::smoke_forward(&mut net, 2, 42);
+        assert_eq!(
+            &logits.shape()[1..],
+            inferred.as_slice(),
+            "{name}: inferred vs observed output shape"
+        );
+        assert_eq!(inferred[0], net.num_classes(), "{name}: class count");
+    }
+}
+
+#[test]
+fn segnet_inference_covers_dense_prediction_heads() {
+    let mut net = models::mini_segnet("seg", (1, 8, 8), 3, 4, 1);
+    let report = net.infer_shapes().expect("segnet shapes");
+    let inferred = report.output_shape().expect("nonempty").to_vec();
+    assert_eq!(inferred, vec![3, 8, 8]);
+    let logits = models::smoke_forward(&mut net, 2, 7);
+    assert_eq!(&logits.shape()[1..], inferred.as_slice());
+}
+
+#[test]
+fn wrong_input_shapes_are_rejected_statically() {
+    let cfg = preset("resnet20", Scale::Smoke).expect("known preset");
+    let net = cfg.arch.build(&cfg.name, &cfg.task, 0);
+
+    // wrong rank
+    let err = net.infer_shapes_for(&[16]).unwrap_err();
+    assert!(matches!(err, Error::ShapeMismatch { .. }), "{err:?}");
+
+    // wrong channel count
+    let mut shape = net.input_shape().to_vec();
+    shape[0] += 1;
+    let err = net.infer_shapes_for(&shape).unwrap_err();
+    assert!(matches!(err, Error::ShapeMismatch { .. }), "{err:?}");
+
+    // spatial size too small for an unpadded pooling window (the padded
+    // resnet stem tolerates tiny inputs; vgg's 2x2 maxpool does not)
+    let vgg = preset("vgg16", Scale::Smoke).expect("known preset");
+    let vgg_net = vgg.arch.build(&vgg.name, &vgg.task, 0);
+    let err = vgg_net.infer_shapes_for(&[vgg_net.input_shape()[0], 1, 1]);
+    assert!(err.is_err(), "1x1 input must not fit a 2x2 maxpool");
+}
+
+#[test]
+fn mlp_rejects_wrong_width_statically() {
+    let mut net = models::mlp("m", 16, &[8], 4, false, 3);
+    assert!(net.infer_shapes().is_ok());
+    let err = net.infer_shapes_for(&[17]).unwrap_err();
+    assert!(matches!(err, Error::ShapeMismatch { .. }), "{err:?}");
+    let logits = models::smoke_forward(&mut net, 3, 9);
+    assert_eq!(logits.shape(), &[3, 4]);
+}
