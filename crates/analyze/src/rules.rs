@@ -63,6 +63,12 @@ pub const RULES: &[RuleSpec] = &[
         summary: "no SystemTime/Instant::now/env reads in experiment code (breaks reproducibility)",
     },
     RuleSpec {
+        id: "wallclock-outside-obs",
+        default_level: Level::Deny,
+        scope: Scope::AllExceptCrates(&["obs", "cli", "bench", "core", "prune"]),
+        summary: "wall-clock reads go through the pv-obs Clock seam (core/prune fall under nondet-experiment)",
+    },
+    RuleSpec {
         id: "print-outside-cli",
         default_level: Level::Deny,
         scope: Scope::AllExceptCrates(&["cli", "bench"]),
@@ -145,6 +151,15 @@ pub fn analyze_source(rel: &str, src: &str, cfg: &Config) -> FileAnalysis {
                 "nondet-experiment",
                 line,
                 format!("{what} makes experiment code nondeterministic"),
+            ));
+        }
+    }
+    if active("wallclock-outside-obs") {
+        for (line, what) in wall_clocks(&lexed.tokens, &mask) {
+            raw.push((
+                "wallclock-outside-obs",
+                line,
+                format!("{what} read outside the pv-obs Clock seam"),
             ));
         }
     }
@@ -434,6 +449,31 @@ fn nondeterminism(toks: &[Tok], mask: &[bool]) -> Vec<(u32, String)> {
     out
 }
 
+/// Wall-clock reads (`Instant::now` / `SystemTime`) only — unlike
+/// [`nondeterminism`] this deliberately ignores environment reads, which
+/// library crates may perform; time must come through the pv-obs `Clock`
+/// seam so tests can inject a `FakeClock`.
+fn wall_clocks(toks: &[Tok], mask: &[bool]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] {
+            continue;
+        }
+        if toks[i].is_ident("SystemTime") {
+            out.push((toks[i].line, "SystemTime".to_string()));
+        }
+        if i + 3 < toks.len()
+            && toks[i].is_ident("Instant")
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("now")
+        {
+            out.push((toks[i + 3].line, "Instant::now".to_string()));
+        }
+    }
+    out
+}
+
 const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
 
 /// `println!`-family macros.
@@ -668,6 +708,34 @@ mod tests {
         assert!(run("crates/cli/src/main.rs", src)
             .iter()
             .all(|x| x.rule != "nondet-experiment"));
+    }
+
+    #[test]
+    fn wallclock_reads_flagged_outside_obs() {
+        let src = "fn f() { let _t = Instant::now(); let _w = std::time::SystemTime::now(); }";
+        let f = run("crates/metrics/src/function_distance.rs", src);
+        assert_eq!(
+            f.iter()
+                .filter(|x| x.rule == "wallclock-outside-obs")
+                .count(),
+            2
+        );
+        // the Clock seam itself and the wall-clock edges are exempt
+        for exempt in [
+            "crates/obs/src/clock.rs",
+            "crates/cli/src/commands.rs",
+            "crates/bench/src/lib.rs",
+        ] {
+            assert!(run(exempt, src)
+                .iter()
+                .all(|x| x.rule != "wallclock-outside-obs"));
+        }
+        // env reads are not this rule's business
+        let env = run(
+            "crates/metrics/src/function_distance.rs",
+            "fn f() { let _ = std::env::var(\"PV_SCALE\"); }",
+        );
+        assert!(env.iter().all(|x| x.rule != "wallclock-outside-obs"));
     }
 
     #[test]

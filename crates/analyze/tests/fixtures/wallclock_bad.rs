@@ -1,0 +1,8 @@
+//! Fixture: wall-clock reads in a library crate must go through pv-obs.
+
+fn measure() {
+    let t0 = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _scale = std::env::var("PV_SCALE"); // env reads are another rule's business
+    let _ = (t0, wall);
+}

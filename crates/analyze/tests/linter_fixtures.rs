@@ -76,6 +76,30 @@ fn nondeterminism_in_experiment_crates() {
 }
 
 #[test]
+fn wallclock_reads_outside_obs() {
+    let src = include_str!("fixtures/wallclock_bad.rs");
+    let f = run("crates/metrics/src/function_distance.rs", src);
+    assert_eq!(
+        f,
+        vec![
+            ("wallclock-outside-obs".to_string(), 4, Level::Deny),
+            ("wallclock-outside-obs".to_string(), 5, Level::Deny),
+        ],
+        "{f:?}"
+    );
+    // obs owns the Clock seam; cli and bench sit at the wall-clock edge
+    assert_eq!(run("crates/obs/src/clock.rs", src), vec![]);
+    assert_eq!(run("crates/bench/src/lib.rs", src), vec![]);
+    // core is policed by nondet-experiment instead — no double report
+    let core = run("crates/core/src/experiment.rs", src);
+    assert!(
+        core.iter().all(|(r, _, _)| r != "wallclock-outside-obs"),
+        "{core:?}"
+    );
+    assert!(core.iter().any(|(r, _, _)| r == "nondet-experiment"));
+}
+
+#[test]
 fn println_outside_cli() {
     let src = include_str!("fixtures/print_bad.rs");
     let f = run("crates/metrics/src/report.rs", src);

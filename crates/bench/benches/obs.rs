@@ -1,0 +1,176 @@
+//! Observability micro-benchmarks: span open/close overhead, counter and
+//! histogram appends, and exporter throughput — the cost budget that lets
+//! pv-obs instrumentation stay always-on in the CLI.
+//!
+//! Emits `BENCH_obs.json` in the working directory so future PRs can track
+//! recorder overhead.
+
+use pv_obs::{FakeClock, Recorder};
+use std::time::Instant;
+
+/// One measurement row.
+struct BenchRow {
+    name: String,
+    /// Work per run (spans recorded, samples appended, bytes rendered).
+    work: u64,
+    unit: &'static str,
+    secs: f64,
+}
+
+/// Median-of-runs wall time for one invocation of `f`.
+fn time_secs<O>(f: &mut dyn FnMut() -> O, runs: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    samples[samples.len() / 2]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(rows: &[BenchRow]) {
+    let mut out = String::from("{\n  \"benchmark\": \"obs\",\n  \"unit\": \"seconds\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"work\": {}, \"work_unit\": \"{}\", \"secs\": {:.6e}}}{}\n",
+            json_escape(&r.name),
+            r.work,
+            r.unit,
+            r.secs,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_obs.json", &out).expect("write BENCH_obs.json");
+}
+
+/// A populated recorder: `spans` flat spans plus counter/gauge/histogram
+/// traffic, driven by a self-stepping fake clock.
+fn populated(spans: usize) -> Recorder {
+    let rec = Recorder::with_capacity(FakeClock::stepping(17), spans + 8);
+    for i in 0..spans {
+        let _g = rec.span("bench", "work");
+        rec.counter_add("bench/items", 1.0);
+        if i % 16 == 0 {
+            rec.gauge_set("bench/load", i as f64);
+        }
+        rec.histogram_ns("bench/latency", (i as u64 % 20_000) + 1);
+    }
+    rec
+}
+
+fn main() {
+    pv_bench::banner(
+        "obs: recorder + exporter overhead",
+        "always-on tracing must cost nanoseconds per span, not microseconds",
+    );
+    let mut rows: Vec<BenchRow> = Vec::new();
+
+    // -- span open/close -------------------------------------------------
+    const SPANS: usize = 100_000;
+    let secs = time_secs(
+        &mut || {
+            let rec = Recorder::with_capacity(FakeClock::stepping(1), SPANS + 8);
+            for _ in 0..SPANS {
+                let _g = rec.span("bench", "s");
+            }
+            rec
+        },
+        9,
+    );
+    println!(
+        "span open/close: {:.0} ns/span over {SPANS} spans",
+        secs * 1e9 / SPANS as f64
+    );
+    rows.push(BenchRow {
+        name: "span open/close".to_string(),
+        work: SPANS as u64,
+        unit: "spans",
+        secs,
+    });
+
+    // -- counter / histogram appends -------------------------------------
+    const SAMPLES: usize = 200_000;
+    let secs = time_secs(
+        &mut || {
+            let rec = Recorder::new(FakeClock::stepping(1));
+            for _ in 0..SAMPLES {
+                rec.counter_add("bench/c", 1.0);
+            }
+            rec
+        },
+        9,
+    );
+    println!("counter_add: {:.0} ns/sample", secs * 1e9 / SAMPLES as f64);
+    rows.push(BenchRow {
+        name: "counter_add".to_string(),
+        work: SAMPLES as u64,
+        unit: "samples",
+        secs,
+    });
+    let secs = time_secs(
+        &mut || {
+            let rec = Recorder::new(FakeClock::stepping(1));
+            for i in 0..SAMPLES {
+                rec.histogram_ns("bench/h", i as u64 + 1);
+            }
+            rec
+        },
+        9,
+    );
+    println!("histogram_ns: {:.0} ns/sample", secs * 1e9 / SAMPLES as f64);
+    rows.push(BenchRow {
+        name: "histogram_ns".to_string(),
+        work: SAMPLES as u64,
+        unit: "samples",
+        secs,
+    });
+
+    // -- exporters --------------------------------------------------------
+    let snap = populated(20_000).snapshot();
+    let chrome_bytes = snap.to_chrome_trace().len() as u64;
+    let secs = time_secs(&mut || snap.to_chrome_trace(), 9);
+    println!(
+        "to_chrome_trace: {:.1} MB/s ({} KiB output)",
+        chrome_bytes as f64 / secs / 1e6,
+        chrome_bytes / 1024
+    );
+    rows.push(BenchRow {
+        name: "to_chrome_trace 20k spans".to_string(),
+        work: chrome_bytes,
+        unit: "bytes",
+        secs,
+    });
+    let json_bytes = snap.to_json().len() as u64;
+    let secs = time_secs(&mut || snap.to_json(), 9);
+    println!(
+        "to_json: {:.1} MB/s ({} KiB output)",
+        json_bytes as f64 / secs / 1e6,
+        json_bytes / 1024
+    );
+    rows.push(BenchRow {
+        name: "to_json 20k spans".to_string(),
+        work: json_bytes,
+        unit: "bytes",
+        secs,
+    });
+
+    // determinism cross-check: the same fake-clock workload must serialize
+    // byte-identically (the full suite lives in crates/obs/tests)
+    assert_eq!(
+        populated(512).snapshot().to_chrome_trace(),
+        populated(512).snapshot().to_chrome_trace(),
+        "fake-clock workload must serialize deterministically"
+    );
+    println!("determinism cross-check passed (512-span workload, byte-equal)");
+
+    write_json(&rows);
+    println!("wrote BENCH_obs.json ({} rows)", rows.len());
+}

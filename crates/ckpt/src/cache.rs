@@ -53,11 +53,14 @@ impl ArtifactCache {
 
     /// Loads and CRC-validates an artifact.
     pub fn load(&self, key: &str, file: &str) -> Result<Checkpoint> {
+        let _span = pv_obs::span("ckpt", "cache_load");
         Checkpoint::load(self.path_for(key, file))
     }
 
     /// Atomically stores an artifact, creating directories as needed.
     pub fn store(&self, key: &str, file: &str, ckpt: &Checkpoint) -> Result<()> {
+        let _span = pv_obs::span("ckpt", "cache_store");
+        pv_obs::counter_add("ckpt/cache_store", 1.0);
         ckpt.save(self.path_for(key, file))
     }
 

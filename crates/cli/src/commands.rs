@@ -17,6 +17,7 @@ use pv_metrics::TextTable;
 use pv_prune::{all_methods, method_by_name, PruneMethod};
 use pv_tensor::Rng;
 use std::path::Path;
+use std::time::Duration;
 
 const PRESETS: [&str; 9] = [
     "resnet20",
@@ -57,26 +58,32 @@ fn cache_of(args: &ParsedArgs) -> Option<ArtifactCache> {
 }
 
 /// Builds (or resumes from the cache) the family a command operates on.
+///
+/// Timing comes from the pv-obs clock (a span plus its printed duration),
+/// so the console report and `--trace` output measure the same interval.
 fn family_of(
     cfg: &ExperimentConfig,
     method: &dyn PruneMethod,
     rep: usize,
     cache: Option<&ArtifactCache>,
 ) -> Result<StudyFamily, Error> {
-    let t0 = std::time::Instant::now();
+    let t0_ns = pv_obs::now_ns();
     let opts = FamilyBuildOptions {
         rep,
         robust: None,
         cache,
     };
-    let family = build_family_with(cfg, method, &opts)?;
+    let family = {
+        let _span = pv_obs::span("cli", "family_of");
+        build_family_with(cfg, method, &opts)?
+    };
+    let elapsed = Duration::from_nanos(pv_obs::now_ns().saturating_sub(t0_ns));
     match cache {
         Some(c) => println!(
-            "family ready in {:.1?} (cache: {})\n",
-            t0.elapsed(),
+            "family ready in {elapsed:.1?} (cache: {})\n",
             c.root().display()
         ),
-        None => println!("family built in {:.1?}\n", t0.elapsed()),
+        None => println!("family built in {elapsed:.1?}\n"),
     }
     Ok(family)
 }
@@ -218,6 +225,71 @@ fn write_csv(
     Ok(())
 }
 
+/// `pruneval fig2`: the paper's Figure 2 — one family's prune-accuracy
+/// curves on the nominal and shifted test distributions, side by side.
+///
+/// Defaults to the Smoke scale and an artifact cache under
+/// `target/pv-cache` (pass `--cache-dir off` to disable), so the command
+/// doubles as the observability demo: `pruneval fig2 --trace out.json`
+/// emits a chrome trace with nested spans from core/nn/tensor plus loss
+/// and cache-hit counter series.
+pub fn fig2(args: &ParsedArgs) -> Result<(), Error> {
+    let scale = if args.has("scale") {
+        scale_of(args)?
+    } else {
+        Scale::Smoke
+    };
+    let (model, cfg) = preset_of(args, scale)?;
+    let method = method_of(args)?;
+    let cache = match args.get_or("cache-dir", "target/pv-cache") {
+        "off" => None,
+        dir => Some(ArtifactCache::new(dir)),
+    };
+    println!(
+        "fig2: {model} / {} at {scale:?} — prune-accuracy curves across distributions",
+        method.name()
+    );
+    let mut family = family_of(&cfg, method.as_ref(), 0, cache.as_ref())?;
+
+    let dists = [
+        Distribution::Nominal,
+        Distribution::AltTestSet,
+        Distribution::Noise(0.1),
+    ];
+    let curves: Vec<_> = dists.iter().map(|d| family.curve_on(d, 1)).collect();
+    let header: Vec<String> = std::iter::once("PR %".to_string())
+        .chain(dists.iter().map(|d| format!("{} err %", d.label())))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    let unpruned: Vec<String> = std::iter::once("0.0".to_string())
+        .chain(
+            curves
+                .iter()
+                .map(|c| format!("{:.2}", c.unpruned_error_pct)),
+        )
+        .collect();
+    table.try_add_row(unpruned)?;
+    for (i, pm) in family.pruned.iter().enumerate() {
+        let row: Vec<String> = std::iter::once(format!("{:.1}", 100.0 * pm.achieved_ratio))
+            .chain(curves.iter().map(|c| format!("{:.2}", c.points[i].1)))
+            .collect();
+        table.try_add_row(row)?;
+    }
+    println!("{}", table.render());
+
+    let delta = args.get_num("delta", cfg.delta_pct)?;
+    println!("prune potential (delta {delta}%):");
+    for (d, c) in dists.iter().zip(&curves) {
+        println!(
+            "  {:<14} {:5.1}%",
+            d.label(),
+            100.0 * c.prune_potential(delta)
+        );
+    }
+    Ok(())
+}
+
 /// `pruneval potential`.
 pub fn potential(args: &ParsedArgs) -> Result<(), Error> {
     let scale = scale_of(args)?;
@@ -327,9 +399,13 @@ pub fn segstudy(args: &ParsedArgs) -> Result<(), Error> {
         "segmentation study at {scale:?}: {} object classes, {} train images",
         cfg.task.object_classes, cfg.n_train
     );
-    let t0 = std::time::Instant::now();
-    let mut study = build_seg_family(&cfg, method.as_ref());
-    println!("family built in {:.1?}\n", t0.elapsed());
+    let t0_ns = pv_obs::now_ns();
+    let mut study = {
+        let _span = pv_obs::span("cli", "segstudy_build");
+        build_seg_family(&cfg, method.as_ref())
+    };
+    let elapsed = Duration::from_nanos(pv_obs::now_ns().saturating_sub(t0_ns));
+    println!("family built in {elapsed:.1?}\n");
     let curve = study.iou_curve(None, 1);
     println!(
         "[{}] parent IoU error {:.2}%, pixel error {:.2}%",

@@ -4,12 +4,17 @@
 //! ```text
 //! pruneval list
 //! pruneval study   --model resnet20 --method WT [--scale quick] [--csv out.csv]
+//! pruneval fig2    --model resnet20 --method WT [--trace out.json]
 //! pruneval potential --model resnet20 --method WT --dist Gauss:3 [--delta 0.5]
 //! pruneval save    --model resnet20 --method WT --out family.pvck
 //! pruneval load    --model resnet20 --in family.pvck
 //! pruneval corrupt --corruption Gauss --severity 3 --out target/corrupt
 //! pruneval segstudy --method WT [--scale quick]
 //! ```
+//!
+//! Any command accepts `--trace <path>` (write a chrome-trace JSON of the
+//! run) and `--metrics` (print the collected counters/gauges/histograms);
+//! both are served by the `pv-obs` recorder installed at startup.
 
 mod args;
 mod commands;
@@ -33,6 +38,11 @@ COMMANDS:
                   --csv <path>        also write the curve as CSV
                   --cache-dir <dir>   resume/skip training via the artifact
                                       cache (bitwise identical to a fresh run)
+    fig2        the paper's Figure 2: one family's prune-accuracy curves on
+                the nominal, alternative, and noise test distributions
+                  --model, --method, --delta as for study
+                  --scale <s>         (default smoke)
+                  --cache-dir <dir>   (default target/pv-cache; 'off' disables)
     potential   prune potential on one distribution
                   --model, --method, --scale, --cache-dir as above
                   --dist <spec>       nominal | alt | noise:<eps> |
@@ -65,11 +75,19 @@ COMMANDS:
                   --model <preset>    (default resnet20)
                   --scale <s>         smoke | quick | full (default quick)
 
+GLOBAL OPTIONS (any command):
+    --trace <path>   write a chrome://tracing-compatible JSON trace of the run
+    --metrics        print collected counters, gauges, and kernel-latency
+                     histograms after the command finishes
+
 ENVIRONMENT:
     PV_SCALE    default scale when --scale is not given
 ";
 
 fn main() -> ExitCode {
+    // The binary is the composition edge: install the wall-clock recorder
+    // here so every library span/counter below records into it.
+    pv_obs::install(pv_obs::Recorder::new(pv_obs::MonotonicClock::new()));
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let parsed = match args::parse(&raw) {
         Ok(p) => p,
@@ -81,6 +99,7 @@ fn main() -> ExitCode {
     let result = match parsed.command.as_str() {
         "list" => commands::list(),
         "study" => commands::study(&parsed),
+        "fig2" => commands::fig2(&parsed),
         "potential" => commands::potential(&parsed),
         "save" => commands::save(&parsed),
         "load" => commands::load(&parsed),
@@ -94,6 +113,7 @@ fn main() -> ExitCode {
         }
         other => Err(Error::Parse(format!("unknown command '{other}'"))),
     };
+    let result = result.and_then(|()| export_observability(&parsed));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -101,4 +121,30 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Honors the global `--trace <path>` / `--metrics` options after a
+/// successful command.
+fn export_observability(parsed: &args::ParsedArgs) -> Result<(), Error> {
+    let trace = parsed.options.get("trace");
+    let metrics = parsed.has("metrics");
+    if trace.is_none() && !metrics {
+        return Ok(());
+    }
+    let Some(rec) = pv_obs::global() else {
+        return Ok(());
+    };
+    let snap = rec.snapshot();
+    if let Some(path) = trace {
+        snap.save_chrome_trace(std::path::Path::new(path))?;
+        println!(
+            "trace written to {path} ({} spans, {} counter series)",
+            snap.spans.len(),
+            snap.counters.len() + snap.gauges.len()
+        );
+    }
+    if metrics {
+        print!("{}", snap.summary());
+    }
+    Ok(())
 }

@@ -7,7 +7,7 @@ use crate::config::ExperimentConfig;
 use crate::distributions::Distribution;
 use pv_ckpt::{checkpoint_to_network, network_to_checkpoint, ArtifactCache};
 use pv_data::{corruption_augment, generate_split, CorruptionSplit, Dataset};
-use pv_metrics::{excess_error_difference, PruneAccuracyCurve};
+use pv_metrics::{try_excess_error_difference, PruneAccuracyCurve};
 use pv_nn::{train, Network, TrainConfig};
 use pv_prune::{PruneContext, PruneMethod};
 use pv_tensor::error::Result;
@@ -166,9 +166,11 @@ fn cache_load(
         return Ok(false);
     };
     if !cache.contains(key, file) {
+        pv_obs::counter_add("ckpt/cache_miss", 1.0);
         return Ok(false);
     }
     checkpoint_to_network(&cache.load(key, file)?, net)?;
+    pv_obs::counter_add("ckpt/cache_hit", 1.0);
     Ok(true)
 }
 
@@ -201,12 +203,19 @@ pub fn build_family_with(
     method: &dyn PruneMethod,
     opts: &FamilyBuildOptions<'_>,
 ) -> Result<StudyFamily> {
+    let _span = pv_obs::span("core", "build_family");
     let rep = opts.rep;
     let robust = opts.robust;
     let key = opts
         .cache
         .map(|_| family_cache_key(cfg, method.name(), rep, robust));
     let key = key.as_deref();
+    if key.is_some() {
+        // declare the series so a fully-warm (or fully-cold) run still
+        // exports both, with an explicit zero instead of a missing name
+        pv_obs::counter_add("ckpt/cache_hit", 0.0);
+        pv_obs::counter_add("ckpt/cache_miss", 0.0);
+    }
 
     let seed = cfg.rep_seed(rep);
     let (train_set, test_set) = generate_split(&cfg.task, cfg.n_train, cfg.n_test, seed);
@@ -227,6 +236,7 @@ pub fn build_family_with(
     let mut tc = cfg.train.clone();
     tc.seed = seed;
     if !cache_load(opts.cache, key, "parent", &mut parent)? {
+        let _span = pv_obs::span("core", "train_parent");
         train_with_optional_augment(
             &mut parent,
             &x,
@@ -240,6 +250,7 @@ pub fn build_family_with(
     }
     tc.seed = seed.wrapping_add(1);
     if !cache_load(opts.cache, key, "separate", &mut separate)? {
+        let _span = pv_obs::span("core", "train_separate");
         train_with_optional_augment(
             &mut separate,
             &x,
@@ -266,9 +277,13 @@ pub fn build_family_with(
     let mut net = parent.clone();
     let mut pruned = Vec::with_capacity(cfg.cycles);
     for (i, &target) in targets.iter().enumerate() {
+        let _cycle_span = pv_obs::span_dyn("core", || format!("cycle{i:02}"));
         let file = format!("cycle{i:02}");
         if !cache_load(opts.cache, key, &file, &mut net)? {
-            method.prune(&mut net, cfg.per_cycle_ratio, &ctx);
+            {
+                let _span = pv_obs::span("core", "prune");
+                method.prune(&mut net, cfg.per_cycle_ratio, &ctx);
+            }
             let mut rc = cfg.train.clone();
             rc.seed = seed.wrapping_add(100 + i as u64);
             train_with_optional_augment(
@@ -352,6 +367,7 @@ impl StudyFamily {
         if dists.is_empty() {
             return Vec::new();
         }
+        let _span = pv_obs::span("core", "curves_on");
         let (task, test_set) = (&self.task, &self.test_set);
         let datasets: Vec<Dataset> =
             par::parallel_map(dists.len(), |i| dists[i].realize(task, test_set, eval_seed));
@@ -384,6 +400,31 @@ impl StudyFamily {
     /// shifted errors are averaged pointwise over `shifted_dists` before
     /// differencing against the nominal curve.
     ///
+    /// Fails with [`Error::Metric`] when `shifted_dists` is empty (the
+    /// curves themselves share a grid by construction, so the underlying
+    /// [`try_excess_error_difference`] cannot fail after that gate).
+    pub fn try_excess_error_series(
+        &mut self,
+        shifted_dists: &[Distribution],
+        eval_seed: u64,
+    ) -> Result<Vec<(f64, f64)>> {
+        if shifted_dists.is_empty() {
+            return Err(Error::Metric(
+                "excess-error series needs at least one shifted distribution".into(),
+            ));
+        }
+        let mut all = Vec::with_capacity(1 + shifted_dists.len());
+        all.push(Distribution::Nominal);
+        all.extend_from_slice(shifted_dists);
+        let mut curves = self.curves_on(&all, eval_seed);
+        let nominal = curves.remove(0);
+        let avg = try_average_curves(&curves)?;
+        try_excess_error_difference(&nominal, &avg)
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`StudyFamily::try_excess_error_series`].
+    ///
     /// # Panics
     ///
     /// Panics if `shifted_dists` is empty.
@@ -392,41 +433,55 @@ impl StudyFamily {
         shifted_dists: &[Distribution],
         eval_seed: u64,
     ) -> Vec<(f64, f64)> {
-        assert!(
-            !shifted_dists.is_empty(),
-            "need at least one shifted distribution"
-        );
-        let mut all = Vec::with_capacity(1 + shifted_dists.len());
-        all.push(Distribution::Nominal);
-        all.extend_from_slice(shifted_dists);
-        let mut curves = self.curves_on(&all, eval_seed);
-        let nominal = curves.remove(0);
-        let avg = average_curves(&curves);
-        excess_error_difference(&nominal, &avg)
+        match self.try_excess_error_series(shifted_dists, eval_seed) {
+            Ok(s) => s,
+            // pv-analyze: allow(lib-panic) -- documented panicking convenience wrapper over try_excess_error_series
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
 /// Pointwise average of curves measured on the same ratio grid.
 ///
-/// # Panics
-///
-/// Panics if `curves` is empty or the grids differ in length.
-pub fn average_curves(curves: &[PruneAccuracyCurve]) -> PruneAccuracyCurve {
-    assert!(!curves.is_empty(), "cannot average zero curves");
+/// Fails with [`Error::Metric`] when `curves` is empty and with
+/// [`Error::ShapeMismatch`] when the grids differ in length.
+pub fn try_average_curves(curves: &[PruneAccuracyCurve]) -> Result<PruneAccuracyCurve> {
+    let Some(first) = curves.first() else {
+        return Err(Error::Metric("cannot average zero curves".into()));
+    };
     let n = curves.len() as f64;
-    let grid_len = curves[0].points.len();
+    let grid_len = first.points.len();
     let unpruned = curves.iter().map(|c| c.unpruned_error_pct).sum::<f64>() / n;
     let mut points = Vec::with_capacity(grid_len);
     for i in 0..grid_len {
-        let ratio = curves[0].points[i].0;
+        let ratio = first.points[i].0;
         let mut err = 0.0;
         for c in curves {
-            assert_eq!(c.points.len(), grid_len, "curve grids differ");
+            if c.points.len() != grid_len {
+                return Err(Error::ShapeMismatch {
+                    name: "prune-accuracy curve grid".into(),
+                    expected: vec![grid_len],
+                    actual: vec![c.points.len()],
+                });
+            }
             err += c.points[i].1;
         }
         points.push((ratio, err / n));
     }
-    PruneAccuracyCurve::new(unpruned, points)
+    Ok(PruneAccuracyCurve::new(unpruned, points))
+}
+
+/// Panicking convenience wrapper around [`try_average_curves`].
+///
+/// # Panics
+///
+/// Panics if `curves` is empty or the grids differ in length.
+pub fn average_curves(curves: &[PruneAccuracyCurve]) -> PruneAccuracyCurve {
+    match try_average_curves(curves) {
+        Ok(c) => c,
+        // pv-analyze: allow(lib-panic) -- documented panicking convenience wrapper over try_average_curves
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Prune potentials of one family on many distributions (one figure-6 bar
@@ -585,6 +640,25 @@ mod tests {
             fam.excess_error_series(&[Distribution::Noise(0.2), Distribution::Noise(0.3)], 1);
         assert_eq!(series.len(), 3);
         assert!(series.iter().all(|(r, _)| (0.0..=1.0).contains(r)));
+    }
+
+    #[test]
+    fn try_average_curves_rejects_bad_input() {
+        assert!(matches!(try_average_curves(&[]), Err(Error::Metric(_))));
+        let a = PruneAccuracyCurve::new(1.0, vec![(0.5, 2.0)]);
+        let b = PruneAccuracyCurve::new(1.0, vec![(0.5, 2.0), (0.9, 3.0)]);
+        let err = try_average_curves(&[a, b]).unwrap_err();
+        assert!(matches!(err, Error::ShapeMismatch { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn try_excess_error_series_rejects_empty_dists() {
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 1;
+        cfg.cycles = 1;
+        let mut fam = build_family(&cfg, &WeightThresholding, 0, None);
+        let err = fam.try_excess_error_series(&[], 1).unwrap_err();
+        assert!(matches!(err, Error::Metric(_)), "{err:?}");
     }
 
     #[test]

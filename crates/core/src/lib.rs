@@ -60,8 +60,8 @@ pub use config::{ArchSpec, ExperimentConfig};
 pub use distributions::{parse_distributions, Distribution};
 pub use experiment::{
     average_curves, build_family, build_family_with, eval_error_pct, inputs_for,
-    overparameterization_study, potentials_by_distribution, try_inputs_for, FamilyBuildOptions,
-    OverparamMeasurement, PrunedModel, RobustTraining, StudyFamily, EVAL_BATCH,
+    overparameterization_study, potentials_by_distribution, try_average_curves, try_inputs_for,
+    FamilyBuildOptions, OverparamMeasurement, PrunedModel, RobustTraining, StudyFamily, EVAL_BATCH,
 };
 pub use pv_tensor::Error;
 pub use seg_experiment::{build_seg_family, SegExperimentConfig, SegPrunedModel, SegStudy};

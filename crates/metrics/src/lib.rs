@@ -11,7 +11,9 @@
 //!   analysis à la Carter et al. (Section 4, Figure 3);
 //! * [`PruneAccuracyCurve::prune_potential`] — Definition 1;
 //! * [`excess_error`] / [`excess_error_difference`] — Definition 2 and the
-//!   paper's `ê − e` statistic;
+//!   paper's `ê − e` statistic (fallible [`try_excess_error_difference`]
+//!   and [`PruneAccuracyCurve::try_error_at`] variants return the
+//!   workspace `Error` instead of panicking);
 //! * [`fit_through_origin`] — the OLS + bootstrap fit of Appendix D.5;
 //! * [`TextTable`] / [`mean_std_cell`] — the paper's table formatting.
 //!
@@ -43,6 +45,8 @@ pub use backselect::{
 };
 pub use class_impact::{class_impact, per_class_error, ClassImpact};
 pub use function_distance::{noise_similarity, similarity_sweep, NoiseSimilarity, SimilaritySweep};
-pub use prune_potential::{excess_error, excess_error_difference, PruneAccuracyCurve};
+pub use prune_potential::{
+    excess_error, excess_error_difference, try_excess_error_difference, PruneAccuracyCurve,
+};
 pub use regression::{fit_through_origin, OriginFit};
 pub use report::{mean_std_cell, series_lines, TextTable};

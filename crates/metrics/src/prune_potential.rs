@@ -1,5 +1,8 @@
 //! Prune potential (Definition 1) and excess error (Definition 2).
 
+use pv_tensor::error::Result;
+use pv_tensor::Error;
+
 /// A measured prune-accuracy curve: test error (percent) of pruned networks
 /// at increasing prune ratios, plus the unpruned reference error on the
 /// same distribution.
@@ -37,27 +40,43 @@ impl PruneAccuracyCurve {
     /// Linear interpolation of the error at an arbitrary ratio (clamped to
     /// the measured range).
     ///
-    /// # Panics
-    ///
-    /// Panics if the curve has no points.
-    pub fn error_at(&self, ratio: f64) -> f64 {
-        assert!(!self.points.is_empty(), "empty prune-accuracy curve");
-        if ratio <= self.points[0].0 {
-            return self.points[0].1;
+    /// Fails with [`Error::Metric`] when the curve has no points.
+    pub fn try_error_at(&self, ratio: f64) -> Result<f64> {
+        let Some(&(first_r, first_e)) = self.points.first() else {
+            return Err(Error::Metric(
+                "cannot interpolate an empty prune-accuracy curve".into(),
+            ));
+        };
+        if ratio <= first_r {
+            return Ok(first_e);
         }
         for pair in self.points.windows(2) {
             let (r0, e0) = pair[0];
             let (r1, e1) = pair[1];
             if ratio <= r1 {
+                // a duplicated grid ratio collapses to the later (post-sort)
+                // measurement rather than dividing by zero
                 if r1 == r0 {
-                    return e1;
+                    return Ok(e1);
                 }
                 let t = (ratio - r0) / (r1 - r0);
-                return e0 + t * (e1 - e0);
+                return Ok(e0 + t * (e1 - e0));
             }
         }
-        // pv-analyze: allow(lib-panic) -- non-emptiness is asserted at function entry
-        self.points.last().expect("nonempty").1
+        Ok(self.points.last().map_or(first_e, |p| p.1))
+    }
+
+    /// Panicking convenience wrapper around [`PruneAccuracyCurve::try_error_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve has no points.
+    pub fn error_at(&self, ratio: f64) -> f64 {
+        match self.try_error_at(ratio) {
+            Ok(e) => e,
+            // pv-analyze: allow(lib-panic) -- documented panicking convenience wrapper over try_error_at
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -75,29 +94,47 @@ pub fn excess_error(error_shifted_pct: f64, error_nominal_pct: f64) -> f64 {
 /// `nominal` and `shifted` must be measured at the same prune ratios (the
 /// unpruned errors are taken from the curves' references).
 ///
+/// Fails with [`Error::ShapeMismatch`] when the grids differ in length and
+/// with [`Error::Metric`] when they differ in ratio values.
+pub fn try_excess_error_difference(
+    nominal: &PruneAccuracyCurve,
+    shifted: &PruneAccuracyCurve,
+) -> Result<Vec<(f64, f64)>> {
+    if nominal.points.len() != shifted.points.len() {
+        return Err(Error::ShapeMismatch {
+            name: "excess-error ratio grid".into(),
+            expected: vec![nominal.points.len()],
+            actual: vec![shifted.points.len()],
+        });
+    }
+    let e_unpruned = excess_error(shifted.unpruned_error_pct, nominal.unpruned_error_pct);
+    let mut out = Vec::with_capacity(nominal.points.len());
+    for (&(rn, en), &(rs, es)) in nominal.points.iter().zip(&shifted.points) {
+        if (rn - rs).abs() >= 1e-9 {
+            return Err(Error::Metric(format!(
+                "excess-error ratio grids differ: {rn} vs {rs}"
+            )));
+        }
+        let e_pruned = excess_error(es, en);
+        out.push((rn, e_pruned - e_unpruned));
+    }
+    Ok(out)
+}
+
+/// Panicking convenience wrapper around [`try_excess_error_difference`].
+///
 /// # Panics
 ///
-/// Panics if the two curves were measured at different ratios.
+/// Panics if the two curves were measured at different ratio grids.
 pub fn excess_error_difference(
     nominal: &PruneAccuracyCurve,
     shifted: &PruneAccuracyCurve,
 ) -> Vec<(f64, f64)> {
-    assert_eq!(
-        nominal.points.len(),
-        shifted.points.len(),
-        "curves measured at different ratio grids"
-    );
-    let e_unpruned = excess_error(shifted.unpruned_error_pct, nominal.unpruned_error_pct);
-    nominal
-        .points
-        .iter()
-        .zip(&shifted.points)
-        .map(|(&(rn, en), &(rs, es))| {
-            assert!((rn - rs).abs() < 1e-9, "ratio grids differ: {rn} vs {rs}");
-            let e_pruned = excess_error(es, en);
-            (rn, e_pruned - e_unpruned)
-        })
-        .collect()
+    match try_excess_error_difference(nominal, shifted) {
+        Ok(d) => d,
+        // pv-analyze: allow(lib-panic) -- documented panicking convenience wrapper over try_excess_error_difference
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -175,5 +212,79 @@ mod tests {
     fn points_get_sorted() {
         let c = PruneAccuracyCurve::new(1.0, vec![(0.9, 3.0), (0.1, 1.0)]);
         assert_eq!(c.points[0].0, 0.1);
+    }
+
+    #[test]
+    fn try_error_at_reports_empty_curve() {
+        let c = PruneAccuracyCurve::new(1.0, vec![]);
+        let err = c.try_error_at(0.5).unwrap_err();
+        assert!(matches!(err, Error::Metric(_)), "{err:?}");
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn duplicate_ratios_collapse_to_later_measurement() {
+        // two cycles landing on the same achieved ratio: interpolation at
+        // or below the duplicate must stay finite and pick a measured value
+        let c = PruneAccuracyCurve::new(5.0, vec![(0.5, 6.0), (0.5, 7.0), (0.9, 9.0)]);
+        let at_dup = c.error_at(0.5);
+        assert!(
+            at_dup == 6.0 || at_dup == 7.0,
+            "measured value, got {at_dup}"
+        );
+        assert!(c.error_at(0.4).is_finite());
+        assert_eq!(c.error_at(0.4), 6.0); // clamped to the first point
+                                          // between the duplicate and the next point interpolation resumes
+        let mid = c.error_at(0.7);
+        assert!(mid > 7.0 - 1e-12 && mid < 9.0, "{mid}");
+        assert!(mid.is_finite());
+    }
+
+    #[test]
+    fn all_points_at_one_ratio_stay_finite() {
+        let c = PruneAccuracyCurve::new(5.0, vec![(0.5, 6.0), (0.5, 7.0)]);
+        for r in [0.0, 0.5, 1.0] {
+            assert!(c.error_at(r).is_finite(), "NaN/inf at ratio {r}");
+        }
+        assert_eq!(c.error_at(1.0), 7.0); // clamped high to the last point
+    }
+
+    #[test]
+    fn single_point_curve_is_constant() {
+        let c = PruneAccuracyCurve::new(5.0, vec![(0.6, 8.0)]);
+        assert_eq!(c.error_at(0.0), 8.0);
+        assert_eq!(c.error_at(0.6), 8.0);
+        assert_eq!(c.error_at(1.0), 8.0);
+        assert_eq!(c.prune_potential(5.0), 0.6);
+        assert_eq!(c.prune_potential(1.0), 0.0); // 8-5 > 1: nothing qualifies
+    }
+
+    #[test]
+    fn error_dip_requalifies_at_high_ratio() {
+        // non-monotone curve: error dips back under the margin at 0.9 after
+        // exceeding it at 0.7 — Definition 1 takes the *largest* qualifying
+        // ratio, so the dip wins
+        let c =
+            PruneAccuracyCurve::new(8.0, vec![(0.5, 8.2), (0.7, 9.5), (0.9, 8.3), (0.95, 12.0)]);
+        assert_eq!(c.prune_potential(0.5), 0.9);
+        // margin covering the 0.95 point takes the very top
+        assert_eq!(c.prune_potential(4.0), 0.95);
+        // margin excluding the dip falls back to 0.5
+        assert_eq!(c.prune_potential(0.25), 0.5);
+    }
+
+    #[test]
+    fn try_excess_error_difference_rejects_bad_grids() {
+        let a = PruneAccuracyCurve::new(1.0, vec![(0.5, 2.0)]);
+        let b = PruneAccuracyCurve::new(1.0, vec![(0.5, 2.0), (0.9, 3.0)]);
+        let err = try_excess_error_difference(&a, &b).unwrap_err();
+        assert!(matches!(err, Error::ShapeMismatch { .. }), "{err:?}");
+
+        let c = PruneAccuracyCurve::new(1.0, vec![(0.6, 2.0)]);
+        let err = try_excess_error_difference(&a, &c).unwrap_err();
+        assert!(matches!(err, Error::Metric(_)), "{err:?}");
+
+        let ok = try_excess_error_difference(&a, &a).expect("same grid");
+        assert_eq!(ok, vec![(0.5, 0.0)]);
     }
 }

@@ -202,12 +202,15 @@ pub fn train(
     assert!(n > 0, "empty training set");
     assert!(cfg.batch_size > 0, "batch_size must be positive");
 
+    let _train_span = pv_obs::span("nn", "train");
     let mut shuffle_rng = Rng::new(cfg.seed);
     let mut augment_rng = shuffle_rng.fork(0xA06);
     let mut report = TrainReport::default();
     let mut order: Vec<usize> = (0..n).collect();
 
     for epoch in 0..cfg.epochs {
+        let _epoch_span = pv_obs::span_dyn("nn", || format!("epoch{epoch:02}"));
+        let epoch_start_ns = pv_obs::now_ns();
         let lr = cfg.schedule.lr_at(epoch, cfg.epochs);
         shuffle_rng.shuffle(&mut order);
         let mut epoch_loss = 0.0f64;
@@ -233,11 +236,21 @@ pub fn train(
             let out = cross_entropy(&logits, &yb);
             net.backward(&out.grad_logits);
             sgd_step(net, lr, cfg.momentum, cfg.nesterov, cfg.weight_decay);
+            pv_obs::counter_add("train/steps", 1.0);
             epoch_loss += f64::from(out.loss);
             batches += 1;
             start = end;
         }
-        report.epoch_losses.push(epoch_loss / batches.max(1) as f64);
+        let mean_loss = epoch_loss / batches.max(1) as f64;
+        pv_obs::gauge_set("train/loss", mean_loss);
+        let epoch_ns = pv_obs::now_ns().saturating_sub(epoch_start_ns);
+        if epoch_ns > 0 {
+            pv_obs::gauge_set(
+                "train/steps_per_sec",
+                batches as f64 * 1e9 / epoch_ns as f64,
+            );
+        }
+        report.epoch_losses.push(mean_loss);
         report.epoch_lrs.push(lr);
     }
     report

@@ -1,0 +1,308 @@
+//! Trace exporters: chrome-trace JSON, a full-fidelity JSON schema, and a
+//! human-readable metrics summary.
+//!
+//! Everything here is hand-rolled (no serde): the workspace is
+//! dependency-free, and the two formats are small enough that a careful
+//! string builder with proper escaping is simpler than a vendored
+//! serializer.
+
+use crate::tracer::TraceSnapshot;
+use pv_tensor::Error;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Escapes a string for inclusion inside a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an `f64` as a JSON number; non-finite values (which JSON cannot
+/// represent) become `null`.
+fn json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Nanoseconds → chrome-trace microseconds with sub-µs precision kept.
+fn ts_us(ns: u64, out: &mut String) {
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    if frac == 0 {
+        let _ = write!(out, "{whole}");
+    } else {
+        let _ = write!(out, "{whole}.{frac:03}");
+    }
+}
+
+impl TraceSnapshot {
+    /// Serializes the snapshot in the chrome-trace "JSON object" format
+    /// (load via `chrome://tracing` or Perfetto). Spans become `"ph": "X"`
+    /// complete events (one `tid` per recording lane); counter and gauge
+    /// series become `"ph": "C"` counter events.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(256 + self.spans.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for s in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":\"");
+            escape_json(&s.name, &mut out);
+            out.push_str("\",\"cat\":\"");
+            escape_json(s.cat, &mut out);
+            out.push_str("\",\"ph\":\"X\",\"ts\":");
+            ts_us(s.start_ns, &mut out);
+            out.push_str(",\"dur\":");
+            ts_us(s.duration_ns(), &mut out);
+            let _ = write!(
+                out,
+                ",\"pid\":1,\"tid\":{},\"args\":{{\"depth\":{}}}}}",
+                s.lane, s.depth
+            );
+        }
+        for (kind, series) in [("counter", &self.counters), ("gauge", &self.gauges)] {
+            for (name, points) in series.iter() {
+                for (ts, value) in points {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str("{\"name\":\"");
+                    escape_json(name, &mut out);
+                    let _ = write!(out, "\",\"cat\":\"{kind}\",\"ph\":\"C\",\"ts\":");
+                    ts_us(*ts, &mut out);
+                    out.push_str(",\"pid\":1,\"args\":{\"value\":");
+                    json_f64(*value, &mut out);
+                    out.push_str("}}");
+                }
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Serializes the full snapshot (spans, counters, gauges, histograms,
+    /// drop count) in pv-obs's own JSON schema — lossless, unlike the
+    /// chrome-trace projection.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.spans.len() * 96);
+        let _ = write!(
+            out,
+            "{{\"schema\":\"pv-obs/v1\",\"dropped_spans\":{},\"spans\":[",
+            self.dropped_spans
+        );
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            escape_json(&s.name, &mut out);
+            out.push_str("\",\"cat\":\"");
+            escape_json(s.cat, &mut out);
+            let _ = write!(
+                out,
+                "\",\"lane\":{},\"depth\":{},\"start_ns\":{},\"end_ns\":{},\"seq\":{}}}",
+                s.lane, s.depth, s.start_ns, s.end_ns, s.seq
+            );
+        }
+        out.push_str("],");
+        for (key, series) in [("counters", &self.counters), ("gauges", &self.gauges)] {
+            let _ = write!(out, "\"{key}\":{{");
+            let mut first = true;
+            for (name, points) in series.iter() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('"');
+                escape_json(name, &mut out);
+                out.push_str("\":[");
+                for (j, (ts, value)) in points.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{ts},");
+                    json_f64(*value, &mut out);
+                    out.push(']');
+                }
+                out.push(']');
+            }
+            out.push_str("},");
+        }
+        out.push_str("\"histograms\":{");
+        let mut first = true;
+        for (name, h) in self.histograms.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            escape_json(name, &mut out);
+            let _ = write!(
+                out,
+                "\":{{\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":",
+                h.count, h.sum_ns, h.min_ns, h.max_ns
+            );
+            json_f64(h.mean_ns(), &mut out);
+            out.push_str(",\"buckets\":[");
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// A terse human-readable metrics digest for `--metrics` output: span
+    /// totals per category, final counter totals, last gauge values, and
+    /// histogram stats.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pv-obs summary: {} spans ({} dropped)",
+            self.spans.len(),
+            self.dropped_spans
+        );
+        let mut per_cat: std::collections::BTreeMap<&str, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for s in &self.spans {
+            let e = per_cat.entry(s.cat).or_insert((0, 0));
+            e.0 += 1;
+            // top-level spans only, so nested time is not double-counted
+            if s.depth == 0 {
+                e.1 += s.duration_ns();
+            }
+        }
+        for (cat, (n, ns)) in &per_cat {
+            let _ = writeln!(
+                out,
+                "  spans[{cat}]: {n} recorded, {:.3} ms at depth 0",
+                *ns as f64 / 1e6
+            );
+        }
+        for (name, points) in &self.counters {
+            if let Some((_, total)) = points.last() {
+                let _ = writeln!(out, "  counter {name}: {total}");
+            }
+        }
+        for (name, points) in &self.gauges {
+            if let Some((_, value)) = points.last() {
+                let _ = writeln!(out, "  gauge {name}: {value}");
+            }
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  hist {name}: n={} mean={:.3}us min={:.3}us max={:.3}us",
+                h.count,
+                h.mean_ns() / 1e3,
+                h.min_ns as f64 / 1e3,
+                h.max_ns as f64 / 1e3
+            );
+        }
+        out
+    }
+
+    /// Writes [`TraceSnapshot::to_chrome_trace`] to `path`.
+    pub fn save_chrome_trace(&self, path: &Path) -> Result<(), Error> {
+        std::fs::write(path, self.to_chrome_trace())
+            .map_err(|e| Error::io(path.display().to_string(), e))
+    }
+
+    /// Writes [`TraceSnapshot::to_json`] to `path`.
+    pub fn save_json(&self, path: &Path) -> Result<(), Error> {
+        std::fs::write(path, self.to_json()).map_err(|e| Error::io(path.display().to_string(), e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::clock::FakeClock;
+    use crate::tracer::Recorder;
+
+    fn sample_snapshot() -> crate::tracer::TraceSnapshot {
+        let rec = Recorder::new(FakeClock::stepping(500));
+        {
+            let _a = rec.span("core", "build");
+            let _b = rec.span("nn", "train \"q\"\n");
+        }
+        rec.counter_add("ckpt/cache_hit", 1.0);
+        rec.gauge_set("train/loss", 0.25);
+        rec.histogram_ns("matmul", 1500);
+        rec.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let ct = sample_snapshot().to_chrome_trace();
+        assert!(ct.starts_with("{\"traceEvents\":["));
+        assert!(ct.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        assert!(ct.contains("\"ph\":\"X\""));
+        assert!(ct.contains("\"ph\":\"C\""));
+        assert!(ct.contains("\\\"q\\\"\\n")); // escaping
+        assert!(ct.contains("\"cat\":\"core\""));
+        // 500 ns step → ts 0.500 µs appears with sub-µs precision
+        assert!(ct.contains("\"ts\":0.5"));
+    }
+
+    #[test]
+    fn json_roundtrip_fields_present() {
+        let js = sample_snapshot().to_json();
+        assert!(js.contains("\"schema\":\"pv-obs/v1\""));
+        assert!(js.contains("\"dropped_spans\":0"));
+        assert!(js.contains("\"ckpt/cache_hit\""));
+        assert!(js.contains("\"train/loss\""));
+        assert!(js.contains("\"matmul\""));
+        assert!(js.contains("\"buckets\":["));
+    }
+
+    #[test]
+    fn summary_lists_counters_and_gauges() {
+        let s = sample_snapshot().summary();
+        assert!(s.contains("counter ckpt/cache_hit: 1"));
+        assert!(s.contains("gauge train/loss: 0.25"));
+        assert!(s.contains("hist matmul"));
+    }
+
+    #[test]
+    fn nonfinite_gauge_serializes_as_null() {
+        let rec = Recorder::new(FakeClock::new());
+        rec.gauge_set("bad", f64::NAN);
+        let js = rec.snapshot().to_json();
+        assert!(js.contains("[0,null]"));
+    }
+
+    #[test]
+    fn save_roundtrips_to_disk() {
+        let snap = sample_snapshot();
+        let dir = std::env::temp_dir().join("pv-obs-export-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("trace.json");
+        snap.save_chrome_trace(&p).expect("save");
+        let back = std::fs::read_to_string(&p).expect("read");
+        assert_eq!(back, snap.to_chrome_trace());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,482 @@
+//! The span tracer and metric registry.
+//!
+//! A [`Recorder`] owns an injected [`Clock`] and collects three kinds of
+//! data:
+//!
+//! * **spans** — nested, named time intervals created by
+//!   [`Recorder::span`] and closed when the returned [`SpanGuard`] drops.
+//!   Each span carries the crate category it was emitted from (`"core"`,
+//!   `"nn"`, `"tensor"`, …), its per-thread *lane*, and its nesting depth;
+//! * **counters / gauges** — timestamped series (`train/steps`,
+//!   `ckpt/cache_hit`, `train/loss`);
+//! * **histograms** — log₂-bucketed nanosecond distributions for hot
+//!   events such as per-kernel matmul/conv timings.
+//!
+//! Threading model: spans finished on a thread are buffered in a
+//! thread-local vector and flushed into the shared store when the thread's
+//! span nesting returns to depth 0 (pv-par workers always reach depth 0
+//! before their scope ends, so no event is lost). [`Recorder::snapshot`]
+//! merges the buffers deterministically by sorting on
+//! `(start_ns, seq, lane)`; with a [`FakeClock`](crate::FakeClock) and a
+//! single-threaded workload the merged trace is byte-for-byte reproducible.
+
+use crate::clock::Clock;
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, Weak};
+
+/// Default cap on stored spans; beyond it new spans are counted as dropped
+/// instead of growing memory without bound on Full-scale runs.
+pub const DEFAULT_MAX_SPANS: usize = 1 << 20;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (static for hot paths, owned for formatted names).
+    pub name: Cow<'static, str>,
+    /// The crate the span was emitted from (chrome-trace category).
+    pub cat: &'static str,
+    /// Per-thread lane id (chrome-trace `tid`).
+    pub lane: u64,
+    /// Nesting depth within the lane at the time the span opened.
+    pub depth: u32,
+    /// Start timestamp, clock nanoseconds.
+    pub start_ns: u64,
+    /// End timestamp, clock nanoseconds.
+    pub end_ns: u64,
+    /// Recorder-global creation sequence number (merge tie-breaker).
+    pub seq: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A log₂-bucketed nanosecond histogram (64 buckets: bucket `i` holds
+/// samples with `floor(log2(ns)) == i`, bucket 0 additionally holds 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples, ns.
+    pub sum_ns: u64,
+    /// Smallest sample, ns (0 when empty).
+    pub min_ns: u64,
+    /// Largest sample, ns (0 when empty).
+    pub max_ns: u64,
+    /// Log₂ buckets.
+    pub buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, ns: u64) {
+        if self.count == 0 || ns < self.min_ns {
+            self.min_ns = ns;
+        }
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        let bucket = (63 - ns.max(1).leading_zeros()) as usize;
+        self.buckets[bucket.min(63)] += 1;
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Shared mutable store behind the recorder.
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<SpanRecord>,
+    dropped_spans: u64,
+    counters: BTreeMap<&'static str, Vec<(u64, f64)>>,
+    gauges: BTreeMap<&'static str, Vec<(u64, f64)>>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+struct Inner {
+    clock: Box<dyn Clock>,
+    seq: AtomicU64,
+    max_spans: usize,
+    state: Mutex<State>,
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // a panicked holder cannot leave the plain-data state inconsistent
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn push_span(&self, record: SpanRecord) {
+        let mut s = self.lock();
+        if s.spans.len() < self.max_spans {
+            s.spans.push(record);
+        } else {
+            s.dropped_spans += 1;
+        }
+    }
+}
+
+/// Process-wide lane allocator: every OS thread that records a span gets a
+/// stable small integer (the chrome-trace `tid`).
+static NEXT_LANE: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LANE: Cell<u64> = const { Cell::new(u64::MAX) };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static PENDING: RefCell<Vec<(Weak<Inner>, SpanRecord)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn lane_id() -> u64 {
+    LANE.with(|l| {
+        let v = l.get();
+        if v != u64::MAX {
+            return v;
+        }
+        let fresh = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+        l.set(fresh);
+        fresh
+    })
+}
+
+fn flush_pending() {
+    PENDING.with(|p| {
+        for (weak, record) in p.borrow_mut().drain(..) {
+            if let Some(inner) = weak.upgrade() {
+                inner.push_span(record);
+            }
+        }
+    });
+}
+
+/// The tracing/metrics sink. Cheap to clone (an `Arc` handle); all methods
+/// take `&self` and are thread-safe.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("max_spans", &self.inner.max_spans)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Recorder {
+    /// A recorder reading time from `clock`, capped at
+    /// [`DEFAULT_MAX_SPANS`] stored spans.
+    pub fn new(clock: impl Clock + 'static) -> Self {
+        Self::with_capacity(clock, DEFAULT_MAX_SPANS)
+    }
+
+    /// A recorder with an explicit span cap (0 disables span storage while
+    /// keeping counters/gauges/histograms live).
+    pub fn with_capacity(clock: impl Clock + 'static, max_spans: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                clock: Box::new(clock),
+                seq: AtomicU64::new(0),
+                max_spans,
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
+    /// Current time of the injected clock, nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock.now_ns()
+    }
+
+    /// Opens a span; it closes (and is recorded) when the returned guard
+    /// drops. `cat` names the emitting crate.
+    pub fn span(&self, cat: &'static str, name: impl Into<Cow<'static, str>>) -> SpanGuard {
+        let start_ns = self.inner.clock.now_ns();
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        SpanGuard {
+            rec: self.clone(),
+            name: Some(name.into()),
+            cat,
+            depth,
+            start_ns,
+            seq,
+        }
+    }
+
+    /// Records an already-measured interval (used by the pv-tensor kernel
+    /// hook, whose begin/end sites are plain function calls rather than a
+    /// guard). The span is attributed to the current thread's lane and
+    /// nesting depth.
+    pub fn record_complete(
+        &self,
+        cat: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let record = SpanRecord {
+            name: name.into(),
+            cat,
+            lane: lane_id(),
+            depth: DEPTH.with(Cell::get),
+            start_ns,
+            end_ns,
+            seq,
+        };
+        self.inner.push_span(record);
+    }
+
+    /// Adds `delta` to a monotone counter series, stamping the new running
+    /// total with the current clock time.
+    pub fn counter_add(&self, name: &'static str, delta: f64) {
+        let ts = self.inner.clock.now_ns();
+        let mut s = self.inner.lock();
+        let series = s.counters.entry(name).or_default();
+        let total = series.last().map_or(0.0, |p| p.1) + delta;
+        series.push((ts, total));
+    }
+
+    /// Appends a point to a gauge series (last-value-wins semantics).
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        let ts = self.inner.clock.now_ns();
+        let mut s = self.inner.lock();
+        s.gauges.entry(name).or_default().push((ts, value));
+    }
+
+    /// Records one nanosecond sample into a histogram.
+    pub fn histogram_ns(&self, name: &'static str, ns: u64) {
+        let mut s = self.inner.lock();
+        s.histograms.entry(name).or_default().record(ns);
+    }
+
+    /// Flushes the calling thread's pending span buffer into the shared
+    /// store (done automatically whenever nesting returns to depth 0).
+    pub fn flush(&self) {
+        flush_pending();
+    }
+
+    /// A deterministic snapshot of everything recorded so far: the calling
+    /// thread's buffer is flushed, then spans are merged across lanes by
+    /// `(start_ns, seq, lane)`.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        flush_pending();
+        let s = self.inner.lock();
+        let mut spans = s.spans.clone();
+        spans.sort_by_key(|a| (a.start_ns, a.seq, a.lane));
+        TraceSnapshot {
+            spans,
+            dropped_spans: s.dropped_spans,
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            histograms: s.histograms.clone(),
+        }
+    }
+}
+
+/// An open span; records itself into the recorder on drop.
+#[must_use = "a span guard records its span when dropped; binding it to `_` closes it immediately"]
+pub struct SpanGuard {
+    rec: Recorder,
+    name: Option<Cow<'static, str>>,
+    cat: &'static str,
+    depth: u32,
+    start_ns: u64,
+    seq: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end_ns = self.rec.inner.clock.now_ns();
+        let record = SpanRecord {
+            name: self.name.take().unwrap_or(Cow::Borrowed("")),
+            cat: self.cat,
+            lane: lane_id(),
+            depth: self.depth,
+            start_ns: self.start_ns,
+            end_ns,
+            seq: self.seq,
+        };
+        let remaining = DEPTH.with(|d| {
+            let v = d.get().saturating_sub(1);
+            d.set(v);
+            v
+        });
+        PENDING.with(|p| {
+            p.borrow_mut()
+                .push((Arc::downgrade(&self.rec.inner), record));
+        });
+        if remaining == 0 {
+            flush_pending();
+        }
+    }
+}
+
+/// An immutable copy of a recorder's data, ready for export (see
+/// [`crate::export`]).
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    /// All recorded spans, deterministically merged across lanes.
+    pub spans: Vec<SpanRecord>,
+    /// Spans discarded after the recorder's cap was reached.
+    pub dropped_spans: u64,
+    /// Counter series: name → `(ts_ns, running total)` points.
+    pub counters: BTreeMap<&'static str, Vec<(u64, f64)>>,
+    /// Gauge series: name → `(ts_ns, value)` points.
+    pub gauges: BTreeMap<&'static str, Vec<(u64, f64)>>,
+    /// Nanosecond histograms by name.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl TraceSnapshot {
+    /// The distinct span categories (emitting crates) present, sorted.
+    pub fn categories(&self) -> Vec<&'static str> {
+        let mut cats: Vec<&'static str> = self.spans.iter().map(|s| s.cat).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        cats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let clock = FakeClock::stepping(100);
+        let rec = Recorder::new(clock);
+        {
+            let _outer = rec.span("core", "outer");
+            {
+                let _inner = rec.span("nn", "inner");
+            }
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let outer = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "outer")
+            .expect("outer");
+        let inner = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "inner")
+            .expect("inner");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(outer.end_ns >= inner.end_ns);
+        assert_eq!(outer.lane, inner.lane);
+        assert_eq!(snap.categories(), vec!["core", "nn"]);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let clock = FakeClock::stepping(1);
+        let rec = Recorder::new(clock);
+        rec.counter_add("steps", 2.0);
+        rec.counter_add("steps", 3.0);
+        rec.gauge_set("loss", 1.5);
+        rec.gauge_set("loss", 0.5);
+        let snap = rec.snapshot();
+        let steps = &snap.counters["steps"];
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[1].1, 5.0);
+        let loss = &snap.gauges["loss"];
+        assert_eq!(loss.len(), 2);
+        assert_eq!(loss[1].1, 0.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let rec = Recorder::new(FakeClock::new());
+        rec.histogram_ns("k", 1);
+        rec.histogram_ns("k", 1024);
+        rec.histogram_ns("k", 1025);
+        let snap = rec.snapshot();
+        let h = &snap.histograms["k"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min_ns, 1);
+        assert_eq!(h.max_ns, 1025);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[10], 2); // 2^10 = 1024
+        assert!((h.mean_ns() - (1.0 + 1024.0 + 1025.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_cap_counts_drops() {
+        let rec = Recorder::with_capacity(FakeClock::stepping(1), 2);
+        for i in 0..5 {
+            let _s = rec.span("core", format!("s{i}"));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.dropped_spans, 3);
+    }
+
+    #[test]
+    fn record_complete_adopts_current_depth() {
+        let rec = Recorder::new(FakeClock::stepping(10));
+        let _outer = rec.span("core", "outer");
+        rec.record_complete("tensor", "matmul", 3, 9);
+        drop(_outer);
+        let snap = rec.snapshot();
+        let k = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "matmul")
+            .expect("kernel");
+        assert_eq!(k.cat, "tensor");
+        assert_eq!(k.depth, 1);
+        assert_eq!(k.duration_ns(), 6);
+    }
+
+    #[test]
+    fn parallel_spans_are_all_captured() {
+        let rec = Recorder::new(FakeClock::stepping(1));
+        pv_tensor::par::set_thread_override(Some(4));
+        let r2 = rec.clone();
+        let out = pv_tensor::par::parallel_map(32, move |i| {
+            let _s = r2.span("tensor", "worker");
+            i
+        });
+        pv_tensor::par::set_thread_override(None);
+        assert_eq!(out.len(), 32);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.iter().filter(|s| s.name == "worker").count(), 32);
+    }
+}

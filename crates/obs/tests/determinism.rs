@@ -1,0 +1,74 @@
+//! FakeClock determinism self-test: identical workloads against identical
+//! fake clocks must serialize byte-for-byte identically, and parallel
+//! workloads must record the same span multiset regardless of thread
+//! count. `scripts/check.sh` runs this file as the obs gate.
+
+use pv_obs::{FakeClock, Recorder};
+
+fn run_workload(rec: &Recorder) {
+    let _root = rec.span("core", "build_family");
+    for cycle in 0..3 {
+        let _c = rec.span("core", format!("cycle{cycle:02}"));
+        {
+            let _t = rec.span("nn", "train");
+            for _ in 0..4 {
+                rec.counter_add("train/steps", 1.0);
+            }
+            rec.gauge_set("train/loss", 1.0 / f64::from(cycle + 1));
+        }
+        rec.histogram_ns("matmul", 1 << (10 + cycle));
+        rec.counter_add("ckpt/cache_miss", 1.0);
+    }
+}
+
+#[test]
+fn identical_workloads_serialize_identically() {
+    let mk = || {
+        let rec = Recorder::new(FakeClock::stepping(1_000));
+        run_workload(&rec);
+        rec.snapshot()
+    };
+    let (a, b) = (mk(), mk());
+    assert_eq!(a.to_chrome_trace(), b.to_chrome_trace());
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.summary(), b.summary());
+    assert_eq!(a.spans.len(), 1 + 3 * 2);
+    assert_eq!(a.counters["train/steps"].last().map(|p| p.1), Some(12.0));
+}
+
+#[test]
+fn span_multiset_is_thread_count_invariant() {
+    let collect = |threads: usize| {
+        pv_tensor::par::set_thread_override(Some(threads));
+        let rec = Recorder::new(FakeClock::stepping(1));
+        let handle = rec.clone();
+        let _ = pv_tensor::par::parallel_map(64, move |i| {
+            let _s = handle.span("tensor", "worker");
+            handle.counter_add("work", 1.0);
+            i
+        });
+        pv_tensor::par::set_thread_override(None);
+        let snap = rec.snapshot();
+        let mut names: Vec<String> = snap.spans.iter().map(|s| s.name.to_string()).collect();
+        names.sort();
+        (names, snap.counters["work"].last().map(|p| p.1))
+    };
+    let (n1, c1) = collect(1);
+    let (n4, c4) = collect(4);
+    assert_eq!(n1.len(), 64);
+    assert_eq!(n1, n4);
+    assert_eq!(c1, Some(64.0));
+    assert_eq!(c1, c4);
+}
+
+#[test]
+fn frozen_clock_yields_zero_duration_spans() {
+    let rec = Recorder::new(FakeClock::new());
+    {
+        let _s = rec.span("core", "instant");
+    }
+    let snap = rec.snapshot();
+    assert_eq!(snap.spans[0].duration_ns(), 0);
+    // chrome trace still well-formed at ts 0
+    assert!(snap.to_chrome_trace().contains("\"ts\":0,\"dur\":0"));
+}

@@ -1,0 +1,55 @@
+//! Global-recorder integration: install a FakeClock-backed recorder
+//! process-wide and confirm (a) the free-function facade records through
+//! it, and (b) the pv-tensor kernel hook attributes matmul/conv timings to
+//! the trace. Lives in its own integration-test binary because `install`
+//! is once-per-process.
+
+use pv_obs::{FakeClock, Recorder};
+use pv_tensor::{matmul, Rng, Tensor};
+
+#[test]
+fn installed_recorder_captures_facade_and_kernel_events() {
+    assert!(pv_obs::global().is_none());
+    assert_eq!(pv_obs::now_ns(), 0, "no clock before install");
+
+    let clock = FakeClock::stepping(250);
+    let rec = Recorder::new(clock);
+    assert!(pv_obs::install(rec.clone()));
+    assert!(!pv_obs::install(rec), "second install loses");
+
+    {
+        let _outer = pv_obs::span("core", "build_family");
+        let _named = pv_obs::span_dyn("core", || "cycle00".to_string());
+        let mut rng = Rng::new(7);
+        let a = Tensor::randn(&[24, 24], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[24, 24], 0.0, 1.0, &mut rng);
+        let _c = matmul(&a, &b);
+        pv_obs::counter_add("ckpt/cache_hit", 1.0);
+        pv_obs::gauge_set("train/loss", 0.125);
+        pv_obs::histogram_ns("epoch", 5_000);
+    }
+
+    let snap = pv_obs::global().expect("installed").snapshot();
+    let cats = snap.categories();
+    assert!(cats.contains(&"core"), "{cats:?}");
+    assert!(cats.contains(&"tensor"), "{cats:?}");
+
+    let kernel = snap
+        .spans
+        .iter()
+        .find(|s| s.name == "matmul")
+        .expect("kernel span via hook");
+    assert_eq!(kernel.cat, "tensor");
+    assert!(kernel.depth >= 2, "kernel nests under the open spans");
+    assert!(snap.histograms["matmul"].count >= 1);
+
+    assert_eq!(
+        snap.counters["ckpt/cache_hit"].last().map(|p| p.1),
+        Some(1.0)
+    );
+    assert_eq!(snap.gauges["train/loss"].last().map(|p| p.1), Some(0.125));
+
+    let ct = snap.to_chrome_trace();
+    assert!(ct.contains("\"cat\":\"tensor\""));
+    assert!(ct.contains("\"name\":\"ckpt/cache_hit\""));
+}

@@ -84,6 +84,7 @@ impl ConvGeometry {
 /// Each row contains the receptive field of one output position; positions
 /// outside the input (padding) contribute zeros.
 pub fn im2col(x: &Tensor, g: ConvGeometry) -> Tensor {
+    let _kt = crate::profile::kernel_timer("im2col");
     assert_eq!(x.ndim(), 4, "im2col expects NCHW input");
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let (oh, ow) = g.output_size(h, w);
@@ -336,6 +337,7 @@ pub struct ConvBackward {
 ///
 /// Panics on any shape inconsistency.
 pub fn conv2d_forward(x: &Tensor, weight: &Tensor, bias: &Tensor, g: ConvGeometry) -> ConvForward {
+    let _kt = crate::profile::kernel_timer("conv2d_forward");
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let f = weight.dim(0);
     assert_eq!(weight.dim(1), c * g.kh * g.kw, "filter bank shape mismatch");
@@ -364,6 +366,7 @@ pub fn conv2d_backward(
     w: usize,
     g: ConvGeometry,
 ) -> ConvBackward {
+    let _kt = crate::profile::kernel_timer("conv2d_backward");
     let n = grad_out.dim(0);
     let g_rows = nchw_to_rows(grad_out); // [N*OH*OW, F]
     let grad_weight = matmul_at_b(&g_rows, cols); // [F, Ckhkw]
@@ -388,6 +391,7 @@ pub struct PoolForward {
 
 /// Max pooling forward pass over non-overlapping or strided windows.
 pub fn maxpool2d_forward(x: &Tensor, g: ConvGeometry) -> PoolForward {
+    let _kt = crate::profile::kernel_timer("maxpool2d");
     assert_eq!(x.ndim(), 4, "maxpool expects NCHW input");
     assert_eq!(g.pad, 0, "maxpool with padding is not supported");
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));

@@ -37,6 +37,9 @@ pub enum Error {
     UnknownMethod(String),
     /// A model preset name not in the zoo.
     UnknownPreset(String),
+    /// A metric computation received input violating its contract (empty
+    /// curve, inconsistent ratio grid values, zero repeats).
+    Metric(String),
     /// The static-analysis gate failed (`pv analyze`): the message
     /// summarizes deny/warn counts; the full findings are on stdout.
     Analysis(String),
@@ -65,6 +68,7 @@ impl fmt::Display for Error {
             Error::CorruptCheckpoint(msg) => write!(f, "corrupt checkpoint: {msg}"),
             Error::UnknownMethod(name) => write!(f, "unknown pruning method '{name}'"),
             Error::UnknownPreset(name) => write!(f, "unknown model preset '{name}'"),
+            Error::Metric(msg) => write!(f, "metric contract violation: {msg}"),
             Error::Analysis(msg) => write!(f, "analysis failed: {msg}"),
         }
     }

@@ -19,6 +19,8 @@
 //! * [`par`] — a zero-dependency `std::thread::scope` parallel runtime
 //!   (`PV_NUM_THREADS`) whose disjoint-chunk scheduling keeps every result
 //!   bitwise identical for any thread count;
+//! * [`profile`] — the kernel-timing seam pv-obs hooks into (a no-op
+//!   unless a hook is registered);
 //! * [`stats`] — small descriptive statistics used in reporting;
 //! * [`Error`] — the workspace-wide typed error enum (re-exported as
 //!   `pruneval::Error`), hosted here at the root of the dependency graph.
@@ -43,6 +45,7 @@ pub mod conv;
 pub mod error;
 pub mod linalg;
 pub mod par;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod tensor;

@@ -54,6 +54,7 @@ fn matmul_threads(flops: usize) -> usize {
 /// assert_eq!(matmul(&a, &i), a);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let _kt = crate::profile::kernel_timer("matmul");
     assert_eq!(a.ndim(), 2, "matmul: A must be a matrix");
     assert_eq!(b.ndim(), 2, "matmul: B must be a matrix");
     let (m, k) = (a.dim(0), a.dim(1));
@@ -112,6 +113,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if the operands are not matrices or the leading dimensions differ.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let _kt = crate::profile::kernel_timer("matmul_at_b");
     assert_eq!(a.ndim(), 2, "matmul_at_b: A must be a matrix");
     assert_eq!(b.ndim(), 2, "matmul_at_b: B must be a matrix");
     let (k, m) = (a.dim(0), a.dim(1));
@@ -153,6 +155,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if the operands are not matrices or the trailing dimensions differ.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let _kt = crate::profile::kernel_timer("matmul_a_bt");
     assert_eq!(a.ndim(), 2, "matmul_a_bt: A must be a matrix");
     assert_eq!(b.ndim(), 2, "matmul_a_bt: B must be a matrix");
     let (m, k) = (a.dim(0), a.dim(1));
@@ -206,6 +209,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics on dimension mismatch.
 pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    let _kt = crate::profile::kernel_timer("matvec");
     assert_eq!(a.ndim(), 2, "matvec: A must be a matrix");
     let (m, n) = (a.dim(0), a.dim(1));
     assert_eq!(x.len(), n, "matvec: dim mismatch");

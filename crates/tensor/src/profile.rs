@@ -1,0 +1,119 @@
+//! The kernel profiling seam.
+//!
+//! pv-tensor sits at the root of the workspace dependency graph, so it
+//! cannot depend on the observability crate that wants to time its
+//! kernels. Instead it exposes a [`KernelHook`] trait and a process-global
+//! registration point: `pv-obs::install` registers an adapter here, and
+//! every tiled matmul/conv kernel brackets itself with a [`KernelTimer`].
+//! When no hook is registered (the default, and always the case for pure
+//! library users) the timer is two branches and no clock reads — the hot
+//! paths stay deterministic and effectively free of overhead.
+//!
+//! The hook's `begin`/`end` are plain calls rather than a guard trait so
+//! implementations stay object-safe and allocation-free; the opaque token
+//! returned by [`KernelHook::begin`] (typically a timestamp) is handed
+//! back to [`KernelHook::end`] along with the kernel's static name.
+
+use std::sync::OnceLock;
+
+/// A sink for kernel enter/exit events, registered once per process.
+pub trait KernelHook: Send + Sync {
+    /// Called when a kernel starts; the returned token (e.g. a timestamp)
+    /// is passed back to [`KernelHook::end`].
+    fn begin(&self) -> u64;
+    /// Called when the kernel named `name` finishes.
+    fn end(&self, name: &'static str, begin_token: u64);
+}
+
+static HOOK: OnceLock<&'static dyn KernelHook> = OnceLock::new();
+
+/// Registers the process-wide kernel hook. First registration wins;
+/// returns `false` if a hook was already set.
+pub fn set_kernel_hook(hook: &'static dyn KernelHook) -> bool {
+    HOOK.set(hook).is_ok()
+}
+
+/// The registered hook, if any.
+pub fn kernel_hook() -> Option<&'static dyn KernelHook> {
+    HOOK.get().copied()
+}
+
+/// Brackets one kernel invocation: created at kernel entry via
+/// [`kernel_timer`], reports to the hook (if any) on drop.
+#[must_use = "a kernel timer reports on drop; binding it to `_` ends the measurement immediately"]
+pub struct KernelTimer {
+    name: &'static str,
+    begin_token: u64,
+    hook: Option<&'static dyn KernelHook>,
+}
+
+/// Starts timing the kernel named `name`. A no-op when no hook is
+/// registered.
+pub fn kernel_timer(name: &'static str) -> KernelTimer {
+    let hook = kernel_hook();
+    let begin_token = hook.map_or(0, KernelHook::begin);
+    KernelTimer {
+        name,
+        begin_token,
+        hook,
+    }
+}
+
+impl Drop for KernelTimer {
+    fn drop(&mut self) {
+        if let Some(h) = self.hook {
+            h.end(self.name, self.begin_token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct TestHook {
+        events: Mutex<Vec<(&'static str, u64)>>,
+    }
+
+    impl KernelHook for TestHook {
+        fn begin(&self) -> u64 {
+            41
+        }
+        fn end(&self, name: &'static str, begin_token: u64) {
+            self.events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push((name, begin_token));
+        }
+    }
+
+    static TEST_HOOK: TestHook = TestHook {
+        events: Mutex::new(Vec::new()),
+    };
+
+    #[test]
+    fn hook_receives_kernel_events_with_token() {
+        // first registration wins process-wide; within this test binary we
+        // are the only installer
+        assert!(set_kernel_hook(&TEST_HOOK));
+        assert!(!set_kernel_hook(&TEST_HOOK), "second install must lose");
+        {
+            let _t = kernel_timer("matmul");
+        }
+        let a = crate::Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let _c = crate::matmul(&a, &a);
+        let events = TEST_HOOK
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert!(events.contains(&("matmul", 41)), "{events:?}");
+    }
+
+    #[test]
+    fn timer_without_hook_is_inert() {
+        // may run before or after the installing test; either way this
+        // must not panic
+        let _t = kernel_timer("noop");
+    }
+}

@@ -29,8 +29,15 @@ fi
 echo "==> numeric sanitizer smoke test (pv-nn --features sanitize)"
 cargo test -q -p pv-nn --features sanitize
 
+echo "==> pv-obs suite + fake-clock determinism self-test"
+cargo test -q -p pv-obs
+cargo test -q -p pv-obs --test determinism
+
 echo "==> static-analysis micro-bench (BENCH_analyze.json)"
 cargo bench -q -p pv-bench --bench analyze
+
+echo "==> observability micro-bench (BENCH_obs.json)"
+cargo bench -q -p pv-bench --bench obs
 
 echo "==> gated property tests (--all-features)"
 cargo test -q --workspace --all-features

@@ -1,0 +1,83 @@
+//! Cross-crate observability integration: one globally installed recorder
+//! must capture nested spans from core, nn, and tensor, plus the loss and
+//! cache-hit counter series, for a real (smoke-scale) family build — the
+//! same signal path `pruneval fig2 --trace out.json` exports.
+
+use pruneval::{build_family_with, preset, ArtifactCache, FamilyBuildOptions, Scale};
+use pv_obs::{FakeClock, Recorder};
+use pv_prune::WeightThresholding;
+
+#[test]
+fn family_build_traces_across_crates() {
+    // integration-test binaries are their own process: installing the
+    // global recorder here cannot leak into other test binaries
+    let rec = Recorder::new(FakeClock::stepping(1_000));
+    assert!(pv_obs::install(rec.clone()), "first install wins");
+
+    let mut cfg = preset("mlp", Scale::Smoke).expect("known preset");
+    cfg.n_train = 128;
+    cfg.n_test = 64;
+    cfg.cycles = 2;
+    let root = std::env::temp_dir().join("pv_obs_trace_test");
+    std::fs::remove_dir_all(&root).ok();
+    let cache = ArtifactCache::new(&root);
+    let opts = FamilyBuildOptions {
+        rep: 0,
+        robust: None,
+        cache: Some(&cache),
+    };
+    build_family_with(&cfg, &WeightThresholding, &opts).expect("cold build");
+    build_family_with(&cfg, &WeightThresholding, &opts).expect("warm build");
+    std::fs::remove_dir_all(&root).ok();
+
+    let snap = rec.snapshot();
+    let cats = snap.categories();
+    for needed in ["core", "nn", "tensor", "ckpt"] {
+        assert!(
+            cats.contains(&needed),
+            "missing category {needed}: {cats:?}"
+        );
+    }
+
+    // spans genuinely nest: build_family (depth 0) holds train (nn) which
+    // holds tensor kernel spans at greater depth
+    let depth_of = |cat: &str, name: &str| {
+        snap.spans
+            .iter()
+            .find(|s| s.cat == cat && s.name == name)
+            .map(|s| s.depth)
+    };
+    assert_eq!(depth_of("core", "build_family"), Some(0));
+    let train_depth = depth_of("nn", "train").expect("train span recorded");
+    assert!(train_depth >= 1, "train nests under build_family");
+    let kernel_depth = depth_of("tensor", "matmul").expect("kernel span recorded");
+    assert!(kernel_depth > train_depth, "kernels nest under train");
+
+    // counter series: training steps, plus cache misses on the cold build
+    // and hits on the warm one
+    let total = |name: &str| {
+        snap.counters
+            .get(name)
+            .and_then(|series| series.last())
+            .map_or(0.0, |&(_, v)| v)
+    };
+    assert!(total("train/steps") > 0.0, "train steps counted");
+    assert!(total("ckpt/cache_miss") > 0.0, "cold build misses");
+    assert!(total("ckpt/cache_hit") > 0.0, "warm build hits");
+    assert!(
+        snap.gauges.contains_key("train/loss"),
+        "loss gauge recorded"
+    );
+
+    // the chrome-trace export carries all of it
+    let chrome = snap.to_chrome_trace();
+    for needle in [
+        "\"cat\":\"tensor\"",
+        "\"cat\":\"core\"",
+        "\"cat\":\"nn\"",
+        "train/loss",
+        "ckpt/cache_hit",
+    ] {
+        assert!(chrome.contains(needle), "chrome trace missing {needle}");
+    }
+}
