@@ -53,8 +53,8 @@ pub const RULES: &[RuleSpec] = &[
     RuleSpec {
         id: "thread-outside-par",
         default_level: Level::Deny,
-        scope: Scope::AllExceptFiles(&["crates/tensor/src/par.rs"]),
-        summary: "thread creation only inside pv-tensor::par (the one sanctioned runtime)",
+        scope: Scope::AllExceptFiles(&["crates/tensor/src/par.rs", "crates/serve/src/pool.rs"]),
+        summary: "thread creation only inside pv-tensor::par and pv-serve::pool (the sanctioned seams)",
     },
     RuleSpec {
         id: "nondet-experiment",
@@ -693,6 +693,9 @@ mod tests {
             .iter()
             .any(|x| x.rule == "thread-outside-par"));
         assert!(run("crates/tensor/src/par.rs", src)
+            .iter()
+            .all(|x| x.rule != "thread-outside-par"));
+        assert!(run("crates/serve/src/pool.rs", src)
             .iter()
             .all(|x| x.rule != "thread-outside-par"));
     }

@@ -1,0 +1,144 @@
+//! Serving-path benchmark: an in-process PVSR server driven by the
+//! loadgen harness, comparing micro-batched execution (`--max-batch 8`)
+//! against the degenerate single-request configuration (`--max-batch 1`)
+//! on identical hardware, plus a codec micro-benchmark.
+//!
+//! Emits `BENCH_serve.json` in the working directory. The headline number
+//! is `batched_speedup`: deadline-driven coalescing amortizes one weight
+//! pass over the whole batch, so it should comfortably exceed 1× (the
+//! PR's acceptance bar is 2× at smoke scale).
+
+use pv_nn::models;
+use pv_serve::protocol::{decode_request, encode_request, Request};
+use pv_serve::{
+    loadgen, serve, BatchConfig, LoadgenConfig, LoadgenReport, ModelRegistry, ServerConfig,
+};
+use pv_tensor::{Rng, Tensor};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const IN_DIM: usize = 256;
+const CLASSES: usize = 10;
+const REQUESTS: usize = 256;
+// more lanes than the batch ceiling keeps the queue non-empty, so batches
+// fill from the backlog instead of stalling on the deadline timer
+const CONCURRENCY: usize = 16;
+
+fn registry() -> ModelRegistry {
+    let mut reg = ModelRegistry::new();
+    // wide hidden layers keep the forward pass memory-bound on the weight
+    // matrices — the regime micro-batching amortizes — and large enough
+    // that per-request IO/scheduling overhead does not mask the effect
+    reg.insert(
+        "parent",
+        models::mlp("parent", IN_DIM, &[4096, 4096], CLASSES, false, 7),
+    )
+    .expect("model admits");
+    reg
+}
+
+/// One loadgen run against a fresh single-worker server with the given
+/// batch ceiling. A single worker isolates the batching effect: the same
+/// thread either executes one forward per request or one forward per
+/// coalesced batch.
+fn run_config(max_batch: usize) -> LoadgenReport {
+    let clock = Arc::new(pv_obs::MonotonicClock::new());
+    let mut handle = serve(
+        registry(),
+        ServerConfig {
+            workers: 1,
+            batch: BatchConfig {
+                max_batch,
+                batch_deadline: Duration::from_micros(500),
+                queue_capacity: 1024,
+            },
+            ..ServerConfig::default()
+        },
+        Arc::clone(&clock) as Arc<dyn pv_obs::Clock>,
+    )
+    .expect("server starts");
+
+    let mut rng = Rng::new(2021);
+    let inputs: Vec<Tensor> = (0..16)
+        .map(|_| Tensor::rand_uniform(&[IN_DIM], -1.0, 1.0, &mut rng))
+        .collect();
+    let report = loadgen(
+        &handle.addr().to_string(),
+        &inputs,
+        &LoadgenConfig {
+            concurrency: CONCURRENCY,
+            requests: REQUESTS,
+            model: "parent".into(),
+            io_timeout: Duration::from_secs(30),
+        },
+        clock,
+    )
+    .expect("loadgen runs");
+    handle.shutdown();
+    report
+}
+
+fn main() {
+    pv_bench::banner(
+        "serve: micro-batched inference throughput",
+        "deadline-driven coalescing must beat one-forward-per-request serving",
+    );
+
+    let single = run_config(1);
+    let batched = run_config(8);
+    let speedup = if single.throughput_rps() > 0.0 {
+        batched.throughput_rps() / single.throughput_rps()
+    } else {
+        0.0
+    };
+    for (label, r) in [("max_batch_1", &single), ("max_batch_8", &batched)] {
+        println!(
+            "  {label:<12} {:7.1} req/s  p50 {:7.3} ms  p99 {:7.3} ms  mean batch {:.2}  ({} ok / {} busy / {} failed)",
+            r.throughput_rps(),
+            r.p50_ns as f64 / 1e6,
+            r.p99_ns as f64 / 1e6,
+            r.mean_batch,
+            r.ok,
+            r.busy,
+            r.failed,
+        );
+    }
+    println!("  batched speedup: {speedup:.2}x");
+
+    // -- codec micro-benchmark -------------------------------------------
+    let mut rng = Rng::new(3);
+    let req = Request {
+        model: "parent".into(),
+        input: Tensor::rand_uniform(&[IN_DIM], -1.0, 1.0, &mut rng),
+    };
+    const CODEC_ITERS: usize = 50_000;
+    let frame = encode_request(&req);
+    let t = Instant::now();
+    for _ in 0..CODEC_ITERS {
+        std::hint::black_box(encode_request(std::hint::black_box(&req)));
+    }
+    let encode_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..CODEC_ITERS {
+        std::hint::black_box(decode_request(std::hint::black_box(&frame[4..]))).expect("decodes");
+    }
+    let decode_secs = t.elapsed().as_secs_f64();
+    println!(
+        "  codec: encode {:.0} frames/s, decode {:.0} frames/s ({} f32 payload)",
+        CODEC_ITERS as f64 / encode_secs,
+        CODEC_ITERS as f64 / decode_secs,
+        IN_DIM,
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \"rows\": [\n    {},\n    {}\n  ],\n  \
+         \"batched_speedup\": {speedup:.3},\n  \"codec_encode_fps\": {:.0},\n  \
+         \"codec_decode_fps\": {:.0}\n}}\n",
+        single.to_json("max_batch_1"),
+        batched.to_json("max_batch_8"),
+        CODEC_ITERS as f64 / encode_secs,
+        CODEC_ITERS as f64 / decode_secs,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+}

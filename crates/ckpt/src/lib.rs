@@ -6,7 +6,7 @@
 //!
 //! * [`Checkpoint`] — the PVCK container: named, shape-tagged tensor
 //!   records in a versioned little-endian envelope with a CRC-32 footer
-//!   (layout in [`format`] and DESIGN.md §8).
+//!   (layout in [`mod@format`] and DESIGN.md §8).
 //! * [`write_network_state`] / [`read_network_state`] — the network codec
 //!   built on `Network::visit_params_named`: values, pruning masks, SGD
 //!   momentum, and batch-norm running statistics round-trip bitwise;

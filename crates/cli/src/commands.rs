@@ -443,6 +443,126 @@ pub fn shapes(args: &ParsedArgs) -> Result<(), Error> {
     Ok(())
 }
 
+/// `pruneval serve`: stand up a batched inference server for a preset
+/// (freshly built) or a saved family checkpoint (every member registered
+/// by its family id: `parent`, `separate`, `cycle00`, …).
+///
+/// Blocks until the process is killed; scripts background it and point
+/// `pruneval loadgen` at the same address.
+pub fn serve(args: &ParsedArgs) -> Result<(), Error> {
+    let scale = scale_of(args)?;
+    let (model, cfg) = preset_of(args, scale)?;
+    let addr = args.get_or("addr", "127.0.0.1:7411");
+    let server_cfg = pv_serve::ServerConfig {
+        addr: addr.to_string(),
+        workers: args.get_num("workers", 2usize)?,
+        batch: pv_serve::BatchConfig {
+            max_batch: args.get_num("max-batch", 8usize)?,
+            batch_deadline: Duration::from_micros(args.get_num("batch-deadline-us", 200u64)?),
+            queue_capacity: args.get_num("queue-capacity", 256usize)?,
+        },
+        ..pv_serve::ServerConfig::default()
+    };
+
+    let mut registry = pv_serve::ModelRegistry::new();
+    match args.options.get("family") {
+        Some(path) => {
+            let rep = args.get_num("rep", 0usize)?;
+            let family = load_family(&cfg, rep, path)?;
+            registry.insert("parent", family.parent)?;
+            registry.insert("separate", family.separate)?;
+            for (i, pm) in family.pruned.into_iter().enumerate() {
+                registry.insert(format!("cycle{i:02}"), pm.network)?;
+            }
+            println!(
+                "serve: {model} family from {path} ({} models)",
+                registry.len()
+            );
+        }
+        None => {
+            let net = cfg.arch.build(&cfg.name, &cfg.task, cfg.rep_seed(0));
+            registry.insert("parent", net)?;
+            println!("serve: freshly built {model} (untrained weights; model id 'parent')");
+        }
+    }
+
+    let ids: Vec<String> = registry.ids().iter().map(|s| s.to_string()).collect();
+    let handle = pv_serve::serve(
+        registry,
+        server_cfg,
+        std::sync::Arc::new(pv_obs::MonotonicClock::new()),
+    )?;
+    println!(
+        "listening on {} — models: {}",
+        handle.addr(),
+        ids.join(", ")
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// `pruneval loadgen`: drive a running server with concurrent
+/// single-sample requests and write the measurements as
+/// `BENCH_serve.json`.
+pub fn loadgen(args: &ParsedArgs) -> Result<(), Error> {
+    let scale = scale_of(args)?;
+    let (model, cfg) = preset_of(args, scale)?;
+    let addr = args.get_or("addr", "127.0.0.1:7411");
+    let lg_cfg = pv_serve::LoadgenConfig {
+        concurrency: args.get_num("concurrency", 4usize)?,
+        requests: args.get_num("requests", 64usize)?,
+        model: args.get_or("id", "parent").to_string(),
+        ..pv_serve::LoadgenConfig::default()
+    };
+
+    // sample inputs shaped for the preset (the server validates shape
+    // against its registry, so --model must match the serving side)
+    let net = cfg.arch.build(&cfg.name, &cfg.task, 0);
+    let mut rng = Rng::new(2021);
+    let inputs: Vec<pv_tensor::Tensor> = (0..8)
+        .map(|_| pv_tensor::Tensor::rand_uniform(net.input_shape(), 0.0, 1.0, &mut rng))
+        .collect();
+
+    println!(
+        "loadgen: {} requests x {} connections against {addr} (model id '{}', inputs shaped {:?})",
+        lg_cfg.requests,
+        lg_cfg.concurrency,
+        lg_cfg.model,
+        net.input_shape()
+    );
+    let report = pv_serve::loadgen(
+        addr,
+        &inputs,
+        &lg_cfg,
+        std::sync::Arc::new(pv_obs::MonotonicClock::new()),
+    )?;
+    println!(
+        "  ok {} / busy {} / failed {} in {:.3}s — {:.1} req/s, p50 {:.3} ms, p99 {:.3} ms, mean batch {:.2}",
+        report.ok,
+        report.busy,
+        report.failed,
+        report.elapsed_ns as f64 / 1e9,
+        report.throughput_rps(),
+        report.p50_ns as f64 / 1e6,
+        report.p99_ns as f64 / 1e6,
+        report.mean_batch,
+    );
+
+    let out = args.get_or("json", "BENCH_serve.json");
+    let label = format!("loadgen_{model}_c{}", lg_cfg.concurrency);
+    let json = format!("[\n  {}\n]\n", report.to_json(&label));
+    std::fs::write(out, json).map_err(|e| Error::io(out, e))?;
+    println!("report written to {out}");
+    if report.ok == 0 {
+        return Err(Error::Serve(format!(
+            "loadgen completed no requests against {addr} ({} failed)",
+            report.failed
+        )));
+    }
+    Ok(())
+}
+
 /// `pruneval analyze`: run the workspace invariant linter.
 pub fn analyze(args: &ParsedArgs) -> Result<(), Error> {
     let root = args.get_or("root", ".");

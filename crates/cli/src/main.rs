@@ -10,6 +10,8 @@
 //! pruneval load    --model resnet20 --in family.pvck
 //! pruneval corrupt --corruption Gauss --severity 3 --out target/corrupt
 //! pruneval segstudy --method WT [--scale quick]
+//! pruneval serve   --model resnet20 --addr 127.0.0.1:7411 [--max-batch 8]
+//! pruneval loadgen --addr 127.0.0.1:7411 --concurrency 4 --requests 64
 //! ```
 //!
 //! Any command accepts `--trace <path>` (write a chrome-trace JSON of the
@@ -74,6 +76,27 @@ COMMANDS:
                 (no allocation, no forward pass)
                   --model <preset>    (default resnet20)
                   --scale <s>         smoke | quick | full (default quick)
+    serve       stand up a PVSR batched inference server (blocks until
+                killed; see ARCHITECTURE.md for the request lifecycle)
+                  --model <preset>    (default resnet20; built fresh unless
+                                      --family is given)
+                  --family <path>     serve every member of a saved .pvck
+                                      family as parent / separate / cycleNN
+                  --rep <n>           repetition the family was saved with
+                  --addr <host:port>  (default 127.0.0.1:7411)
+                  --max-batch <n>     largest forward batch (default 8)
+                  --batch-deadline-us <d>
+                                      micro-batch coalescing deadline
+                                      (default 200)
+                  --workers <n>       batch-executing threads (default 2)
+                  --queue-capacity <n> admission queue bound (default 256)
+    loadgen     drive a running server and write BENCH_serve.json
+                  --addr <host:port>  (default 127.0.0.1:7411)
+                  --model <preset>    shapes the inputs (must match serve)
+                  --id <model-id>     registry id to request (default parent)
+                  --concurrency <c>   client connections (default 4)
+                  --requests <n>      total requests (default 64)
+                  --json <path>       report path (default BENCH_serve.json)
 
 GLOBAL OPTIONS (any command):
     --trace <path>   write a chrome://tracing-compatible JSON trace of the run
@@ -107,6 +130,8 @@ fn main() -> ExitCode {
         "segstudy" => commands::segstudy(&parsed),
         "analyze" => commands::analyze(&parsed),
         "shapes" => commands::shapes(&parsed),
+        "serve" => commands::serve(&parsed),
+        "loadgen" => commands::loadgen(&parsed),
         "" | "help" | "--help" => {
             println!("{USAGE}");
             Ok(())

@@ -83,7 +83,7 @@ impl fmt::Display for Distribution {
 impl FromStr for Distribution {
     type Err = Error;
 
-    /// Parses the spec syntax documented on the [`Display`] impl. All
+    /// Parses the spec syntax documented on the [`Display`](std::fmt::Display) impl. All
     /// failures are [`Error::Parse`] with a message naming the defect.
     fn from_str(spec: &str) -> Result<Self, Error> {
         match spec.to_lowercase().as_str() {

@@ -116,6 +116,29 @@ impl Network {
         out
     }
 
+    /// Fallible batched forward pass for untrusted inputs (the serving
+    /// path): where [`Network::forward`] panics on a malformed batch,
+    /// this validates first and reports a typed error, so a bad request
+    /// can never take down a server worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when the batch is not
+    /// `[N, input_shape...]` with `N ≥ 1`.
+    pub fn try_forward_batch(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor, Error> {
+        if x.ndim() != self.input_shape.len() + 1
+            || &x.shape()[1..] != self.input_shape.as_slice()
+            || x.dim(0) == 0
+        {
+            return Err(Error::ShapeMismatch {
+                name: format!("{} (per-sample input, batch axis first)", self.name),
+                expected: self.input_shape.clone(),
+                actual: x.shape().to_vec(),
+            });
+        }
+        Ok(self.forward(x, mode))
+    }
+
     /// Backward pass from the loss gradient w.r.t. the logits.
     pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
         self.root.backward(grad_logits)

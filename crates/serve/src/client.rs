@@ -1,0 +1,261 @@
+//! Blocking PVSR client and the load generator that drives benchmarks
+//! and the serving gate in `scripts/check.sh`.
+
+use crate::pool;
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, Status,
+};
+use pv_obs::Clock;
+use pv_tensor::error::Result;
+use pv_tensor::{Error, Tensor};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A blocking client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a PVSR server with the given I/O timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the connection cannot be established.
+    pub fn connect(addr: &str, io_timeout: Duration) -> Result<Self> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| Error::io(format!("connect {addr}"), e))?;
+        // request-response framing: Nagle + delayed ACK would serialize
+        // every exchange behind a timer
+        stream.set_nodelay(true).map_err(|e| Error::io(addr, e))?;
+        stream
+            .set_read_timeout(Some(io_timeout))
+            .map_err(|e| Error::io(addr, e))?;
+        stream
+            .set_write_timeout(Some(io_timeout))
+            .map_err(|e| Error::io(addr, e))?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one request and reads its response frame.
+    ///
+    /// Any response — including `Busy` or `Internal` — is returned as a
+    /// [`Response`] value; only transport and framing defects become
+    /// errors ([`Error::Io`] / [`Error::Protocol`]).
+    pub fn request(&mut self, model: &str, input: &Tensor) -> Result<Response> {
+        let frame = encode_request(&Request {
+            model: model.to_string(),
+            input: input.clone(),
+        });
+        write_frame(&mut self.stream, &frame)?;
+        match read_frame(&mut self.stream)? {
+            Some(body) => decode_response(&body),
+            None => Err(Error::Protocol(
+                "server closed the connection before responding".into(),
+            )),
+        }
+    }
+
+    /// Sends one request and returns the logits, mapping every non-`Ok`
+    /// status to [`Error::Serve`].
+    pub fn infer(&mut self, model: &str, input: &Tensor) -> Result<Tensor> {
+        let resp = self.request(model, input)?;
+        match (resp.status, resp.output) {
+            (Status::Ok, Some(out)) => Ok(out),
+            (Status::Ok, None) => Err(Error::Protocol("Ok response without logits".into())),
+            (status, _) => Err(Error::Serve(format!(
+                "server answered {}: {}",
+                status.name(),
+                resp.message
+            ))),
+        }
+    }
+}
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Model id every request asks for.
+    pub model: String,
+    /// Per-connection I/O timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            concurrency: 4,
+            requests: 64,
+            model: "parent".into(),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Aggregate measurements of one load-generation run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenReport {
+    /// Requests attempted.
+    pub requests: usize,
+    /// Requests answered `Ok`.
+    pub ok: usize,
+    /// Requests bounced with `Busy` (backpressure, not failure).
+    pub busy: usize,
+    /// Requests answered `Internal` / `BadRequest` / `UnknownModel`, plus
+    /// transport errors.
+    pub failed: usize,
+    /// Wall time of the whole run in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Median per-request latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile per-request latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Mean server-side batch size over `Ok` responses.
+    pub mean_batch: f64,
+}
+
+impl LoadgenReport {
+    /// Completed-request throughput in requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.ok as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    /// Renders the report as the `BENCH_serve.json` schema.
+    pub fn to_json(&self, label: &str) -> String {
+        format!(
+            "{{\"name\": \"{label}\", \"requests\": {}, \"ok\": {}, \"busy\": {}, \"failed\": {}, \
+             \"elapsed_secs\": {:.6}, \"throughput_rps\": {:.2}, \"p50_ms\": {:.4}, \
+             \"p99_ms\": {:.4}, \"mean_batch\": {:.3}}}",
+            self.requests,
+            self.ok,
+            self.busy,
+            self.failed,
+            self.elapsed_ns as f64 / 1e9,
+            self.throughput_rps(),
+            self.p50_ns as f64 / 1e6,
+            self.p99_ns as f64 / 1e6,
+            self.mean_batch,
+        )
+    }
+}
+
+/// Outcome of one request as seen by a loadgen connection.
+struct Sample {
+    latency_ns: u64,
+    status: Option<Status>,
+    batch_size: u32,
+}
+
+/// Drives `cfg.requests` single-sample requests (cycling over `inputs`)
+/// through `cfg.concurrency` connections and aggregates latency,
+/// throughput, and batch-size measurements on the injected clock.
+///
+/// # Errors
+///
+/// Returns [`Error::Serve`] when `inputs` is empty or a connection cannot
+/// be established at startup; individual request failures are *counted*,
+/// not raised, so one flaky response does not abort a measurement run.
+pub fn loadgen(
+    addr: &str,
+    inputs: &[Tensor],
+    cfg: &LoadgenConfig,
+    clock: Arc<dyn Clock>,
+) -> Result<LoadgenReport> {
+    if inputs.is_empty() {
+        return Err(Error::Serve(
+            "loadgen needs at least one input sample".into(),
+        ));
+    }
+    let concurrency = cfg.concurrency.clamp(1, cfg.requests.max(1));
+    // fail fast on an unreachable server before spawning anything
+    drop(Client::connect(addr, cfg.io_timeout)?);
+
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::with_capacity(cfg.requests)));
+    let t0 = clock.now_ns();
+    let mut handles = Vec::with_capacity(concurrency);
+    for lane in 0..concurrency {
+        let n = cfg.requests / concurrency + usize::from(lane < cfg.requests % concurrency);
+        if n == 0 {
+            continue;
+        }
+        let addr = addr.to_string();
+        let model = cfg.model.clone();
+        let io_timeout = cfg.io_timeout;
+        let inputs: Vec<Tensor> = inputs.to_vec();
+        let samples = Arc::clone(&samples);
+        let clock = Arc::clone(&clock);
+        handles.push(pool::spawn(&format!("loadgen{lane}"), move || {
+            let mut lane_samples = Vec::with_capacity(n);
+            let mut client = Client::connect(&addr, io_timeout).ok();
+            for i in 0..n {
+                let input = &inputs[(lane + i * 31) % inputs.len()];
+                let sent = clock.now_ns();
+                let outcome = client
+                    .as_mut()
+                    .ok_or_else(|| Error::Serve("connection lost".into()))
+                    .and_then(|c| c.request(&model, input));
+                let latency_ns = clock.now_ns().saturating_sub(sent);
+                match outcome {
+                    Ok(resp) => lane_samples.push(Sample {
+                        latency_ns,
+                        status: Some(resp.status),
+                        batch_size: resp.batch_size,
+                    }),
+                    Err(_) => {
+                        lane_samples.push(Sample {
+                            latency_ns,
+                            status: None,
+                            batch_size: 0,
+                        });
+                        // reconnect once; a dead server keeps counting failures
+                        client = Client::connect(&addr, io_timeout).ok();
+                    }
+                }
+            }
+            let mut all = samples.lock().unwrap_or_else(|e| e.into_inner());
+            all.extend(lane_samples);
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed_ns = clock.now_ns().saturating_sub(t0);
+
+    let samples = Arc::try_unwrap(samples)
+        .map_err(|_| Error::Serve("loadgen lanes leaked their sample buffer".into()))?
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    let mut report = LoadgenReport {
+        requests: samples.len(),
+        elapsed_ns,
+        ..LoadgenReport::default()
+    };
+    let mut ok_latencies: Vec<u64> = Vec::new();
+    let mut batch_total: u64 = 0;
+    for s in &samples {
+        match s.status {
+            Some(Status::Ok) => {
+                report.ok += 1;
+                ok_latencies.push(s.latency_ns);
+                batch_total += u64::from(s.batch_size);
+            }
+            Some(Status::Busy) => report.busy += 1,
+            _ => report.failed += 1,
+        }
+    }
+    if !ok_latencies.is_empty() {
+        ok_latencies.sort_unstable();
+        report.p50_ns = ok_latencies[ok_latencies.len() / 2];
+        report.p99_ns = ok_latencies[(ok_latencies.len() * 99) / 100];
+        report.mean_batch = batch_total as f64 / report.ok as f64;
+    }
+    Ok(report)
+}

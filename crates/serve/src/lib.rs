@@ -1,0 +1,65 @@
+//! # pv-serve
+//!
+//! A zero-dependency batched inference server for the `pruneval`
+//! workspace (a Rust reproduction of *Lost in Pruning*, Liebenwein et
+//! al., MLSys 2021).
+//!
+//! The paper's warning is about deployment: pruned networks match their
+//! parents on the nominal test set but diverge under distribution shift.
+//! This crate supplies the deployment half of that sentence — the path
+//! from a pruned PVCK checkpoint to an answered request — so families of
+//! pruned networks can be exercised as a live inference workload:
+//!
+//! * [`ModelRegistry`] — named, shape-validated networks admitted from
+//!   fresh builds or PVCK checkpoints;
+//! * [`protocol`] — PVSR/v1, a length-prefixed binary request/response
+//!   format with magic, version, and CRC-32 integrity (the wire sibling
+//!   of the PVCK file format);
+//! * [`batcher`] — a bounded job queue with deadline-driven micro-batching
+//!   and explicit `Busy` backpressure;
+//! * [`server`] — the TCP accept/handler/worker pool with per-connection
+//!   timeouts and a catch-unwind fault boundary per batch;
+//! * [`client`] — a blocking client plus the [`loadgen`] harness that
+//!   measures throughput, latency percentiles, and mean batch size.
+//!
+//! Time is injected (`pv_obs::Clock`), threads are created only through
+//! the audited [`pool`] seam, numeric work runs on the pv-par kernels
+//! (bitwise identical for any `PV_NUM_THREADS`), and every fallible path
+//! reports the workspace-wide [`pv_tensor::Error`].
+//!
+//! # Example
+//!
+//! ```
+//! use pv_serve::{serve, loadgen, Client, LoadgenConfig, ModelRegistry, ServerConfig};
+//! use pv_nn::models;
+//! use pv_obs::MonotonicClock;
+//! use pv_tensor::Tensor;
+//! use std::sync::Arc;
+//!
+//! let mut registry = ModelRegistry::new();
+//! registry.insert("parent", models::mlp("demo", 8, &[16], 3, false, 0)).unwrap();
+//! let clock = Arc::new(MonotonicClock::new());
+//! let mut handle = serve(registry, ServerConfig::default(), clock).unwrap();
+//!
+//! let mut client = Client::connect(&handle.addr().to_string(),
+//!                                  std::time::Duration::from_secs(5)).unwrap();
+//! let logits = client.infer("parent", &Tensor::zeros(&[8])).unwrap();
+//! assert_eq!(logits.shape(), &[3]);
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use batcher::BatchConfig;
+pub use client::{loadgen, Client, LoadgenConfig, LoadgenReport};
+pub use protocol::{Request, Response, Status, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use registry::ModelRegistry;
+pub use server::{serve, ServerConfig, ServerHandle};

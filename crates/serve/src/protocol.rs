@@ -1,0 +1,473 @@
+//! The PVSR/v1 wire protocol: length-prefixed binary request/response
+//! frames for single-sample inference.
+//!
+//! Layout (all integers little-endian, mirroring the PVCK checkpoint
+//! conventions — magic, explicit version, CRC-32 footer):
+//!
+//! ```text
+//! u32   body length            number of body bytes that follow
+//! body:
+//!   "PVSR"                     magic, 4 bytes
+//!   u8    protocol version     currently 1
+//!   u8    frame kind           0 = request, 1 = response
+//!   request frames:
+//!     u16   model-id length    followed by that many UTF-8 bytes
+//!     u8    ndim               per-sample dimensions (e.g. 3 for [C,H,W])
+//!     u32×ndim  dims
+//!     f32×∏dims payload        one sample, little-endian
+//!   response frames:
+//!     u8    status             see [`Status`]
+//!     u32   batch size         forward-pass batch this reply rode in
+//!     status == Ok:
+//!       u8    ndim             output dimensions (e.g. 1 for [classes])
+//!       u32×ndim  dims
+//!       f32×∏dims payload      logits
+//!     status != Ok:
+//!       u16   message length   followed by that many UTF-8 bytes
+//!   u32   CRC-32 (IEEE)        over every body byte before the footer
+//! ```
+//!
+//! Every decode failure — truncation, bad magic, an unsupported version,
+//! a length prefix past [`MAX_FRAME_BYTES`], a CRC mismatch, or a
+//! dims/payload disagreement — is reported as [`Error::Protocol`]; the
+//! codec never panics on wire bytes.
+
+use pv_tensor::error::Result;
+use pv_tensor::{Error, Tensor};
+use std::io::{Read, Write};
+
+/// Frame magic, the first four body bytes of every PVSR frame.
+pub const MAGIC: [u8; 4] = *b"PVSR";
+
+/// Current protocol version. Readers accept exactly the versions they can
+/// decode and reject everything else with [`Error::Protocol`].
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on the body length prefix (64 MiB). A peer announcing a
+/// larger frame is rejected before any allocation happens, so a hostile
+/// or corrupt length prefix cannot balloon server memory.
+pub const MAX_FRAME_BYTES: usize = 1 << 26;
+
+/// Response status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The request was served; the frame carries logits.
+    Ok,
+    /// The admission queue was full; retry later (explicit backpressure,
+    /// never an unbounded stall).
+    Busy,
+    /// The worker executing the batch faulted; the request may be retried.
+    Internal,
+    /// The request was structurally valid but unservable (wrong payload
+    /// shape for the model, empty payload).
+    BadRequest,
+    /// The model id is not in the server's registry.
+    UnknownModel,
+}
+
+impl Status {
+    fn code(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Busy => 1,
+            Status::Internal => 2,
+            Status::BadRequest => 3,
+            Status::UnknownModel => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self> {
+        match code {
+            0 => Ok(Status::Ok),
+            1 => Ok(Status::Busy),
+            2 => Ok(Status::Internal),
+            3 => Ok(Status::BadRequest),
+            4 => Ok(Status::UnknownModel),
+            other => Err(Error::Protocol(format!("unknown status code {other}"))),
+        }
+    }
+
+    /// Lower-case label used in reports and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Busy => "busy",
+            Status::Internal => "internal",
+            Status::BadRequest => "bad-request",
+            Status::UnknownModel => "unknown-model",
+        }
+    }
+}
+
+/// A decoded request frame: one sample for one named model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Registry id of the model to run (e.g. `parent`, `cycle03`).
+    pub model: String,
+    /// The per-sample input tensor (no batch axis; the server batches).
+    pub input: Tensor,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Outcome of the request.
+    pub status: Status,
+    /// Size of the forward-pass batch that served this request (0 when the
+    /// request never reached a worker, e.g. `Busy` or `BadRequest`).
+    pub batch_size: u32,
+    /// Logits when `status == Ok`.
+    pub output: Option<Tensor>,
+    /// Human-readable diagnostic when `status != Ok`.
+    pub message: String,
+}
+
+impl Response {
+    /// An `Ok` response carrying `output` logits computed in a batch of
+    /// `batch_size`.
+    pub fn ok(output: Tensor, batch_size: u32) -> Self {
+        Self {
+            status: Status::Ok,
+            batch_size,
+            output: Some(output),
+            message: String::new(),
+        }
+    }
+
+    /// A failure response with a diagnostic message.
+    pub fn failure(status: Status, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            batch_size: 0,
+            output: None,
+            message: message.into(),
+        }
+    }
+}
+
+fn push_tensor(body: &mut Vec<u8>, t: &Tensor) {
+    body.push(t.ndim() as u8);
+    for &d in t.shape() {
+        body.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &v in t.data() {
+        body.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Serializes a request as one PVSR frame (length prefix + body + CRC).
+///
+/// # Panics
+///
+/// Panics if the model id exceeds `u16::MAX` bytes or the input has more
+/// than 255 dimensions — programming errors on the *send* side (the
+/// receive side reports the analogous defects as [`Error::Protocol`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let name = req.model.as_bytes();
+    assert!(name.len() <= u16::MAX as usize, "model id too long");
+    assert!(req.input.ndim() <= u8::MAX as usize, "too many dimensions");
+    let mut body = frame_header(0);
+    body.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    body.extend_from_slice(name);
+    push_tensor(&mut body, &req.input);
+    seal(body)
+}
+
+/// Serializes a response as one PVSR frame (length prefix + body + CRC).
+///
+/// # Panics
+///
+/// Panics if the diagnostic message exceeds `u16::MAX` bytes or an output
+/// tensor has more than 255 dimensions.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut body = frame_header(1);
+    body.push(resp.status.code());
+    body.extend_from_slice(&resp.batch_size.to_le_bytes());
+    if resp.status == Status::Ok {
+        // pv-analyze: allow(lib-panic) -- an Ok response without logits is a programming error on the send side, documented above
+        let out = resp.output.as_ref().expect("Ok response carries logits");
+        assert!(out.ndim() <= u8::MAX as usize, "too many dimensions");
+        push_tensor(&mut body, out);
+    } else {
+        let msg = resp.message.as_bytes();
+        assert!(msg.len() <= u16::MAX as usize, "message too long");
+        body.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+        body.extend_from_slice(msg);
+    }
+    seal(body)
+}
+
+fn frame_header(kind: u8) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    body.extend_from_slice(&MAGIC);
+    body.push(PROTOCOL_VERSION);
+    body.push(kind);
+    body
+}
+
+/// Appends the CRC footer and prepends the length prefix.
+fn seal(mut body: Vec<u8>) -> Vec<u8> {
+    let crc = pv_ckpt::crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Parses a request frame body (everything after the length prefix).
+pub fn decode_request(body: &[u8]) -> Result<Request> {
+    let mut cur = open_frame(body, 0)?;
+    let name_len = cur.u16()? as usize;
+    let name = std::str::from_utf8(cur.take(name_len)?)
+        .map_err(|_| Error::Protocol("model id is not UTF-8".into()))?
+        .to_string();
+    let input = cur.tensor()?;
+    cur.finish()?;
+    Ok(Request { model: name, input })
+}
+
+/// Parses a response frame body (everything after the length prefix).
+pub fn decode_response(body: &[u8]) -> Result<Response> {
+    let mut cur = open_frame(body, 1)?;
+    let status = Status::from_code(cur.u8()?)?;
+    let batch_size = cur.u32()?;
+    let resp = if status == Status::Ok {
+        let output = cur.tensor()?;
+        Response {
+            status,
+            batch_size,
+            output: Some(output),
+            message: String::new(),
+        }
+    } else {
+        let msg_len = cur.u16()? as usize;
+        let message = std::str::from_utf8(cur.take(msg_len)?)
+            .map_err(|_| Error::Protocol("diagnostic message is not UTF-8".into()))?
+            .to_string();
+        Response {
+            status,
+            batch_size,
+            output: None,
+            message,
+        }
+    };
+    cur.finish()?;
+    Ok(resp)
+}
+
+/// Validates CRC, magic, version, and frame kind; returns a cursor over
+/// the payload bytes between the header and the CRC footer.
+fn open_frame(body: &[u8], expected_kind: u8) -> Result<Cursor<'_>> {
+    if body.len() < 10 {
+        return Err(Error::Protocol(format!(
+            "frame too short ({} bytes)",
+            body.len()
+        )));
+    }
+    let (payload, footer) = body.split_at(body.len() - 4);
+    // pv-analyze: allow(lib-panic) -- split_at guarantees the footer is exactly 4 bytes
+    let stored_crc = u32::from_le_bytes(footer.try_into().expect("4-byte footer"));
+    let actual_crc = pv_ckpt::crc32(payload);
+    if stored_crc != actual_crc {
+        return Err(Error::Protocol(format!(
+            "CRC mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+        )));
+    }
+    let mut cur = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    if cur.take(4)? != MAGIC {
+        return Err(Error::Protocol("bad magic".into()));
+    }
+    let version = cur.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(Error::Protocol(format!(
+            "unsupported protocol version {version} (reader supports {PROTOCOL_VERSION})"
+        )));
+    }
+    let kind = cur.u8()?;
+    if kind != expected_kind {
+        return Err(Error::Protocol(format!(
+            "unexpected frame kind {kind} (wanted {expected_kind})"
+        )));
+    }
+    Ok(cur)
+}
+
+/// Reads one length-prefixed frame body from a stream.
+///
+/// The length prefix is validated against [`MAX_FRAME_BYTES`] *before*
+/// the body allocation, and a short read surfaces as [`Error::Protocol`]
+/// (or [`Error::Io`] for transport failures). Returns `Ok(None)` on a
+/// clean EOF before any prefix byte — the peer simply closed.
+pub fn read_frame(stream: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    match stream.read(&mut prefix) {
+        Ok(0) => return Ok(None),
+        Ok(n) => {
+            stream
+                .read_exact(&mut prefix[n..])
+                .map_err(|e| Error::Protocol(format!("truncated length prefix: {e}")))?;
+        }
+        Err(e) => return Err(Error::Io(format!("frame read: {e}"))),
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len < 10 {
+        return Err(Error::Protocol(format!(
+            "frame body too short ({len} bytes)"
+        )));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(Error::Protocol(format!(
+            "length prefix {len} exceeds the {MAX_FRAME_BYTES}-byte frame cap"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| Error::Protocol(format!("truncated frame: {e}")))?;
+    Ok(Some(body))
+}
+
+/// Writes one already-encoded frame (from [`encode_request`] /
+/// [`encode_response`]) to a stream.
+pub fn write_frame(stream: &mut impl Write, frame: &[u8]) -> Result<()> {
+    stream
+        .write_all(frame)
+        .and_then(|()| stream.flush())
+        .map_err(|e| Error::Io(format!("frame write: {e}")))
+}
+
+/// A bounds-checked reader over frame payload bytes.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Error::Protocol(format!(
+                "truncated: needed {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(
+            // pv-analyze: allow(lib-panic) -- take(2) returned exactly 2 bytes
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            // pv-analyze: allow(lib-panic) -- take(4) returned exactly 4 bytes
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads `u8 ndim`, `u32×ndim` dims, and the f32 payload.
+    fn tensor(&mut self) -> Result<Tensor> {
+        let ndim = self.u8()? as usize;
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(self.u32()? as usize);
+        }
+        let count: usize = dims.iter().try_fold(1usize, |acc, &d| {
+            acc.checked_mul(d)
+                // a product that overflows usize OR cannot fit in a frame
+                // anyway is rejected before sizing any read
+                .filter(|&n| n <= MAX_FRAME_BYTES / 4)
+                .ok_or_else(|| Error::Protocol(format!("tensor dims {dims:?} overflow")))
+        })?;
+        if count == 0 {
+            return Err(Error::Protocol(format!("empty tensor payload {dims:?}")));
+        }
+        let raw = self.take(count * 4)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            // pv-analyze: allow(lib-panic) -- chunks_exact(4) yields exactly 4-byte slices
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect();
+        Ok(Tensor::from_vec(dims, data))
+    }
+
+    /// Asserts the payload was fully consumed.
+    fn finish(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(Error::Protocol(format!(
+                "{} trailing bytes after frame payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Request {
+        Request {
+            model: "parent".into(),
+            input: Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32 * 0.5).collect()),
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = sample_request();
+        let frame = encode_request(&req);
+        let (prefix, body) = frame.split_at(4);
+        assert_eq!(
+            u32::from_le_bytes(prefix.try_into().unwrap()) as usize,
+            body.len()
+        );
+        assert_eq!(decode_request(body).expect("decodes"), req);
+    }
+
+    #[test]
+    fn response_roundtrips_both_arms() {
+        let ok = Response::ok(Tensor::from_vec(vec![4], vec![0.1, 0.2, 0.3, 0.4]), 7);
+        let frame = encode_response(&ok);
+        assert_eq!(decode_response(&frame[4..]).expect("decodes"), ok);
+
+        let busy = Response::failure(Status::Busy, "queue full");
+        let frame = encode_response(&busy);
+        let back = decode_response(&frame[4..]).expect("decodes");
+        assert_eq!(back.status, Status::Busy);
+        assert_eq!(back.message, "queue full");
+        assert!(back.output.is_none());
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let req = sample_request();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&req)).expect("write");
+        let mut reader = &wire[..];
+        let body = read_frame(&mut reader).expect("read").expect("one frame");
+        assert_eq!(decode_request(&body).expect("decodes"), req);
+        assert!(read_frame(&mut reader).expect("eof").is_none());
+    }
+
+    #[test]
+    fn kind_confusion_is_rejected() {
+        let frame = encode_request(&sample_request());
+        let err = decode_response(&frame[4..]).unwrap_err();
+        assert!(matches!(err, Error::Protocol(_)), "{err:?}");
+    }
+}

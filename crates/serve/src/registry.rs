@@ -1,0 +1,161 @@
+//! The [`ModelRegistry`]: named, shape-validated networks available for
+//! serving.
+//!
+//! A registry is assembled once at startup (from freshly built networks
+//! or from PVCK checkpoints) and then becomes an immutable snapshot that
+//! worker threads clone their private networks from. Admission is
+//! guarded: every network must pass the static shape checker
+//! ([`Network::infer_shapes`]) before it can be served, so a model that
+//! cannot propagate its own declared input shape to its class count is
+//! rejected at load time, never discovered mid-request.
+
+use pv_ckpt::{read_network_state, Checkpoint};
+use pv_nn::Network;
+use pv_tensor::error::Result;
+use pv_tensor::Error;
+use std::collections::BTreeMap;
+
+/// A named collection of serveable networks (see module docs).
+#[derive(Clone, Default)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, Network>,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ModelRegistry({:?})", self.ids())
+    }
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits `net` under `id` after shape validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Serve`] if the id is empty or already taken, and
+    /// [`Error::ShapeMismatch`] if the network fails static shape
+    /// inference.
+    pub fn insert(&mut self, id: impl Into<String>, net: Network) -> Result<()> {
+        let id = id.into();
+        if id.is_empty() {
+            return Err(Error::Serve("model id must be non-empty".into()));
+        }
+        if self.models.contains_key(&id) {
+            return Err(Error::Serve(format!("model id '{id}' already registered")));
+        }
+        net.infer_shapes()?;
+        self.models.insert(id, net);
+        Ok(())
+    }
+
+    /// Admits a network whose state lives in a PVCK checkpoint: loads the
+    /// records under `prefix` (e.g. `net/` or `parent/`) into `template`
+    /// — a freshly built network of the matching architecture — then
+    /// admits the result under `id`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every checkpoint defect as a typed error
+    /// ([`Error::CorruptCheckpoint`] / [`Error::ShapeMismatch`]) plus the
+    /// admission checks of [`ModelRegistry::insert`].
+    pub fn insert_from_checkpoint(
+        &mut self,
+        id: impl Into<String>,
+        ckpt: &Checkpoint,
+        prefix: &str,
+        mut template: Network,
+    ) -> Result<()> {
+        read_network_state(&mut template, ckpt, prefix)?;
+        self.insert(id, template)
+    }
+
+    /// Registered model ids, sorted.
+    pub fn ids(&self) -> Vec<&str> {
+        self.models.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Looks up a model by id.
+    pub fn get(&self, id: &str) -> Option<&Network> {
+        self.models.get(id)
+    }
+
+    /// The declared per-sample input shape of a model, if registered.
+    pub fn input_shape(&self, id: &str) -> Option<&[usize]> {
+        self.models.get(id).map(Network::input_shape)
+    }
+
+    /// A private, mutable clone of every model — what each worker thread
+    /// takes at startup (eval-mode forward is pure, so clones stay
+    /// interchangeable forever).
+    pub fn clone_models(&self) -> BTreeMap<String, Network> {
+        self.models.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_ckpt::network_to_checkpoint;
+    use pv_nn::models;
+
+    fn net(seed: u64) -> Network {
+        models::mlp("m", 6, &[8], 3, false, seed)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut reg = ModelRegistry::new();
+        reg.insert("parent", net(1)).expect("admits");
+        reg.insert("cycle00", net(2)).expect("admits");
+        assert_eq!(reg.ids(), vec!["cycle00", "parent"]);
+        assert_eq!(reg.input_shape("parent"), Some(&[6][..]));
+        assert!(reg.get("nope").is_none());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_empty_ids_rejected() {
+        let mut reg = ModelRegistry::new();
+        reg.insert("m", net(1)).expect("admits");
+        assert!(matches!(reg.insert("m", net(2)), Err(Error::Serve(_))));
+        assert!(matches!(reg.insert("", net(3)), Err(Error::Serve(_))));
+    }
+
+    #[test]
+    fn checkpoint_admission_roundtrips() {
+        let mut trained = net(7);
+        let ckpt = network_to_checkpoint(&mut trained);
+        let mut reg = ModelRegistry::new();
+        reg.insert_from_checkpoint("restored", &ckpt, "net/", net(99))
+            .expect("admits");
+        assert_eq!(reg.ids(), vec!["restored"]);
+    }
+
+    #[test]
+    fn checkpoint_admission_rejects_wrong_architecture() {
+        let mut trained = net(7);
+        let ckpt = network_to_checkpoint(&mut trained);
+        let mut reg = ModelRegistry::new();
+        let wrong = models::mlp("m", 6, &[12], 3, false, 0); // different width
+        let err = reg
+            .insert_from_checkpoint("restored", &ckpt, "net/", wrong)
+            .unwrap_err();
+        assert!(matches!(err, Error::ShapeMismatch { .. }), "{err:?}");
+        assert!(reg.is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! The TCP serving loop: acceptor, per-connection handlers, and the
+//! batched worker pool.
+//!
+//! Life of a request (see also `ARCHITECTURE.md`):
+//!
+//! 1. the **acceptor** thread accepts a connection, applies the
+//!    connection cap, sets per-connection read/write timeouts, and hands
+//!    the stream to a handler thread;
+//! 2. the **handler** reads PVSR request frames, validates model id and
+//!    payload shape against the [`ModelRegistry`], and pushes a [`Job`]
+//!    into the bounded [`JobQueue`] — answering `Busy` immediately when
+//!    the queue rejects it (explicit backpressure) and `BadRequest` /
+//!    `UnknownModel` without ever touching a worker;
+//! 3. a **worker** thread coalesces same-model jobs into one forward
+//!    batch (deadline-driven, see [`crate::batcher`]), executes it on its
+//!    private network clones, and delivers per-row logits to each job's
+//!    [`ResponseSlot`];
+//! 4. the handler wakes, records the request latency, and writes the
+//!    response frame.
+//!
+//! A panicking worker is caught at the batch boundary: its in-flight
+//! batch fails with `Internal`, the worker re-clones its networks from
+//! the registry snapshot (discarding any half-updated activation state),
+//! and the pool keeps serving — one poisoned batch never becomes a dead
+//! server.
+
+use crate::batcher::{BatchConfig, Job, JobQueue, ResponseSlot};
+use crate::pool;
+use crate::protocol::{decode_request, encode_response, read_frame, write_frame, Response, Status};
+use crate::registry::ModelRegistry;
+use pv_nn::Mode;
+use pv_obs::Clock;
+use pv_tensor::error::Result;
+use pv_tensor::{Error, Tensor};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free loopback port).
+    pub addr: String,
+    /// Worker threads executing forward batches.
+    pub workers: usize,
+    /// Micro-batching parameters.
+    pub batch: BatchConfig,
+    /// Per-connection read/write timeout; a peer that stalls longer is
+    /// disconnected instead of pinning a handler thread forever.
+    pub io_timeout: Duration,
+    /// Cap on concurrently served connections; excess connections get an
+    /// immediate `Busy` response and are closed.
+    pub max_connections: usize,
+    /// Chaos hook: requests for this model id panic inside the worker,
+    /// exercising the fault boundary (tests and fault drills only).
+    pub fault_model: Option<String>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            batch: BatchConfig::default(),
+            io_timeout: Duration::from_secs(10),
+            max_connections: 64,
+            fault_model: None,
+        }
+    }
+}
+
+/// A running server: the bound address plus the thread handles needed to
+/// stop it. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    queue: Arc<JobQueue>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains queued jobs, and joins the acceptor and
+    /// worker threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue.stop();
+        // unblock the acceptor's blocking accept() with a dummy connection
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            drop(s);
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts a batched inference server for `registry` and returns once the
+/// listener is bound and every thread is running.
+///
+/// The clock is injected (never read from the wall inside the library):
+/// the CLI passes a `MonotonicClock`, tests may pass a `FakeClock` to
+/// make deadline behaviour deterministic.
+///
+/// # Errors
+///
+/// Returns [`Error::Serve`] for an empty registry and [`Error::Io`] when
+/// the bind fails.
+pub fn serve(
+    registry: ModelRegistry,
+    cfg: ServerConfig,
+    clock: Arc<dyn Clock>,
+) -> Result<ServerHandle> {
+    if registry.is_empty() {
+        return Err(Error::Serve(
+            "refusing to serve an empty model registry".into(),
+        ));
+    }
+    let listener =
+        TcpListener::bind(&cfg.addr).map_err(|e| Error::io(format!("bind {}", cfg.addr), e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| Error::io("local_addr", e))?;
+
+    let queue = Arc::new(JobQueue::new(cfg.batch.queue_capacity));
+    let stop = Arc::new(AtomicBool::new(false));
+    let registry = Arc::new(registry);
+    let cfg = Arc::new(cfg);
+
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for w in 0..cfg.workers.max(1) {
+        let queue = Arc::clone(&queue);
+        let registry = Arc::clone(&registry);
+        let cfg = Arc::clone(&cfg);
+        let clock = Arc::clone(&clock);
+        workers.push(pool::spawn(&format!("worker{w}"), move || {
+            worker_loop(&queue, &registry, &cfg, clock.as_ref());
+        }));
+    }
+
+    let acceptor = {
+        let queue = Arc::clone(&queue);
+        let registry = Arc::clone(&registry);
+        let cfg = Arc::clone(&cfg);
+        let stop = Arc::clone(&stop);
+        let clock = Arc::clone(&clock);
+        pool::spawn("acceptor", move || {
+            accept_loop(&listener, &queue, &registry, &cfg, &stop, &clock);
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        queue,
+        stop,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &Arc<JobQueue>,
+    registry: &Arc<ModelRegistry>,
+    cfg: &Arc<ServerConfig>,
+    stop: &Arc<AtomicBool>,
+    clock: &Arc<dyn Clock>,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return; // the shutdown dummy connection lands here
+        }
+        if active.load(Ordering::SeqCst) >= cfg.max_connections {
+            pv_obs::counter_add("serve/rejected", 1.0);
+            let mut stream = stream;
+            let frame = encode_response(&Response::failure(Status::Busy, "connection cap reached"));
+            let _ = write_frame(&mut stream, &frame);
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(cfg.io_timeout));
+        let _ = stream.set_write_timeout(Some(cfg.io_timeout));
+        active.fetch_add(1, Ordering::SeqCst);
+        let queue = Arc::clone(queue);
+        let registry = Arc::clone(registry);
+        let stop = Arc::clone(stop);
+        let active = Arc::clone(&active);
+        let clock = Arc::clone(clock);
+        pool::spawn("conn", move || {
+            handle_connection(stream, &queue, &registry, &stop, clock.as_ref());
+            active.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+}
+
+/// Serves one connection: a loop of read-frame → validate → enqueue →
+/// await → write-frame. Returns (closing the connection) on peer EOF,
+/// transport errors, malformed frames, or server shutdown.
+fn handle_connection(
+    mut stream: TcpStream,
+    queue: &JobQueue,
+    registry: &ModelRegistry,
+    stop: &AtomicBool,
+    clock: &dyn Clock,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // clean EOF
+            Err(Error::Io(_)) => return,
+            Err(e) => {
+                // malformed frame: answer once, then drop the connection
+                // (framing is unrecoverable mid-stream)
+                let frame = encode_response(&Response::failure(Status::BadRequest, e.to_string()));
+                let _ = write_frame(&mut stream, &frame);
+                return;
+            }
+        };
+        let t0 = clock.now_ns();
+        let resp = match decode_request(&body) {
+            Err(e) => Response::failure(Status::BadRequest, e.to_string()),
+            Ok(req) => match registry.input_shape(&req.model) {
+                None => Response::failure(
+                    Status::UnknownModel,
+                    format!("model '{}' is not registered", req.model),
+                ),
+                Some(shape) if shape != req.input.shape() => Response::failure(
+                    Status::BadRequest,
+                    format!(
+                        "payload shape {:?} does not match model input {shape:?}",
+                        req.input.shape()
+                    ),
+                ),
+                Some(_) => {
+                    let slot = ResponseSlot::new();
+                    let job = Job {
+                        model: req.model,
+                        input: req.input,
+                        slot: slot.clone(),
+                    };
+                    match queue.push(job) {
+                        Ok(()) => {
+                            pv_obs::counter_add("serve/accepted", 1.0);
+                            slot.wait()
+                        }
+                        Err(_job) => {
+                            pv_obs::counter_add("serve/rejected", 1.0);
+                            Response::failure(Status::Busy, "admission queue full")
+                        }
+                    }
+                }
+            },
+        };
+        pv_obs::histogram_ns("serve/request_ns", clock.now_ns().saturating_sub(t0));
+        if write_frame(&mut stream, &encode_response(&resp)).is_err() {
+            return;
+        }
+    }
+}
+
+/// One worker: pull a batch, execute it behind the fault boundary,
+/// deliver per-row logits.
+fn worker_loop(queue: &JobQueue, registry: &ModelRegistry, cfg: &ServerConfig, clock: &dyn Clock) {
+    let mut models = registry.clone_models();
+    while let Some(batch) = queue.next_batch(clock, &cfg.batch) {
+        pv_obs::histogram_ns("serve/batch_size", batch.len() as u64);
+        let t0 = clock.now_ns();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_batch(&mut models, &batch, cfg)
+        }));
+        pv_obs::histogram_ns("serve/batch_exec_ns", clock.now_ns().saturating_sub(t0));
+        match outcome {
+            Ok(Ok(rows)) => {
+                pv_obs::counter_add("serve/served", batch.len() as f64);
+                let n = batch.len() as u32;
+                for (job, row) in batch.iter().zip(rows) {
+                    job.slot.fulfill(Response::ok(row, n));
+                }
+            }
+            Ok(Err(e)) => {
+                // admission validated shape and registration, so this is a
+                // server-side defect, not the client's fault
+                pv_obs::counter_add("serve/failed", batch.len() as f64);
+                for job in &batch {
+                    job.slot
+                        .fulfill(Response::failure(Status::Internal, e.to_string()));
+                }
+            }
+            Err(_panic) => {
+                pv_obs::counter_add("serve/failed", batch.len() as f64);
+                for job in &batch {
+                    job.slot.fulfill(Response::failure(
+                        Status::Internal,
+                        "worker fault while executing batch",
+                    ));
+                }
+                // discard potentially half-updated activation state: the
+                // registry snapshot is the clean source of truth
+                models = registry.clone_models();
+            }
+        }
+    }
+}
+
+/// Stacks a single-model batch, runs one forward pass, and splits the
+/// logits back into per-request rows.
+fn execute_batch(
+    models: &mut std::collections::BTreeMap<String, pv_nn::Network>,
+    batch: &[Job],
+    cfg: &ServerConfig,
+) -> Result<Vec<Tensor>> {
+    // pv-analyze: allow(lib-panic) -- next_batch never returns an empty batch
+    let model_id = &batch.first().expect("non-empty batch").model;
+    if cfg.fault_model.as_deref() == Some(model_id.as_str()) {
+        // pv-analyze: allow(lib-panic) -- deliberate chaos hook; the panic is caught by the worker's fault boundary
+        panic!("injected fault for model '{model_id}'");
+    }
+    let net = models
+        .get_mut(model_id)
+        .ok_or_else(|| Error::Serve(format!("model '{model_id}' vanished from the registry")))?;
+    let sample_shape = batch[0].input.shape().to_vec();
+    let mut shape = Vec::with_capacity(sample_shape.len() + 1);
+    shape.push(batch.len());
+    shape.extend_from_slice(&sample_shape);
+    let mut data = Vec::with_capacity(shape.iter().product());
+    for job in batch {
+        data.extend_from_slice(job.input.data());
+    }
+    let stacked = Tensor::from_vec(shape, data);
+    let logits = net.try_forward_batch(&stacked, Mode::Eval)?;
+    let row_shape: Vec<usize> = logits.shape()[1..].to_vec();
+    Ok((0..batch.len())
+        .map(|i| logits.slice_first_axis(i, i + 1).reshape(&row_shape))
+        .collect())
+}

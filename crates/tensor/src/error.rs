@@ -43,6 +43,14 @@ pub enum Error {
     /// The static-analysis gate failed (`pv analyze`): the message
     /// summarizes deny/warn counts; the full findings are on stdout.
     Analysis(String),
+    /// A PVSR wire frame failed structural validation (bad magic,
+    /// unsupported version, truncation, oversized length prefix, CRC
+    /// mismatch) — the serving analogue of [`Error::CorruptCheckpoint`].
+    Protocol(String),
+    /// A serving-layer failure: the server reported a non-OK response
+    /// status (busy, internal fault, unknown model), or a registry /
+    /// lifecycle operation was misused.
+    Serve(String),
 }
 
 impl Error {
@@ -70,6 +78,8 @@ impl fmt::Display for Error {
             Error::UnknownPreset(name) => write!(f, "unknown model preset '{name}'"),
             Error::Metric(msg) => write!(f, "metric contract violation: {msg}"),
             Error::Analysis(msg) => write!(f, "analysis failed: {msg}"),
+            Error::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            Error::Serve(msg) => write!(f, "serving error: {msg}"),
         }
     }
 }

@@ -34,11 +34,136 @@ fn matmul_threads(flops: usize) -> usize {
     }
 }
 
+/// `split_at_mut` taking the slice by value, so the caller can walk a
+/// block with `remaining = rest` without fighting reborrow lifetimes.
+fn split_rows(s: &mut [f32], at: usize) -> (&mut [f32], &mut [f32]) {
+    s.split_at_mut(at)
+}
+
+/// Output columns processed per panel inside a micro-kernel. Eight C-row
+/// segments of `NC` floats (16 KiB) stay resident in L1 across a whole
+/// `KC` tile, so C traffic scales with `k / KC` instead of `k`.
+const NC: usize = 512;
+
+/// Eight-row micro-kernel: `c` holds 8 output rows of length `n`, `a` the
+/// matching 8 rows of `A` (each `k` long); every streamed element of `B`
+/// feeds eight multiply-adds. Column panels keep the accumulators hot
+/// without touching per-element accumulation order (ascending `p`).
+#[inline]
+fn kernel8(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, k: usize, p0: usize, p1: usize) {
+    let (q0, q1) = c.split_at_mut(4 * n);
+    let (h0, h1) = q0.split_at_mut(2 * n);
+    let (h2, h3) = q1.split_at_mut(2 * n);
+    let (c0, c1) = h0.split_at_mut(n);
+    let (c2, c3) = h1.split_at_mut(n);
+    let (c4, c5) = h2.split_at_mut(n);
+    let (c6, c7) = h3.split_at_mut(n);
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + NC).min(n);
+        for p in p0..p1 {
+            let (a0, a1, a2, a3) = (a[p], a[k + p], a[2 * k + p], a[3 * k + p]);
+            let (a4, a5, a6, a7) = (a[4 * k + p], a[5 * k + p], a[6 * k + p], a[7 * k + p]);
+            let brow = &bd[p * n + jb..p * n + je];
+            for ((((((((cv0, cv1), cv2), cv3), cv4), cv5), cv6), cv7), &bv) in c0[jb..je]
+                .iter_mut()
+                .zip(c1[jb..je].iter_mut())
+                .zip(c2[jb..je].iter_mut())
+                .zip(c3[jb..je].iter_mut())
+                .zip(c4[jb..je].iter_mut())
+                .zip(c5[jb..je].iter_mut())
+                .zip(c6[jb..je].iter_mut())
+                .zip(c7[jb..je].iter_mut())
+                .zip(brow)
+            {
+                *cv0 += a0 * bv;
+                *cv1 += a1 * bv;
+                *cv2 += a2 * bv;
+                *cv3 += a3 * bv;
+                *cv4 += a4 * bv;
+                *cv5 += a5 * bv;
+                *cv6 += a6 * bv;
+                *cv7 += a7 * bv;
+            }
+        }
+        jb = je;
+    }
+}
+
+/// Four-row micro-kernel (tail of a block after the 8-row peels).
+#[inline]
+fn kernel4(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, k: usize, p0: usize, p1: usize) {
+    let (h0, h1) = c.split_at_mut(2 * n);
+    let (c0, c1) = h0.split_at_mut(n);
+    let (c2, c3) = h1.split_at_mut(n);
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + NC).min(n);
+        for p in p0..p1 {
+            let (a0, a1, a2, a3) = (a[p], a[k + p], a[2 * k + p], a[3 * k + p]);
+            let brow = &bd[p * n + jb..p * n + je];
+            for ((((cv0, cv1), cv2), cv3), &bv) in c0[jb..je]
+                .iter_mut()
+                .zip(c1[jb..je].iter_mut())
+                .zip(c2[jb..je].iter_mut())
+                .zip(c3[jb..je].iter_mut())
+                .zip(brow)
+            {
+                *cv0 += a0 * bv;
+                *cv1 += a1 * bv;
+                *cv2 += a2 * bv;
+                *cv3 += a3 * bv;
+            }
+        }
+        jb = je;
+    }
+}
+
+/// Two-row micro-kernel.
+#[inline]
+fn kernel2(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, k: usize, p0: usize, p1: usize) {
+    let (c0, c1) = c.split_at_mut(n);
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + NC).min(n);
+        for p in p0..p1 {
+            let (a0, a1) = (a[p], a[k + p]);
+            let brow = &bd[p * n + jb..p * n + je];
+            for ((cv0, cv1), &bv) in c0[jb..je].iter_mut().zip(c1[jb..je].iter_mut()).zip(brow) {
+                *cv0 += a0 * bv;
+                *cv1 += a1 * bv;
+            }
+        }
+        jb = je;
+    }
+}
+
+/// Single-row micro-kernel.
+#[inline]
+fn kernel1(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, p0: usize, p1: usize) {
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + NC).min(n);
+        for p in p0..p1 {
+            let av = a[p];
+            let brow = &bd[p * n + jb..p * n + je];
+            for (cv, &bv) in c[jb..je].iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+        jb = je;
+    }
+}
+
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
 ///
 /// Row blocks of `C` are computed in parallel; within a block the kernel
-/// walks `k` in [`KC`]-sized tiles and updates two output rows per pass so
-/// each streamed row of `B` is reused from registers.
+/// walks `k` in `KC`-sized tiles and updates four output rows per pass
+/// (falling back to two / one on the block's tail) so each streamed row of
+/// `B` is reused from registers — the register blocking that makes a
+/// batched forward pass cheaper per row than repeated single-row products.
+/// Each output element still accumulates over `p` in ascending order, so
+/// results are bitwise independent of the row-blocking width.
 ///
 /// # Panics
 ///
@@ -71,29 +196,31 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         let mut p0 = 0;
         while p0 < k {
             let p1 = (p0 + KC).min(k);
-            for (pair, cpair) in cblock.chunks_mut(2 * n).enumerate() {
-                let i = i0 + 2 * pair;
-                if cpair.len() == 2 * n {
-                    let (crow0, crow1) = cpair.split_at_mut(n);
-                    let arow0 = &ad[i * k..(i + 1) * k];
-                    let arow1 = &ad[(i + 1) * k..(i + 2) * k];
-                    for p in p0..p1 {
-                        let (a0, a1) = (arow0[p], arow1[p]);
-                        let brow = &bd[p * n..(p + 1) * n];
-                        for ((cv0, cv1), &bv) in crow0.iter_mut().zip(crow1.iter_mut()).zip(brow) {
-                            *cv0 += a0 * bv;
-                            *cv1 += a1 * bv;
-                        }
-                    }
-                } else {
-                    let arow = &ad[i * k..(i + 1) * k];
-                    for p in p0..p1 {
-                        let av = arow[p];
-                        let brow = &bd[p * n..(p + 1) * n];
-                        for (cv, &bv) in cpair.iter_mut().zip(brow) {
-                            *cv += av * bv;
-                        }
-                    }
+            for (oct, coct) in cblock.chunks_mut(8 * n).enumerate() {
+                let mut i = i0 + 8 * oct;
+                // peel the widest micro-kernel that fits, then fall through:
+                // 8-row, then 4-row, then 2-row, then a single row
+                let mut remaining = coct;
+                while remaining.len() >= 8 * n {
+                    let (chunk, rest) = split_rows(remaining, 8 * n);
+                    kernel8(chunk, &ad[i * k..(i + 8) * k], bd, n, k, p0, p1);
+                    remaining = rest;
+                    i += 8;
+                }
+                if remaining.len() >= 4 * n {
+                    let (chunk, rest) = split_rows(remaining, 4 * n);
+                    kernel4(chunk, &ad[i * k..(i + 4) * k], bd, n, k, p0, p1);
+                    remaining = rest;
+                    i += 4;
+                }
+                if remaining.len() >= 2 * n {
+                    let (chunk, rest) = split_rows(remaining, 2 * n);
+                    kernel2(chunk, &ad[i * k..(i + 2) * k], bd, n, k, p0, p1);
+                    remaining = rest;
+                    i += 2;
+                }
+                if !remaining.is_empty() {
+                    kernel1(remaining, &ad[i * k..(i + 1) * k], bd, n, p0, p1);
                 }
             }
             p0 = p1;
@@ -105,7 +232,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (result `[m, n]`).
 ///
 /// Used for weight gradients: `dW = Xᵀ · dY`. Row blocks of `C` are
-/// computed in parallel; within a block, [`MC`]-row sub-blocks stay cache
+/// computed in parallel; within a block, `MC`-row sub-blocks stay cache
 /// resident while the `k` rows of `A` and `B` stream past in order, so each
 /// output element accumulates over `p = 0..k` sequentially.
 ///
@@ -144,12 +271,116 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     c
 }
 
+/// Eight-row dot block for [`matmul_a_bt`]: each streamed row of `B` feeds
+/// eight dot products with independent accumulator chains (ILP), and the
+/// whole `B` matrix is traversed once per eight output rows instead of once
+/// per row. Every accumulator still sums over `k` in ascending order, so
+/// results are bitwise identical to the narrower blocks.
+#[inline]
+fn dot8(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, k: usize) {
+    let (q0, q1) = c.split_at_mut(4 * n);
+    let (h0, h1) = q0.split_at_mut(2 * n);
+    let (h2, h3) = q1.split_at_mut(2 * n);
+    let (c0, c1) = h0.split_at_mut(n);
+    let (c2, c3) = h1.split_at_mut(n);
+    let (c4, c5) = h2.split_at_mut(n);
+    let (c6, c7) = h3.split_at_mut(n);
+    let (a0, a1) = (&a[..k], &a[k..2 * k]);
+    let (a2, a3) = (&a[2 * k..3 * k], &a[3 * k..4 * k]);
+    let (a4, a5) = (&a[4 * k..5 * k], &a[5 * k..6 * k]);
+    let (a6, a7) = (&a[6 * k..7 * k], &a[7 * k..8 * k]);
+    for j in 0..n {
+        let brow = &bd[j * k..(j + 1) * k];
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let (mut s4, mut s5, mut s6, mut s7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (idx, &bv) in brow.iter().enumerate() {
+            s0 += a0[idx] * bv;
+            s1 += a1[idx] * bv;
+            s2 += a2[idx] * bv;
+            s3 += a3[idx] * bv;
+            s4 += a4[idx] * bv;
+            s5 += a5[idx] * bv;
+            s6 += a6[idx] * bv;
+            s7 += a7[idx] * bv;
+        }
+        c0[j] = s0;
+        c1[j] = s1;
+        c2[j] = s2;
+        c3[j] = s3;
+        c4[j] = s4;
+        c5[j] = s5;
+        c6[j] = s6;
+        c7[j] = s7;
+    }
+}
+
+/// Four-row dot block (tail of a [`matmul_a_bt`] row group).
+#[inline]
+fn dot4(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, k: usize) {
+    let (h0, h1) = c.split_at_mut(2 * n);
+    let (c0, c1) = h0.split_at_mut(n);
+    let (c2, c3) = h1.split_at_mut(n);
+    for j in 0..n {
+        let brow = &bd[j * k..(j + 1) * k];
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for ((((&a0, &a1), &a2), &a3), &bv) in a[..k]
+            .iter()
+            .zip(&a[k..2 * k])
+            .zip(&a[2 * k..3 * k])
+            .zip(&a[3 * k..4 * k])
+            .zip(brow)
+        {
+            s0 += a0 * bv;
+            s1 += a1 * bv;
+            s2 += a2 * bv;
+            s3 += a3 * bv;
+        }
+        c0[j] = s0;
+        c1[j] = s1;
+        c2[j] = s2;
+        c3[j] = s3;
+    }
+}
+
+/// Two-row dot block.
+#[inline]
+fn dot2(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, k: usize) {
+    let (c0, c1) = c.split_at_mut(n);
+    for j in 0..n {
+        let brow = &bd[j * k..(j + 1) * k];
+        let (mut s0, mut s1) = (0.0f32, 0.0f32);
+        for ((&a0, &a1), &bv) in a[..k].iter().zip(&a[k..2 * k]).zip(brow) {
+            s0 += a0 * bv;
+            s1 += a1 * bv;
+        }
+        c0[j] = s0;
+        c1[j] = s1;
+    }
+}
+
+/// Single-row dot block.
+#[inline]
+fn dot1(c: &mut [f32], a: &[f32], bd: &[f32], k: usize) {
+    for (j, cv) in c.iter_mut().enumerate() {
+        let brow = &bd[j * k..(j + 1) * k];
+        let mut acc = 0.0f32;
+        for (&av, &bv) in a.iter().zip(brow) {
+            acc += av * bv;
+        }
+        *cv = acc;
+    }
+}
+
 /// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (result `[m, n]`).
 ///
-/// Used for input gradients (`dX = dY · Wᵀ` when `W: [out, in]` is stored
-/// row-major by output) and as the GEMM behind im2col convolution. Row
-/// blocks of `C` are computed in parallel; within a block each streamed row
-/// of `B` feeds two dot products at once.
+/// Used by the linear layer's forward pass (`Y = X · Wᵀ` when `W: [out, in]`
+/// is stored row-major by output), for input gradients, and as the GEMM
+/// behind im2col convolution. Row blocks of `C` are computed in parallel;
+/// within a block each streamed row of `B` feeds up to eight dot products
+/// at once, so a batched forward pass traverses the weight matrix once per
+/// eight samples instead of once per sample. Each output element still sums
+/// over `k` in ascending order with a single accumulator, so results are
+/// bitwise independent of the row-blocking width.
 ///
 /// # Panics
 ///
@@ -166,36 +397,41 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
         return c;
     }
     let (ad, bd) = (a.data(), b.data());
+    // When B spills the last-level cache the product is bound by streaming
+    // B, so wide row groups (which traverse B once per eight rows) win; for
+    // cache-resident B the two-row block's shorter dependency set is faster.
+    // Either way each element is one ascending-`k` accumulator chain, so the
+    // choice cannot change results.
+    let wide = 4 * n * k > (2 << 20);
     let rows_per_block = m.div_ceil(matmul_threads(m * k * n));
     parallel_for_chunks_mut(c.data_mut(), rows_per_block * n, |block, cblock| {
         let i0 = block * rows_per_block;
-        for (pair, cpair) in cblock.chunks_mut(2 * n).enumerate() {
-            let i = i0 + 2 * pair;
-            if cpair.len() == 2 * n {
-                let (crow0, crow1) = cpair.split_at_mut(n);
-                let arow0 = &ad[i * k..(i + 1) * k];
-                let arow1 = &ad[(i + 1) * k..(i + 2) * k];
-                for j in 0..n {
-                    let brow = &bd[j * k..(j + 1) * k];
-                    let (mut acc0, mut acc1) = (0.0f32, 0.0f32);
-                    for ((&a0, &a1), &bv) in arow0.iter().zip(arow1).zip(brow) {
-                        acc0 += a0 * bv;
-                        acc1 += a1 * bv;
-                    }
-                    crow0[j] = acc0;
-                    crow1[j] = acc1;
-                }
-            } else {
-                let arow = &ad[i * k..(i + 1) * k];
-                for (j, cv) in cpair.iter_mut().enumerate() {
-                    let brow = &bd[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&av, &bv) in arow.iter().zip(brow) {
-                        acc += av * bv;
-                    }
-                    *cv = acc;
-                }
+        let mut i = i0;
+        // peel the widest dot block that fits, then fall through:
+        // 8-row, then 4-row, then 2-row, then a single row
+        let mut remaining = cblock;
+        if wide {
+            while remaining.len() >= 8 * n {
+                let (chunk, rest) = split_rows(remaining, 8 * n);
+                dot8(chunk, &ad[i * k..(i + 8) * k], bd, n, k);
+                remaining = rest;
+                i += 8;
             }
+            if remaining.len() >= 4 * n {
+                let (chunk, rest) = split_rows(remaining, 4 * n);
+                dot4(chunk, &ad[i * k..(i + 4) * k], bd, n, k);
+                remaining = rest;
+                i += 4;
+            }
+        }
+        while remaining.len() >= 2 * n {
+            let (chunk, rest) = split_rows(remaining, 2 * n);
+            dot2(chunk, &ad[i * k..(i + 2) * k], bd, n, k);
+            remaining = rest;
+            i += 2;
+        }
+        if !remaining.is_empty() {
+            dot1(remaining, &ad[i * k..(i + 1) * k], bd, k);
         }
     });
     c

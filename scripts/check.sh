@@ -16,6 +16,9 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> pv analyze --deny-warnings (workspace invariant linter + pragma audit)"
 cargo run -q --release -p pruneval-cli -- analyze --deny-warnings
 
@@ -38,6 +41,29 @@ cargo bench -q -p pv-bench --bench analyze
 
 echo "==> observability micro-bench (BENCH_obs.json)"
 cargo bench -q -p pv-bench --bench obs
+
+echo "==> serving gate: pruneval serve + loadgen loopback round-trip"
+SERVE_ADDR=127.0.0.1:17419
+target/release/pruneval serve --model mlp --scale smoke --addr "$SERVE_ADDR" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    if target/release/pruneval loadgen --model mlp --scale smoke \
+        --addr "$SERVE_ADDR" --requests 1 \
+        --concurrency 1 --json target/check_serve_probe.json >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+target/release/pruneval loadgen --model mlp --scale smoke \
+    --addr "$SERVE_ADDR" --requests 32 \
+    --concurrency 4 --json target/check_serve.json
+grep -q '"failed": 0' target/check_serve.json || {
+    echo "ERROR: serving gate saw failed requests" >&2
+    exit 1
+}
+kill "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
 
 echo "==> gated property tests (--all-features)"
 cargo test -q --workspace --all-features

@@ -1,0 +1,295 @@
+//! PVSR/v1 protocol-hardening tests, the wire sibling of
+//! `checkpoint_roundtrip.rs`: every way a frame can be damaged —
+//! truncation, bad magic, a foreign version, a flipped CRC bit, a hostile
+//! length prefix, dims that disagree with the payload — must surface as a
+//! typed [`Error::Protocol`] (never a panic, never an allocation sized by
+//! the attacker), and a live server must answer malformed bytes with a
+//! `BadRequest` frame or a clean close, then keep serving well-formed
+//! peers.
+
+use pruneval::Error;
+use pv_nn::models;
+use pv_serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    Request, Response,
+};
+use pv_serve::{serve, Client, ModelRegistry, ServerConfig, Status, MAX_FRAME_BYTES};
+use pv_tensor::Tensor;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sample_frame() -> Vec<u8> {
+    encode_request(&Request {
+        model: "parent".into(),
+        input: Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect()),
+    })
+}
+
+/// The body of a frame (everything after the u32 length prefix).
+fn body(frame: &[u8]) -> Vec<u8> {
+    frame[4..].to_vec()
+}
+
+fn expect_protocol_err(result: Result<Request, Error>, what: &str) {
+    match result {
+        Err(Error::Protocol(msg)) => assert!(!msg.is_empty(), "{what}: empty diagnostic"),
+        other => panic!("{what}: expected Error::Protocol, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncation_at_every_boundary_is_a_typed_error() {
+    let full = body(&sample_frame());
+    // chopping the body anywhere — header, dims, payload, footer — must
+    // yield Error::Protocol, never a panic or a bogus success
+    for cut in 0..full.len() {
+        let result = decode_request(&full[..cut]);
+        expect_protocol_err(result, &format!("truncated to {cut} bytes"));
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut b = body(&sample_frame());
+    b[0..4].copy_from_slice(b"PVCK"); // right family, wrong format
+    reseal(&mut b);
+    expect_protocol_err(decode_request(&b), "bad magic");
+}
+
+#[test]
+fn foreign_version_is_rejected() {
+    let mut b = body(&sample_frame());
+    b[4] = 2; // a future PVSR version this reader cannot decode
+    reseal(&mut b);
+    match decode_request(&b) {
+        Err(Error::Protocol(msg)) => assert!(msg.contains("version"), "{msg}"),
+        other => panic!("expected version rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn single_bit_flip_fails_the_crc() {
+    let pristine = body(&sample_frame());
+    // flip one bit in a spread of positions, covering header, model id,
+    // dims, payload, and the CRC footer itself
+    for pos in [0, 5, 8, 12, pristine.len() / 2, pristine.len() - 1] {
+        let mut b = pristine.clone();
+        b[pos] ^= 0x10;
+        let result = decode_request(&b);
+        expect_protocol_err(result, &format!("bit flip at byte {pos}"));
+    }
+}
+
+#[test]
+fn dims_payload_disagreement_is_rejected() {
+    // dims say [2,3] (6 floats) but carry only 5: rewrite the dim and reseal
+    let req = Request {
+        model: "m".into(),
+        input: Tensor::from_vec(vec![5], (0..5).map(|i| i as f32).collect()),
+    };
+    let mut b = body(&encode_request(&req));
+    // body: magic(4) version(1) kind(1) namelen(2) name(1) ndim(1) dim0(4)...
+    let dim0_at = 4 + 1 + 1 + 2 + 1 + 1;
+    b[dim0_at..dim0_at + 4].copy_from_slice(&6u32.to_le_bytes());
+    reseal(&mut b);
+    expect_protocol_err(decode_request(&b), "dims exceed payload");
+}
+
+#[test]
+fn overflowing_and_empty_dims_are_rejected() {
+    // ndim=2 with dims u32::MAX × u32::MAX must fail in checked
+    // multiplication, not allocate
+    let mut b = header_with(&[0u8]); // kind 0 = request
+    b.extend_from_slice(&1u16.to_le_bytes());
+    b.push(b'm');
+    b.push(2); // ndim
+    b.extend_from_slice(&u32::MAX.to_le_bytes());
+    b.extend_from_slice(&u32::MAX.to_le_bytes());
+    let b = sealed(b);
+    match decode_request(&b) {
+        Err(Error::Protocol(msg)) => assert!(msg.contains("overflow"), "{msg}"),
+        other => panic!("expected overflow rejection, got {other:?}"),
+    }
+
+    // a zero-sized tensor ([0] dims) is meaningless for inference
+    let mut b = header_with(&[0]);
+    b.extend_from_slice(&1u16.to_le_bytes());
+    b.push(b'm');
+    b.push(1); // ndim
+    b.extend_from_slice(&0u32.to_le_bytes());
+    let b = sealed(b);
+    expect_protocol_err(decode_request(&b), "empty tensor");
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let req = Request {
+        model: "m".into(),
+        input: Tensor::from_vec(vec![2], vec![1.0, 2.0]),
+    };
+    let mut b = body(&encode_request(&req));
+    let crc_at = b.len() - 4;
+    b.splice(crc_at..crc_at, [0xAA, 0xBB]); // extra payload bytes before the footer
+    reseal(&mut b);
+    match decode_request(&b) {
+        Err(Error::Protocol(msg)) => assert!(msg.contains("trailing"), "{msg}"),
+        other => panic!("expected trailing-bytes rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_length_prefixes_never_allocate() {
+    // a length prefix past the cap is rejected before the body allocation
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+    wire.extend_from_slice(&[0u8; 16]);
+    let mut reader = &wire[..];
+    match read_frame(&mut reader) {
+        Err(Error::Protocol(msg)) => assert!(msg.contains("cap"), "{msg}"),
+        other => panic!("expected frame-cap rejection, got {other:?}"),
+    }
+
+    // a sub-minimum length prefix is equally hopeless
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&3u32.to_le_bytes());
+    wire.extend_from_slice(&[0u8; 3]);
+    let mut reader = &wire[..];
+    assert!(matches!(read_frame(&mut reader), Err(Error::Protocol(_))));
+
+    // a prefix promising more bytes than the stream delivers is truncation
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&64u32.to_le_bytes());
+    wire.extend_from_slice(&[0u8; 10]); // only 10 of the promised 64
+    let mut reader = &wire[..];
+    match read_frame(&mut reader) {
+        Err(Error::Protocol(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+        other => panic!("expected truncation rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_utf8_model_id_and_unknown_status_are_rejected() {
+    let req = Request {
+        model: "mm".into(),
+        input: Tensor::from_vec(vec![1], vec![1.0]),
+    };
+    let mut b = body(&encode_request(&req));
+    b[8] = 0xFF; // first model-id byte → invalid UTF-8
+    b[9] = 0xFE;
+    reseal(&mut b);
+    expect_protocol_err(decode_request(&b), "non-UTF-8 model id");
+
+    let resp = Response::failure(Status::Busy, "x");
+    let mut b = body(&encode_response(&resp));
+    b[6] = 200; // status byte nobody defined
+    reseal(&mut b);
+    match decode_response(&b) {
+        Err(Error::Protocol(msg)) => assert!(msg.contains("status"), "{msg}"),
+        other => panic!("expected status rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn live_server_survives_malformed_bytes_then_keeps_serving() {
+    let mut reg = ModelRegistry::new();
+    reg.insert("parent", models::mlp("parent", 4, &[8], 2, false, 3))
+        .expect("admits");
+    let mut handle = serve(
+        reg,
+        ServerConfig::default(),
+        Arc::new(pv_obs::MonotonicClock::new()),
+    )
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    // 1. raw garbage with a plausible length prefix → server answers
+    //    BadRequest (or closes) without dying
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&16u32.to_le_bytes());
+        wire.extend_from_slice(&[0x5A; 16]);
+        stream.write_all(&wire).expect("write");
+        stream.flush().expect("flush");
+        let reply_body = read_frame(&mut stream)
+            .expect("framed reply")
+            .expect("one frame");
+        let resp = decode_response(&reply_body).expect("decodable reply");
+        assert_eq!(resp.status, Status::BadRequest);
+    }
+
+    // 2. a frame that stops mid-body (peer disappears) → server just
+    //    drops the connection
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(&1024u32.to_le_bytes())
+            .expect("prefix only");
+        drop(stream);
+    }
+
+    // 3. well-formed clients still get answers afterwards
+    let mut client = Client::connect(&addr, Duration::from_secs(10)).expect("connect");
+    let out = client
+        .infer(
+            "parent",
+            &Tensor::from_vec(vec![4], vec![0.1, 0.2, 0.3, 0.4]),
+        )
+        .expect("server still serving");
+    assert_eq!(out.shape(), &[2]);
+    handle.shutdown();
+}
+
+/// A bare `magic + version + kind…` header for hand-built bodies.
+fn header_with(kind: &[u8]) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.extend_from_slice(b"PVSR");
+    b.push(1);
+    b.extend_from_slice(kind);
+    b
+}
+
+/// Recomputes the CRC footer after tampering with body bytes (tests that
+/// target *structural* checks must pass the integrity check first).
+fn reseal(b: &mut [u8]) {
+    let crc_at = b.len() - 4;
+    let crc = pv_ckpt::crc32(&b[..crc_at]);
+    b[crc_at..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Appends a fresh CRC footer to a hand-built body (which has none yet).
+fn sealed(mut b: Vec<u8>) -> Vec<u8> {
+    let crc = pv_ckpt::crc32(&b);
+    b.extend_from_slice(&crc.to_le_bytes());
+    b
+}
+
+#[test]
+fn write_then_read_recovers_multiple_frames() {
+    // framing survives back-to-back frames on one stream
+    let frames = [
+        encode_request(&Request {
+            model: "a".into(),
+            input: Tensor::from_vec(vec![2], vec![1.0, 2.0]),
+        }),
+        encode_request(&Request {
+            model: "b".into(),
+            input: Tensor::from_vec(vec![3], vec![3.0, 4.0, 5.0]),
+        }),
+    ];
+    let mut wire = Vec::new();
+    for f in &frames {
+        write_frame(&mut wire, f).expect("write");
+    }
+    let mut reader = &wire[..];
+    for f in &frames {
+        let body = read_frame(&mut reader).expect("read").expect("frame");
+        assert_eq!(&body[..], &f[4..]);
+    }
+    assert!(read_frame(&mut reader).expect("eof").is_none());
+}
