@@ -21,6 +21,9 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/tensor/src/linalg.rs",
     "crates/tensor/src/conv.rs",
     "crates/tensor/src/par.rs",
+    "crates/tensor/src/pack.rs",
+    "crates/tensor/src/microkernel.rs",
+    "crates/tensor/src/select.rs",
 ];
 
 /// Static description of one rule.

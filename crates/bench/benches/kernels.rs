@@ -3,17 +3,34 @@
 //! (`PV_NUM_THREADS=1` equivalent) vs parallel, plus an end-to-end
 //! forward+backward pass on the synthetic CIFAR stand-in.
 //!
+//! Every GEMM row is also timed against the scalar oracle in
+//! `pv_tensor::linalg::reference` — the packed routines must match it
+//! **bitwise** (asserted here, at both thread settings) and the JSON
+//! records the packed-vs-oracle speedup so the perf trajectory of the
+//! BLIS-style kernels is visible per shape.
+//!
 //! Emits `BENCH_kernels.json` in the working directory so future PRs can
-//! track the perf trajectory. Results are asserted bitwise identical
-//! between the serial and parallel runs before timings are reported.
+//! track the perf trajectory, and prints a before/after table against the
+//! committed baseline when one is readable.
+//!
+//! Environment:
+//!
+//! * `PV_BENCH_SMOKE=1` — regression-gate mode for `scripts/check.sh`:
+//!   fewer timing reps, **no** JSON written, and a non-zero exit when any
+//!   row's serial GFLOP/s regresses more than 20% against the baseline.
+//! * `PV_BENCH_BASELINE=<path>` — baseline JSON to compare/gate against
+//!   (default: `BENCH_kernels.json` in the working directory, i.e. the
+//!   committed file when invoked via `cargo bench`).
 
 use pv_nn::{cross_entropy, models, Mode};
+use pv_tensor::linalg::reference;
 use pv_tensor::par::{num_threads, set_thread_override};
 use pv_tensor::{conv2d_backward, conv2d_forward, matmul, matmul_a_bt, matmul_at_b};
 use pv_tensor::{ConvGeometry, Rng, Tensor};
 use std::time::Instant;
 
-/// One serial-vs-parallel measurement.
+/// One serial-vs-parallel measurement, with an optional scalar-oracle
+/// reference time for GEMM rows.
 struct BenchRow {
     name: String,
     /// Work per run in multiply-accumulate operations (0 = unknown).
@@ -21,6 +38,8 @@ struct BenchRow {
     serial_secs: f64,
     parallel_secs: f64,
     parallel_threads: usize,
+    /// Serial wall time of the scalar oracle on the same operands.
+    oracle_secs: Option<f64>,
 }
 
 impl BenchRow {
@@ -31,19 +50,35 @@ impl BenchRow {
     fn gflops(&self, secs: f64) -> f64 {
         2.0 * self.flops as f64 / secs / 1e9
     }
+
+    fn serial_gflops(&self) -> f64 {
+        self.gflops(self.serial_secs)
+    }
+
+    fn parallel_gflops(&self) -> f64 {
+        self.gflops(self.parallel_secs)
+    }
+
+    /// Packed-vs-scalar-oracle speedup (oracle time / packed serial time).
+    fn oracle_speedup(&self) -> Option<f64> {
+        self.oracle_secs.map(|o| o / self.serial_secs)
+    }
 }
 
-/// Median-of-runs wall time for one invocation of `f`.
+/// Best-of-runs wall time for one invocation of `f`. The minimum sample
+/// is the standard estimator for compute-bound microbenches on a shared
+/// host: every source of interference (scheduler preemption, co-tenant
+/// load) only ever adds time, so the fastest run is the closest to the
+/// kernel's true cost.
 fn time_secs<O>(f: &mut dyn FnMut() -> O, runs: usize) -> f64 {
-    let mut samples: Vec<f64> = (0..runs)
+    (0..runs)
         .map(|_| {
             let t = Instant::now();
             std::hint::black_box(f());
             t.elapsed().as_secs_f64()
         })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
-    samples[samples.len() / 2]
+        .min_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"))
+        .unwrap_or(f64::INFINITY)
 }
 
 /// Measures `f` at 1 thread and at the ambient thread count.
@@ -60,7 +95,32 @@ fn bench<O>(name: &str, flops: u64, runs: usize, mut f: impl FnMut() -> O) -> Be
         serial_secs,
         parallel_secs,
         parallel_threads,
+        oracle_secs: None,
     }
+}
+
+/// Benches one GEMM flavour against the scalar oracle: asserts the packed
+/// routine is bitwise identical to the oracle at 1 thread and at the
+/// ambient thread count, then records the oracle's serial wall time.
+fn bench_gemm(
+    name: &str,
+    flops: u64,
+    runs: usize,
+    mut packed: impl FnMut() -> Tensor,
+    mut oracle: impl FnMut() -> Tensor,
+) -> BenchRow {
+    let want = oracle();
+    set_thread_override(Some(1));
+    assert_eq!(packed(), want, "{name}: serial packed != scalar oracle");
+    set_thread_override(None);
+    assert_eq!(packed(), want, "{name}: parallel packed != scalar oracle");
+
+    let mut row = bench(name, flops, runs, packed);
+    set_thread_override(Some(1));
+    // the oracle is 1-2 orders slower; a few reps bound its min well
+    row.oracle_secs = Some(time_secs(&mut || oracle(), 2.max(runs / 8)));
+    set_thread_override(None);
+    row
 }
 
 fn json_escape(s: &str) -> String {
@@ -74,15 +134,25 @@ fn write_json(rows: &[BenchRow]) {
         num_threads()
     ));
     for (i, r) in rows.iter().enumerate() {
+        let oracle = match (r.oracle_secs, r.oracle_speedup()) {
+            (Some(o), Some(s)) => {
+                format!(", \"oracle_secs\": {o:.6e}, \"oracle_speedup\": {s:.3}")
+            }
+            _ => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"flops\": {}, \"serial_secs\": {:.6e}, \
-             \"parallel_secs\": {:.6e}, \"parallel_threads\": {}, \"speedup\": {:.3}}}{}\n",
+             \"parallel_secs\": {:.6e}, \"parallel_threads\": {}, \"speedup\": {:.3}, \
+             \"serial_gflops\": {:.2}, \"parallel_gflops\": {:.2}{}}}{}\n",
             json_escape(&r.name),
             r.flops,
             r.serial_secs,
             r.parallel_secs,
             r.parallel_threads,
             r.speedup(),
+            r.serial_gflops(),
+            r.parallel_gflops(),
+            oracle,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -90,11 +160,64 @@ fn write_json(rows: &[BenchRow]) {
     std::fs::write("BENCH_kernels.json", &out).expect("write BENCH_kernels.json");
 }
 
+/// One row of a previously committed `BENCH_kernels.json`.
+struct BaselineRow {
+    name: String,
+    flops: u64,
+    serial_secs: f64,
+}
+
+impl BaselineRow {
+    fn serial_gflops(&self) -> f64 {
+        2.0 * self.flops as f64 / self.serial_secs / 1e9
+    }
+}
+
+/// Extracts the number following `"key": ` in `line`, if present.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Minimal line-oriented parse of the bench's own JSON output — each row
+/// object sits on one line, so no general JSON parser is needed.
+fn read_baseline(path: &str) -> Vec<BaselineRow> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let tag = "\"name\": \"";
+            let start = line.find(tag)? + tag.len();
+            let name = line[start..].split('"').next()?.to_string();
+            Some(BaselineRow {
+                name,
+                flops: json_num(line, "flops")? as u64,
+                serial_secs: json_num(line, "serial_secs")?,
+            })
+        })
+        .filter(|r| r.flops > 0 && r.serial_secs > 0.0)
+        .collect()
+}
+
 fn main() {
+    let smoke = std::env::var("PV_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let baseline_path =
+        std::env::var("PV_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    // read before write_json overwrites it
+    let baseline = read_baseline(&baseline_path);
     pv_bench::banner(
         "kernels: matmul GFLOP/s + conv throughput, serial vs parallel",
-        "the pv-par runtime keeps kernels bitwise deterministic while scaling with cores",
+        "packed GEMM routines must stay bitwise identical to the scalar oracle",
     );
+    // sub-millisecond GEMM rows need many reps for the min to land in a
+    // quiet scheduler window; multi-millisecond conv/e2e rows need fewer.
+    // Smoke mode keeps enough reps that the gate compares quiet-window
+    // minima, not scheduler noise, against the committed baseline.
+    let (gemm_runs, runs) = if smoke { (25, 5) } else { (40, 5) };
     let mut rng = Rng::new(42);
     let mut rows: Vec<BenchRow> = Vec::new();
 
@@ -107,19 +230,31 @@ fn main() {
         let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
         let flops = (m * k * n) as u64;
-        rows.push(bench(&format!("matmul {m}x{k}x{n}"), flops, 5, || {
-            matmul(&a, &b)
-        }));
+        rows.push(bench_gemm(
+            &format!("matmul {m}x{k}x{n}"),
+            flops,
+            gemm_runs,
+            || matmul(&a, &b),
+            || reference::matmul_ref(&a, &b),
+        ));
 
         let at = Tensor::rand_uniform(&[k, m], -1.0, 1.0, &mut rng);
-        rows.push(bench(&format!("matmul_at_b {k}x{m}x{n}"), flops, 5, || {
-            matmul_at_b(&at, &b)
-        }));
+        rows.push(bench_gemm(
+            &format!("matmul_at_b {k}x{m}x{n}"),
+            flops,
+            gemm_runs,
+            || matmul_at_b(&at, &b),
+            || reference::matmul_at_b_ref(&at, &b),
+        ));
 
         let bt = Tensor::rand_uniform(&[n, k], -1.0, 1.0, &mut rng);
-        rows.push(bench(&format!("matmul_a_bt {m}x{k}x{n}"), flops, 5, || {
-            matmul_a_bt(&a, &bt)
-        }));
+        rows.push(bench_gemm(
+            &format!("matmul_a_bt {m}x{k}x{n}"),
+            flops,
+            gemm_runs,
+            || matmul_a_bt(&a, &bt),
+            || reference::matmul_a_bt_ref(&a, &bt),
+        ));
     }
 
     // -- conv layer shapes from the CIFAR stand-in CNN -------------------
@@ -133,7 +268,7 @@ fn main() {
         rows.push(bench(
             &format!("conv2d_fwd {nb}x{c}x{hw}x{hw}->{f}"),
             flops,
-            5,
+            runs,
             || conv2d_forward(&x, &wt, &bias, g),
         ));
 
@@ -142,7 +277,7 @@ fn main() {
         rows.push(bench(
             &format!("conv2d_bwd {nb}x{c}x{hw}x{hw}->{f}"),
             3 * flops,
-            5,
+            runs,
             || conv2d_backward(&grad_out, &fwd.cols, &wt, c, hw, hw, g),
         ));
     }
@@ -171,27 +306,93 @@ fn main() {
     }
 
     println!(
-        "\n{:<34} {:>12} {:>12} {:>9} {:>10}",
-        "kernel", "serial", "parallel", "speedup", "GFLOP/s"
+        "\n{:<34} {:>12} {:>12} {:>9} {:>10} {:>11}",
+        "kernel", "serial", "parallel", "speedup", "GFLOP/s", "vs oracle"
     );
     for r in &rows {
         let gf = if r.flops > 0 {
-            format!("{:.2}", r.gflops(r.parallel_secs))
+            format!("{:.2}", r.serial_gflops())
         } else {
             "-".to_string()
         };
+        let orc = r
+            .oracle_speedup()
+            .map_or_else(|| "-".to_string(), |s| format!("{s:.2}x"));
         println!(
-            "{:<34} {:>10.3}ms {:>10.3}ms {:>8.2}x {:>10}",
+            "{:<34} {:>10.3}ms {:>10.3}ms {:>8.2}x {:>10} {:>11}",
             r.name,
             r.serial_secs * 1e3,
             r.parallel_secs * 1e3,
             r.speedup(),
-            gf
+            gf,
+            orc
         );
     }
-    write_json(&rows);
-    println!(
-        "\nwrote BENCH_kernels.json ({} threads available)",
-        num_threads()
-    );
+
+    // -- before/after vs the committed baseline --------------------------
+    if baseline.is_empty() {
+        println!("\nno readable baseline at {baseline_path}; skipping before/after table");
+    } else {
+        println!(
+            "\n{:<34} {:>13} {:>13} {:>8}   (baseline: {})",
+            "kernel", "before GF/s", "after GF/s", "ratio", baseline_path
+        );
+        for r in rows.iter().filter(|r| r.flops > 0) {
+            let before = baseline.iter().find(|b| b.name == r.name);
+            let (before_s, ratio_s) = match before {
+                Some(b) => {
+                    let before_gf = b.serial_gflops();
+                    (
+                        format!("{before_gf:.2}"),
+                        format!("{:.2}x", r.serial_gflops() / before_gf),
+                    )
+                }
+                None => ("-".to_string(), "new".to_string()),
+            };
+            println!(
+                "{:<34} {:>13} {:>13.2} {:>8}",
+                r.name,
+                before_s,
+                r.serial_gflops(),
+                ratio_s
+            );
+        }
+    }
+
+    if smoke {
+        // regression gate for scripts/check.sh: any row that lost more
+        // than 20% of its baseline serial GFLOP/s fails the check
+        let mut regressions = Vec::new();
+        for b in &baseline {
+            let Some(r) = rows.iter().find(|r| r.name == b.name && r.flops > 0) else {
+                continue;
+            };
+            let (before, after) = (b.serial_gflops(), r.serial_gflops());
+            if after < 0.8 * before {
+                regressions.push(format!(
+                    "{}: {before:.2} -> {after:.2} GF/s ({:+.1}%)",
+                    b.name,
+                    100.0 * (after / before - 1.0)
+                ));
+            }
+        }
+        if !regressions.is_empty() {
+            eprintln!("\nkernel GFLOP/s regressions > 20% vs {baseline_path}:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "\nsmoke gate passed: no row regressed > 20% vs {} ({} rows checked; JSON not rewritten)",
+            baseline_path,
+            baseline.len()
+        );
+    } else {
+        write_json(&rows);
+        println!(
+            "\nwrote BENCH_kernels.json ({} threads available)",
+            num_threads()
+        );
+    }
 }

@@ -139,4 +139,32 @@ impl pv_tensor::profile::KernelHook for ObsKernelHook {
             r.histogram_ns(name, end.saturating_sub(begin_token));
         }
     }
+
+    fn end_call(&self, call: &pv_tensor::profile::KernelCall, begin_token: u64) {
+        if let Some(r) = global() {
+            let end = r.now_ns();
+            let [m, k, n] = call.shape;
+            // Span names carry the problem shape and the selected routine
+            // so `--trace` output attributes time per GEMM routine, e.g.
+            // `matmul 256x256x256 [packed4x64]`. Formatting only runs with
+            // a recorder installed, so untraced kernels stay
+            // allocation-free.
+            let name = match (call.routine.is_empty(), call.shape == [0; 3]) {
+                (true, true) => std::borrow::Cow::Borrowed(call.name),
+                (true, false) => std::borrow::Cow::Owned(format!("{} {m}x{k}x{n}", call.name)),
+                (false, _) => {
+                    std::borrow::Cow::Owned(format!("{} {m}x{k}x{n} [{}]", call.name, call.routine))
+                }
+            };
+            r.record_complete("tensor", name, begin_token, end);
+            let dur = end.saturating_sub(begin_token);
+            // Two histogram families: per kernel (`matmul`) and — when a
+            // selector ran — per routine (`packed4x64`), so the metrics
+            // summary shows where GEMM time went across routines.
+            r.histogram_ns(call.name, dur);
+            if !call.routine.is_empty() {
+                r.histogram_ns(call.routine, dur);
+            }
+        }
+    }
 }

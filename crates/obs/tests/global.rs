@@ -37,9 +37,14 @@ fn installed_recorder_captures_facade_and_kernel_events() {
     let kernel = snap
         .spans
         .iter()
-        .find(|s| s.name == "matmul")
+        .find(|s| s.name.starts_with("matmul "))
         .expect("kernel span via hook");
     assert_eq!(kernel.cat, "tensor");
+    assert!(
+        kernel.name.contains("24x24x24"),
+        "span carries the problem shape: {}",
+        kernel.name
+    );
     assert!(kernel.depth >= 2, "kernel nests under the open spans");
     assert!(snap.histograms["matmul"].count >= 1);
 

@@ -17,19 +17,23 @@
 // kernels (see BENCH_kernels.json)
 
 use crate::linalg::{matmul, matmul_a_bt, matmul_at_b};
-use crate::par::{parallel_for_chunks_mut, parallel_for_chunks_mut2, worth_parallelizing};
+use crate::par::{parallel_for_chunks_mut, parallel_for_chunks_mut2, worker_count};
+use crate::profile::KernelCall;
 use crate::tensor::Tensor;
 
 /// Samples per parallel chunk for a batched op over `n` samples of
-/// `per_sample` output elements each: one sample per chunk when the total
-/// work amortizes thread dispatch, otherwise the whole batch in a single
-/// chunk (which [`parallel_for_chunks_mut`] runs serially).
+/// `per_sample` output elements each: the batch is split so each worker
+/// recommended by [`worker_count`] gets one contiguous run of samples —
+/// in particular the whole batch stays in a single chunk (which
+/// [`parallel_for_chunks_mut`] runs serially, spawning nothing) when the
+/// total work is below the dispatch threshold. Small shapes paying spawn
+/// overhead for sub-threshold work is what regressed `mini_resnet
+/// fwd+bwd` in earlier `BENCH_kernels.json` revisions.
 fn batch_chunk_samples(n: usize, per_sample: usize) -> usize {
-    if n > 1 && worth_parallelizing(n * per_sample) {
-        1
-    } else {
-        n.max(1)
+    if n <= 1 {
+        return n.max(1);
     }
+    n.div_ceil(worker_count(n * per_sample))
 }
 
 /// Geometry of a 2-D convolution or pooling window.
@@ -84,11 +88,15 @@ impl ConvGeometry {
 /// Each row contains the receptive field of one output position; positions
 /// outside the input (padding) contribute zeros.
 pub fn im2col(x: &Tensor, g: ConvGeometry) -> Tensor {
-    let _kt = crate::profile::kernel_timer("im2col");
     assert_eq!(x.ndim(), 4, "im2col expects NCHW input");
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let (oh, ow) = g.output_size(h, w);
     let row_len = c * g.kh * g.kw;
+    let _kt = crate::profile::kernel_timer_call(KernelCall {
+        name: "im2col",
+        routine: "",
+        shape: [n * oh * ow, row_len, 0],
+    });
     let mut out = Tensor::zeros(&[n * oh * ow, row_len]);
     if out.is_empty() {
         return out;
@@ -337,12 +345,16 @@ pub struct ConvBackward {
 ///
 /// Panics on any shape inconsistency.
 pub fn conv2d_forward(x: &Tensor, weight: &Tensor, bias: &Tensor, g: ConvGeometry) -> ConvForward {
-    let _kt = crate::profile::kernel_timer("conv2d_forward");
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let f = weight.dim(0);
     assert_eq!(weight.dim(1), c * g.kh * g.kw, "filter bank shape mismatch");
     assert_eq!(bias.len(), f, "bias length mismatch");
     let (oh, ow) = g.output_size(h, w);
+    let _kt = crate::profile::kernel_timer_call(KernelCall {
+        name: "conv2d_forward",
+        routine: "im2col_gemm",
+        shape: [n * oh * ow, c * g.kh * g.kw, f],
+    });
     let cols = im2col(x, g);
     // [N*OH*OW, Ckhkw] x [F, Ckhkw]^T -> [N*OH*OW, F]
     let mut rows = matmul_a_bt(&cols, weight);
@@ -366,7 +378,15 @@ pub fn conv2d_backward(
     w: usize,
     g: ConvGeometry,
 ) -> ConvBackward {
-    let _kt = crate::profile::kernel_timer("conv2d_backward");
+    let _kt = crate::profile::kernel_timer_call(KernelCall {
+        name: "conv2d_backward",
+        routine: "im2col_gemm",
+        shape: [
+            grad_out.len() / grad_out.dim(1).max(1),
+            c * g.kh * g.kw,
+            grad_out.dim(1),
+        ],
+    });
     let n = grad_out.dim(0);
     let g_rows = nchw_to_rows(grad_out); // [N*OH*OW, F]
     let grad_weight = matmul_at_b(&g_rows, cols); // [F, Ckhkw]
@@ -391,11 +411,15 @@ pub struct PoolForward {
 
 /// Max pooling forward pass over non-overlapping or strided windows.
 pub fn maxpool2d_forward(x: &Tensor, g: ConvGeometry) -> PoolForward {
-    let _kt = crate::profile::kernel_timer("maxpool2d");
     assert_eq!(x.ndim(), 4, "maxpool expects NCHW input");
     assert_eq!(g.pad, 0, "maxpool with padding is not supported");
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let (oh, ow) = g.output_size(h, w);
+    let _kt = crate::profile::kernel_timer_call(KernelCall {
+        name: "maxpool2d",
+        routine: "",
+        shape: [n, c, oh * ow],
+    });
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let mut argmax = vec![0usize; n * c * oh * ow];
     if out.is_empty() {

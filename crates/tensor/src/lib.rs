@@ -11,7 +11,10 @@
 //! * [`Tensor`] — dense row-major storage with element-wise algebra,
 //!   reductions, and row-wise softmax;
 //! * [`matmul`] / [`matmul_at_b`] / [`matmul_a_bt`] — the three dense
-//!   products required by a linear layer and its backward pass;
+//!   products required by a linear layer and its backward pass, routed
+//!   per problem shape by [`fn@select`] through BLIS-style packed panels
+//!   ([`pack`]) and a register microkernel ([`microkernel`]), bitwise
+//!   identical to the scalar oracle in [`linalg::reference`];
 //! * [`conv2d_forward`] / [`conv2d_backward`] and pooling — im2col-based
 //!   convolution with exact gradients;
 //! * [`Rng`] — a seedable PCG32 generator so every experiment in the
@@ -44,9 +47,12 @@
 pub mod conv;
 pub mod error;
 pub mod linalg;
+pub mod microkernel;
+pub mod pack;
 pub mod par;
 pub mod profile;
 pub mod rng;
+pub mod select;
 pub mod stats;
 pub mod tensor;
 
@@ -58,4 +64,5 @@ pub use conv::{
 pub use error::Error;
 pub use linalg::{matmul, matmul_a_bt, matmul_at_b, matvec};
 pub use rng::Rng;
+pub use select::{select, Routine, Variant};
 pub use tensor::Tensor;

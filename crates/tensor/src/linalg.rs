@@ -1,169 +1,285 @@
 //! Dense matrix products used by the network layers.
 //!
 //! The three product flavours (`A·B`, `Aᵀ·B`, `A·Bᵀ`) are exactly the ones
-//! needed for a linear layer's forward pass and its two backward products.
-//! All three are cache-blocked, branch-free in the hot loop, and
-//! parallelized over disjoint blocks of output rows via [`crate::par`].
-//! Every output element is accumulated by one thread in the same sequential
-//! `k` order regardless of thread count, so results are bitwise identical
-//! under any `PV_NUM_THREADS`.
+//! needed for a linear layer's forward pass and its two backward products,
+//! and — through im2col — for convolution. All three route through the
+//! same BLIS-style packed pipeline:
+//!
+//! 1. [`fn@crate::select`] picks a routine for the problem shape;
+//! 2. [`crate::pack`] copies operands into contiguous register panels
+//!    (per-flavour gather, shared layout);
+//! 3. [`crate::microkernel`] computes each `MR × NR` output tile over the
+//!    **full** `k` extent with one register accumulator per element.
+//!
+//! Because `k` is never split, every output element is produced by the
+//! same single ascending-`k` fused-multiply-add chain as the scalar
+//! oracle in [`mod@reference`] — the packed routines are **bitwise
+//! identical** to the oracle, to each other, and to themselves at any
+//! `PV_NUM_THREADS` (threads partition output rows only). See
+//! `DESIGN.md` §12 for the contract.
 
-// pv-analyze: allow-file(hotpath-slice-index) -- the cache-blocked products
-// index into row slices whose bounds are established by the blocking
+// pv-analyze: allow-file(hotpath-slice-index) -- the drivers index into
+// panel and row slices whose bounds are established by the blocking
 // arithmetic; iterator rewrites measurably regress the kernels (see
 // BENCH_kernels.json)
 
-use crate::par::{num_threads, parallel_for_chunks_mut, worth_parallelizing};
+use crate::microkernel::{tile_narrow, tile_wide, MR};
+use crate::pack::{pack_a_cols, pack_a_rows, pack_b_cols, pack_b_rows};
+use crate::par::{parallel_for_chunks_mut, worker_count};
+use crate::select::{select, select_matvec, Routine, Variant};
 use crate::tensor::Tensor;
 
-/// Columns of the shared operand processed per cache tile: `KC * n` floats
-/// of `B` stay hot while a row block of `C` is updated.
-const KC: usize = 256;
+/// Scalar reference implementations — the correctness oracle.
+///
+/// Naive triple loops, no blocking, no packing, no parallelism: the code a
+/// first-year textbook would write, except that the inner step uses
+/// [`f32::mul_add`] so each output element is a single ascending-`k`
+/// fused-multiply-add chain. Every optimized routine in this module is
+/// required (and property-tested) to be **bitwise identical** to these.
+pub mod reference {
+    use crate::tensor::Tensor;
 
-/// Output rows per cache sub-block in [`matmul_at_b`]: the sub-block of `C`
-/// (`MC * n` floats) stays resident while `A` and `B` stream past.
-const MC: usize = 64;
-
-/// Worker count for a product with `flops` scalar multiply-adds: all
-/// available threads when the work amortizes dispatch, else serial.
-fn matmul_threads(flops: usize) -> usize {
-    if worth_parallelizing(2 * flops) {
-        num_threads()
-    } else {
-        1
-    }
-}
-
-/// `split_at_mut` taking the slice by value, so the caller can walk a
-/// block with `remaining = rest` without fighting reborrow lifetimes.
-fn split_rows(s: &mut [f32], at: usize) -> (&mut [f32], &mut [f32]) {
-    s.split_at_mut(at)
-}
-
-/// Output columns processed per panel inside a micro-kernel. Eight C-row
-/// segments of `NC` floats (16 KiB) stay resident in L1 across a whole
-/// `KC` tile, so C traffic scales with `k / KC` instead of `k`.
-const NC: usize = 512;
-
-/// Eight-row micro-kernel: `c` holds 8 output rows of length `n`, `a` the
-/// matching 8 rows of `A` (each `k` long); every streamed element of `B`
-/// feeds eight multiply-adds. Column panels keep the accumulators hot
-/// without touching per-element accumulation order (ascending `p`).
-#[inline]
-fn kernel8(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, k: usize, p0: usize, p1: usize) {
-    let (q0, q1) = c.split_at_mut(4 * n);
-    let (h0, h1) = q0.split_at_mut(2 * n);
-    let (h2, h3) = q1.split_at_mut(2 * n);
-    let (c0, c1) = h0.split_at_mut(n);
-    let (c2, c3) = h1.split_at_mut(n);
-    let (c4, c5) = h2.split_at_mut(n);
-    let (c6, c7) = h3.split_at_mut(n);
-    let mut jb = 0;
-    while jb < n {
-        let je = (jb + NC).min(n);
-        for p in p0..p1 {
-            let (a0, a1, a2, a3) = (a[p], a[k + p], a[2 * k + p], a[3 * k + p]);
-            let (a4, a5, a6, a7) = (a[4 * k + p], a[5 * k + p], a[6 * k + p], a[7 * k + p]);
-            let brow = &bd[p * n + jb..p * n + je];
-            for ((((((((cv0, cv1), cv2), cv3), cv4), cv5), cv6), cv7), &bv) in c0[jb..je]
-                .iter_mut()
-                .zip(c1[jb..je].iter_mut())
-                .zip(c2[jb..je].iter_mut())
-                .zip(c3[jb..je].iter_mut())
-                .zip(c4[jb..je].iter_mut())
-                .zip(c5[jb..je].iter_mut())
-                .zip(c6[jb..je].iter_mut())
-                .zip(c7[jb..je].iter_mut())
-                .zip(brow)
-            {
-                *cv0 += a0 * bv;
-                *cv1 += a1 * bv;
-                *cv2 += a2 * bv;
-                *cv3 += a3 * bv;
-                *cv4 += a4 * bv;
-                *cv5 += a5 * bv;
-                *cv6 += a6 * bv;
-                *cv7 += a7 * bv;
+    /// Oracle for [`matmul`](super::matmul): `C = A·B`.
+    pub fn matmul_ref(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dim(0), a.dim(1));
+        let n = b.dim(1);
+        let (ad, bd) = (a.data(), b.data());
+        let mut c = Tensor::zeros(&[m, n]);
+        let cd = c.data_mut();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc = bd[p * n + j].mul_add(ad[i * k + p], acc);
+                }
+                cd[i * n + j] = acc;
             }
         }
-        jb = je;
+        c
+    }
+
+    /// Oracle for [`matmul_at_b`](super::matmul_at_b): `C = Aᵀ·B`.
+    pub fn matmul_at_b_ref(a: &Tensor, b: &Tensor) -> Tensor {
+        let (k, m) = (a.dim(0), a.dim(1));
+        let n = b.dim(1);
+        let (ad, bd) = (a.data(), b.data());
+        let mut c = Tensor::zeros(&[m, n]);
+        let cd = c.data_mut();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc = bd[p * n + j].mul_add(ad[p * m + i], acc);
+                }
+                cd[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    /// Oracle for [`matmul_a_bt`](super::matmul_a_bt): `C = A·Bᵀ`.
+    pub fn matmul_a_bt_ref(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dim(0), a.dim(1));
+        let n = b.dim(0);
+        let (ad, bd) = (a.data(), b.data());
+        let mut c = Tensor::zeros(&[m, n]);
+        let cd = c.data_mut();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc = bd[j * k + p].mul_add(ad[i * k + p], acc);
+                }
+                cd[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    /// Oracle for [`matvec`](super::matvec): `y = A·x`.
+    pub fn matvec_ref(a: &Tensor, x: &Tensor) -> Tensor {
+        let (m, n) = (a.dim(0), a.dim(1));
+        let (ad, xd) = (a.data(), x.data());
+        let mut y = Tensor::zeros(&[m]);
+        let yd = y.data_mut();
+        for i in 0..m {
+            let mut acc = 0.0f32;
+            for p in 0..n {
+                acc = xd[p].mul_add(ad[i * n + p], acc);
+            }
+            yd[i] = acc;
+        }
+        y
     }
 }
 
-/// Four-row micro-kernel (tail of a block after the 8-row peels).
-#[inline]
-fn kernel4(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, k: usize, p0: usize, p1: usize) {
-    let (h0, h1) = c.split_at_mut(2 * n);
-    let (c0, c1) = h0.split_at_mut(n);
-    let (c2, c3) = h1.split_at_mut(n);
-    let mut jb = 0;
-    while jb < n {
-        let je = (jb + NC).min(n);
-        for p in p0..p1 {
-            let (a0, a1, a2, a3) = (a[p], a[k + p], a[2 * k + p], a[3 * k + p]);
-            let brow = &bd[p * n + jb..p * n + je];
-            for ((((cv0, cv1), cv2), cv3), &bv) in c0[jb..je]
-                .iter_mut()
-                .zip(c1[jb..je].iter_mut())
-                .zip(c2[jb..je].iter_mut())
-                .zip(c3[jb..je].iter_mut())
-                .zip(brow)
-            {
-                *cv0 += a0 * bv;
-                *cv1 += a1 * bv;
-                *cv2 += a2 * bv;
-                *cv3 += a3 * bv;
-            }
-        }
-        jb = je;
-    }
+std::thread_local! {
+    /// Per-thread pack scratch (B panels, A panels), reused across GEMM
+    /// calls so steady-state products never allocate: a freed-and-
+    /// reallocated multi-hundred-KB buffer costs a page-fault sweep per
+    /// call, which is material next to a sub-millisecond kernel. Stale
+    /// contents are fine — the pack gathers overwrite every element of
+    /// the panels they fill, padding included.
+    static PACK_SCRATCH: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
-/// Two-row micro-kernel.
-#[inline]
-fn kernel2(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, k: usize, p0: usize, p1: usize) {
-    let (c0, c1) = c.split_at_mut(n);
-    let mut jb = 0;
-    while jb < n {
-        let je = (jb + NC).min(n);
-        for p in p0..p1 {
-            let (a0, a1) = (a[p], a[k + p]);
-            let brow = &bd[p * n + jb..p * n + je];
-            for ((cv0, cv1), &bv) in c0[jb..je].iter_mut().zip(c1[jb..je].iter_mut()).zip(brow) {
-                *cv0 += a0 * bv;
-                *cv1 += a1 * bv;
+/// The packed GEMM driver shared by all three flavours.
+///
+/// The calling thread packs all of `B` into `nr`-wide panels and all of
+/// `A` into `MR`-row panels once (both read-shared across workers, both
+/// in reused thread-local scratch), then parallelizes over `MR`-aligned
+/// row blocks of `C`. Each worker sweeps its row range with the B panel
+/// as the *outer* loop — one `k × nr` B panel stays cache-resident across
+/// the worker's whole row range — so `A` and `B` are each gathered
+/// exactly once per product and panel reads hit L1/L2 regardless of
+/// shape or thread count.
+// BLAS-convention flat argument list, matching the microkernel seam.
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed(
+    variant: Variant,
+    routine: Routine,
+    ad: &[f32],
+    bd: &[f32],
+    c: &mut Tensor,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    // pv-analyze: allow(hotpath-panic) -- selector contract: packed
+    // routines always carry a panel width
+    let nr = routine.panel_width().expect("packed routine has a width");
+    let tile = match routine {
+        Routine::PackedNarrow => tile_narrow,
+        _ => tile_wide,
+    };
+    let panels = n.div_ceil(nr);
+    let row_blocks = m.div_ceil(MR);
+    PACK_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let (bp, ap) = &mut *scratch;
+        bp.resize(panels * k * nr, 0.0);
+        ap.resize(row_blocks * k * MR, 0.0);
+        for (jb, panel) in bp.chunks_exact_mut(k * nr).enumerate() {
+            match variant {
+                Variant::Ab | Variant::AtB => pack_b_cols(bd, k, n, jb * nr, nr, panel),
+                Variant::ABt => pack_b_rows(bd, n, k, jb * nr, nr, panel),
             }
         }
-        jb = je;
-    }
+        for (bi, ablock) in ap.chunks_exact_mut(k * MR).enumerate() {
+            match variant {
+                Variant::Ab | Variant::ABt => pack_a_rows(ad, m, k, bi * MR, ablock),
+                Variant::AtB => pack_a_cols(ad, k, m, bi * MR, ablock),
+            }
+        }
+        let (bp, ap) = (&*bp, &*ap);
+        let blocks_per_worker = row_blocks.div_ceil(worker_count(m * k * n));
+        let rows_per_chunk = blocks_per_worker * MR;
+        parallel_for_chunks_mut(c.data_mut(), rows_per_chunk * n, |chunk_idx, cchunk| {
+            let block_base = chunk_idx * blocks_per_worker;
+            let rows_here = cchunk.len() / n;
+            let ablocks = ap[block_base * k * MR..].chunks_exact(k * MR);
+            for (jb, panel) in bp.chunks_exact(k * nr).enumerate() {
+                let j0 = jb * nr;
+                let nr_eff = (n - j0).min(nr);
+                for (bi, ablock) in ablocks.clone().enumerate() {
+                    let r0 = bi * MR;
+                    if r0 >= rows_here {
+                        break;
+                    }
+                    let mr_eff = (rows_here - r0).min(MR);
+                    tile(
+                        k,
+                        ablock,
+                        panel,
+                        &mut cchunk[r0 * n + j0..],
+                        n,
+                        mr_eff,
+                        nr_eff,
+                    );
+                }
+            }
+        });
+    });
 }
 
-/// Single-row micro-kernel.
-#[inline]
-fn kernel1(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, p0: usize, p1: usize) {
-    let mut jb = 0;
-    while jb < n {
-        let je = (jb + NC).min(n);
-        for p in p0..p1 {
-            let av = a[p];
-            let brow = &bd[p * n + jb..p * n + je];
-            for (cv, &bv) in c[jb..je].iter_mut().zip(brow) {
-                *cv += av * bv;
+/// The unpacked fallback for problems too small to amortize panel copies.
+///
+/// `A·B` and `Aᵀ·B` run as rank-1 updates into `C` rows (ascending `p`,
+/// single memory accumulator per element); `A·Bᵀ` as per-element dot
+/// chains. All three use `mul_add`, so results stay bitwise identical to
+/// [`reference`].
+fn gemm_direct(
+    variant: Variant,
+    ad: &[f32],
+    bd: &[f32],
+    c: &mut Tensor,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows_per_block = m.div_ceil(worker_count(m * k * n));
+    parallel_for_chunks_mut(c.data_mut(), rows_per_block * n, |block, cblock| {
+        let i0 = block * rows_per_block;
+        for (ci, crow) in cblock.chunks_mut(n).enumerate() {
+            let i = i0 + ci;
+            match variant {
+                Variant::Ab => {
+                    for p in 0..k {
+                        let av = ad[i * k + p];
+                        for (cv, &bv) in crow.iter_mut().zip(&bd[p * n..(p + 1) * n]) {
+                            *cv = bv.mul_add(av, *cv);
+                        }
+                    }
+                }
+                Variant::AtB => {
+                    for p in 0..k {
+                        let av = ad[p * m + i];
+                        for (cv, &bv) in crow.iter_mut().zip(&bd[p * n..(p + 1) * n]) {
+                            *cv = bv.mul_add(av, *cv);
+                        }
+                    }
+                }
+                Variant::ABt => {
+                    let arow = &ad[i * k..(i + 1) * k];
+                    for (j, cv) in crow.iter_mut().enumerate() {
+                        let mut acc = 0.0f32;
+                        for (&av, &bv) in arow.iter().zip(&bd[j * k..(j + 1) * k]) {
+                            acc = bv.mul_add(av, acc);
+                        }
+                        *cv = acc;
+                    }
+                }
             }
         }
-        jb = je;
+    });
+}
+
+/// Shape-checks, selects, and runs one product; shared tail of the three
+/// public entry points.
+fn gemm(variant: Variant, ad: &[f32], bd: &[f32], m: usize, k: usize, n: usize) -> Tensor {
+    let routine = select(variant, m, k, n);
+    let _kt = crate::profile::kernel_timer_call(crate::profile::KernelCall {
+        name: variant.kernel_name(),
+        routine: routine.name(),
+        shape: [m, k, n],
+    });
+    let mut c = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
     }
+    match routine {
+        Routine::Direct => gemm_direct(variant, ad, bd, &mut c, m, k, n),
+        _ => gemm_packed(variant, routine, ad, bd, &mut c, m, k, n),
+    }
+    c
 }
 
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
 ///
-/// Row blocks of `C` are computed in parallel; within a block the kernel
-/// walks `k` in `KC`-sized tiles and updates four output rows per pass
-/// (falling back to two / one on the block's tail) so each streamed row of
-/// `B` is reused from registers — the register blocking that makes a
-/// batched forward pass cheaper per row than repeated single-row products.
-/// Each output element still accumulates over `p` in ascending order, so
-/// results are bitwise independent of the row-blocking width.
+/// Routed per shape by [`fn@crate::select`]; the result is bitwise identical
+/// to [`reference::matmul_ref`] for every shape, routine, and thread
+/// count.
 ///
 /// # Panics
 ///
@@ -179,281 +295,78 @@ fn kernel1(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, p0: usize, p1: usize)
 /// assert_eq!(matmul(&a, &i), a);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    let _kt = crate::profile::kernel_timer("matmul");
     assert_eq!(a.ndim(), 2, "matmul: A must be a matrix");
     assert_eq!(b.ndim(), 2, "matmul: B must be a matrix");
     let (m, k) = (a.dim(0), a.dim(1));
     let (kb, n) = (b.dim(0), b.dim(1));
     assert_eq!(k, kb, "matmul: inner dims {k} vs {kb}");
-    let mut c = Tensor::zeros(&[m, n]);
-    if m == 0 || n == 0 || k == 0 {
-        return c;
-    }
-    let (ad, bd) = (a.data(), b.data());
-    let rows_per_block = m.div_ceil(matmul_threads(m * k * n));
-    parallel_for_chunks_mut(c.data_mut(), rows_per_block * n, |block, cblock| {
-        let i0 = block * rows_per_block;
-        let mut p0 = 0;
-        while p0 < k {
-            let p1 = (p0 + KC).min(k);
-            for (oct, coct) in cblock.chunks_mut(8 * n).enumerate() {
-                let mut i = i0 + 8 * oct;
-                // peel the widest micro-kernel that fits, then fall through:
-                // 8-row, then 4-row, then 2-row, then a single row
-                let mut remaining = coct;
-                while remaining.len() >= 8 * n {
-                    let (chunk, rest) = split_rows(remaining, 8 * n);
-                    kernel8(chunk, &ad[i * k..(i + 8) * k], bd, n, k, p0, p1);
-                    remaining = rest;
-                    i += 8;
-                }
-                if remaining.len() >= 4 * n {
-                    let (chunk, rest) = split_rows(remaining, 4 * n);
-                    kernel4(chunk, &ad[i * k..(i + 4) * k], bd, n, k, p0, p1);
-                    remaining = rest;
-                    i += 4;
-                }
-                if remaining.len() >= 2 * n {
-                    let (chunk, rest) = split_rows(remaining, 2 * n);
-                    kernel2(chunk, &ad[i * k..(i + 2) * k], bd, n, k, p0, p1);
-                    remaining = rest;
-                    i += 2;
-                }
-                if !remaining.is_empty() {
-                    kernel1(remaining, &ad[i * k..(i + 1) * k], bd, n, p0, p1);
-                }
-            }
-            p0 = p1;
-        }
-    });
-    c
+    gemm(Variant::Ab, a.data(), b.data(), m, k, n)
 }
 
 /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (result `[m, n]`).
 ///
-/// Used for weight gradients: `dW = Xᵀ · dY`. Row blocks of `C` are
-/// computed in parallel; within a block, `MC`-row sub-blocks stay cache
-/// resident while the `k` rows of `A` and `B` stream past in order, so each
-/// output element accumulates over `p = 0..k` sequentially.
+/// Used for weight gradients: `dW = Xᵀ · dY`. Routed per shape by
+/// [`fn@crate::select`]; bitwise identical to [`reference::matmul_at_b_ref`].
 ///
 /// # Panics
 ///
 /// Panics if the operands are not matrices or the leading dimensions differ.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
-    let _kt = crate::profile::kernel_timer("matmul_at_b");
     assert_eq!(a.ndim(), 2, "matmul_at_b: A must be a matrix");
     assert_eq!(b.ndim(), 2, "matmul_at_b: B must be a matrix");
     let (k, m) = (a.dim(0), a.dim(1));
     let (kb, n) = (b.dim(0), b.dim(1));
     assert_eq!(k, kb, "matmul_at_b: leading dims {k} vs {kb}");
-    let mut c = Tensor::zeros(&[m, n]);
-    if m == 0 || n == 0 || k == 0 {
-        return c;
-    }
-    let (ad, bd) = (a.data(), b.data());
-    let rows_per_block = m.div_ceil(matmul_threads(m * k * n));
-    parallel_for_chunks_mut(c.data_mut(), rows_per_block * n, |block, cblock| {
-        let i0 = block * rows_per_block;
-        for (sub, csub) in cblock.chunks_mut(MC * n).enumerate() {
-            let s0 = i0 + sub * MC;
-            for p in 0..k {
-                let arow = &ad[p * m..(p + 1) * m];
-                let brow = &bd[p * n..(p + 1) * n];
-                for (ci, crow) in csub.chunks_mut(n).enumerate() {
-                    let av = arow[s0 + ci];
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += av * bv;
-                    }
-                }
-            }
-        }
-    });
-    c
-}
-
-/// Eight-row dot block for [`matmul_a_bt`]: each streamed row of `B` feeds
-/// eight dot products with independent accumulator chains (ILP), and the
-/// whole `B` matrix is traversed once per eight output rows instead of once
-/// per row. Every accumulator still sums over `k` in ascending order, so
-/// results are bitwise identical to the narrower blocks.
-#[inline]
-fn dot8(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, k: usize) {
-    let (q0, q1) = c.split_at_mut(4 * n);
-    let (h0, h1) = q0.split_at_mut(2 * n);
-    let (h2, h3) = q1.split_at_mut(2 * n);
-    let (c0, c1) = h0.split_at_mut(n);
-    let (c2, c3) = h1.split_at_mut(n);
-    let (c4, c5) = h2.split_at_mut(n);
-    let (c6, c7) = h3.split_at_mut(n);
-    let (a0, a1) = (&a[..k], &a[k..2 * k]);
-    let (a2, a3) = (&a[2 * k..3 * k], &a[3 * k..4 * k]);
-    let (a4, a5) = (&a[4 * k..5 * k], &a[5 * k..6 * k]);
-    let (a6, a7) = (&a[6 * k..7 * k], &a[7 * k..8 * k]);
-    for j in 0..n {
-        let brow = &bd[j * k..(j + 1) * k];
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-        let (mut s4, mut s5, mut s6, mut s7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-        for (idx, &bv) in brow.iter().enumerate() {
-            s0 += a0[idx] * bv;
-            s1 += a1[idx] * bv;
-            s2 += a2[idx] * bv;
-            s3 += a3[idx] * bv;
-            s4 += a4[idx] * bv;
-            s5 += a5[idx] * bv;
-            s6 += a6[idx] * bv;
-            s7 += a7[idx] * bv;
-        }
-        c0[j] = s0;
-        c1[j] = s1;
-        c2[j] = s2;
-        c3[j] = s3;
-        c4[j] = s4;
-        c5[j] = s5;
-        c6[j] = s6;
-        c7[j] = s7;
-    }
-}
-
-/// Four-row dot block (tail of a [`matmul_a_bt`] row group).
-#[inline]
-fn dot4(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, k: usize) {
-    let (h0, h1) = c.split_at_mut(2 * n);
-    let (c0, c1) = h0.split_at_mut(n);
-    let (c2, c3) = h1.split_at_mut(n);
-    for j in 0..n {
-        let brow = &bd[j * k..(j + 1) * k];
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-        for ((((&a0, &a1), &a2), &a3), &bv) in a[..k]
-            .iter()
-            .zip(&a[k..2 * k])
-            .zip(&a[2 * k..3 * k])
-            .zip(&a[3 * k..4 * k])
-            .zip(brow)
-        {
-            s0 += a0 * bv;
-            s1 += a1 * bv;
-            s2 += a2 * bv;
-            s3 += a3 * bv;
-        }
-        c0[j] = s0;
-        c1[j] = s1;
-        c2[j] = s2;
-        c3[j] = s3;
-    }
-}
-
-/// Two-row dot block.
-#[inline]
-fn dot2(c: &mut [f32], a: &[f32], bd: &[f32], n: usize, k: usize) {
-    let (c0, c1) = c.split_at_mut(n);
-    for j in 0..n {
-        let brow = &bd[j * k..(j + 1) * k];
-        let (mut s0, mut s1) = (0.0f32, 0.0f32);
-        for ((&a0, &a1), &bv) in a[..k].iter().zip(&a[k..2 * k]).zip(brow) {
-            s0 += a0 * bv;
-            s1 += a1 * bv;
-        }
-        c0[j] = s0;
-        c1[j] = s1;
-    }
-}
-
-/// Single-row dot block.
-#[inline]
-fn dot1(c: &mut [f32], a: &[f32], bd: &[f32], k: usize) {
-    for (j, cv) in c.iter_mut().enumerate() {
-        let brow = &bd[j * k..(j + 1) * k];
-        let mut acc = 0.0f32;
-        for (&av, &bv) in a.iter().zip(brow) {
-            acc += av * bv;
-        }
-        *cv = acc;
-    }
+    gemm(Variant::AtB, a.data(), b.data(), m, k, n)
 }
 
 /// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (result `[m, n]`).
 ///
 /// Used by the linear layer's forward pass (`Y = X · Wᵀ` when `W: [out, in]`
 /// is stored row-major by output), for input gradients, and as the GEMM
-/// behind im2col convolution. Row blocks of `C` are computed in parallel;
-/// within a block each streamed row of `B` feeds up to eight dot products
-/// at once, so a batched forward pass traverses the weight matrix once per
-/// eight samples instead of once per sample. Each output element still sums
-/// over `k` in ascending order with a single accumulator, so results are
-/// bitwise independent of the row-blocking width.
+/// behind im2col convolution. The packed path transposes `B` into panels
+/// once, so this flavour runs the same microkernel at the same rate as
+/// [`matmul`] — the old dot-product formulation paid ~5× for the same
+/// FLOPs. Bitwise identical to [`reference::matmul_a_bt_ref`].
 ///
 /// # Panics
 ///
 /// Panics if the operands are not matrices or the trailing dimensions differ.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
-    let _kt = crate::profile::kernel_timer("matmul_a_bt");
     assert_eq!(a.ndim(), 2, "matmul_a_bt: A must be a matrix");
     assert_eq!(b.ndim(), 2, "matmul_a_bt: B must be a matrix");
     let (m, k) = (a.dim(0), a.dim(1));
     let (n, kb) = (b.dim(0), b.dim(1));
     assert_eq!(k, kb, "matmul_a_bt: trailing dims {k} vs {kb}");
-    let mut c = Tensor::zeros(&[m, n]);
-    if m == 0 || n == 0 || k == 0 {
-        return c;
-    }
-    let (ad, bd) = (a.data(), b.data());
-    // When B spills the last-level cache the product is bound by streaming
-    // B, so wide row groups (which traverse B once per eight rows) win; for
-    // cache-resident B the two-row block's shorter dependency set is faster.
-    // Either way each element is one ascending-`k` accumulator chain, so the
-    // choice cannot change results.
-    let wide = 4 * n * k > (2 << 20);
-    let rows_per_block = m.div_ceil(matmul_threads(m * k * n));
-    parallel_for_chunks_mut(c.data_mut(), rows_per_block * n, |block, cblock| {
-        let i0 = block * rows_per_block;
-        let mut i = i0;
-        // peel the widest dot block that fits, then fall through:
-        // 8-row, then 4-row, then 2-row, then a single row
-        let mut remaining = cblock;
-        if wide {
-            while remaining.len() >= 8 * n {
-                let (chunk, rest) = split_rows(remaining, 8 * n);
-                dot8(chunk, &ad[i * k..(i + 8) * k], bd, n, k);
-                remaining = rest;
-                i += 8;
-            }
-            if remaining.len() >= 4 * n {
-                let (chunk, rest) = split_rows(remaining, 4 * n);
-                dot4(chunk, &ad[i * k..(i + 4) * k], bd, n, k);
-                remaining = rest;
-                i += 4;
-            }
-        }
-        while remaining.len() >= 2 * n {
-            let (chunk, rest) = split_rows(remaining, 2 * n);
-            dot2(chunk, &ad[i * k..(i + 2) * k], bd, n, k);
-            remaining = rest;
-            i += 2;
-        }
-        if !remaining.is_empty() {
-            dot1(remaining, &ad[i * k..(i + 1) * k], bd, k);
-        }
-    });
-    c
+    gemm(Variant::ABt, a.data(), b.data(), m, k, n)
 }
 
 /// Matrix–vector product `y = A · x` for `A: [m, n]`, `x: [n]`.
 ///
-/// Small enough in every call site that it stays serial.
+/// Small enough in every call site that it stays serial; bitwise identical
+/// to [`reference::matvec_ref`].
 ///
 /// # Panics
 ///
 /// Panics on dimension mismatch.
 pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
-    let _kt = crate::profile::kernel_timer("matvec");
     assert_eq!(a.ndim(), 2, "matvec: A must be a matrix");
     let (m, n) = (a.dim(0), a.dim(1));
     assert_eq!(x.len(), n, "matvec: dim mismatch");
+    let _kt = crate::profile::kernel_timer_call(crate::profile::KernelCall {
+        name: "matvec",
+        routine: select_matvec(m, n),
+        shape: [m, n, 1],
+    });
     let mut y = Tensor::zeros(&[m]);
     let (ad, xd) = (a.data(), x.data());
+    let yd = y.data_mut();
     for i in 0..m {
-        let row = &ad[i * n..(i + 1) * n];
-        y.data_mut()[i] = row.iter().zip(xd).map(|(&a, &b)| a * b).sum();
+        let mut acc = 0.0f32;
+        for (&av, &xv) in ad[i * n..(i + 1) * n].iter().zip(xd) {
+            acc = xv.mul_add(av, acc);
+        }
+        yd[i] = acc;
     }
     y
 }
@@ -489,12 +402,37 @@ mod tests {
             (7, 13, 11),
             (2, 300, 3),
             (65, 4, 9),
+            (70, 64, 70),
         ] {
             let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
             let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
             let fast = matmul(&a, &b);
             let slow = naive_matmul(&a, &b);
             assert!(fast.max_abs_diff(&slow) < 1e-4, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn all_flavours_match_oracle_bitwise() {
+        let mut rng = Rng::new(21);
+        for &(m, k, n) in &[(5, 7, 3), (64, 64, 64), (130, 33, 66), (3, 500, 20)] {
+            let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+            assert_eq!(matmul(&a, &b), reference::matmul_ref(&a, &b), "{m}x{k}x{n}");
+
+            let at = Tensor::rand_uniform(&[k, m], -1.0, 1.0, &mut rng);
+            assert_eq!(
+                matmul_at_b(&at, &b),
+                reference::matmul_at_b_ref(&at, &b),
+                "{m}x{k}x{n}"
+            );
+
+            let bt = Tensor::rand_uniform(&[n, k], -1.0, 1.0, &mut rng);
+            assert_eq!(
+                matmul_a_bt(&a, &bt),
+                reference::matmul_a_bt_ref(&a, &bt),
+                "{m}x{k}x{n}"
+            );
         }
     }
 

@@ -1,0 +1,181 @@
+//! Panel packing for the BLIS-style GEMM path.
+//!
+//! The packed GEMM driver in [`crate::linalg`] never feeds strided operand
+//! memory to the inner loop. Instead it copies operands into two fixed
+//! panel layouts sized for the register microkernel in
+//! [`crate::microkernel`]:
+//!
+//! * **A panels** hold [`MR`] logical rows of `A`
+//!   interleaved by `k`-index: `apanel[p * MR + r]` is row `i0 + r`,
+//!   column `p`. One load of `MR` consecutive floats yields the broadcast
+//!   operands for one rank-1 update step.
+//! * **B panels** hold [`NR`](crate::microkernel::NR) logical columns of
+//!   `B` interleaved the same way: `bpanel[p * NR + j]` is row `p`, column
+//!   `j0 + j`. Each `p` step reads `NR` consecutive floats — the vector
+//!   operands of the same update.
+//!
+//! Edge blocks (fewer than `MR` rows / `NR` columns left) are zero-padded
+//! so the microkernel always runs at full width; the padded lanes feed
+//! accumulators that are simply never stored, which keeps the live lanes'
+//! ascending-`k` accumulation chains untouched (see `DESIGN.md` §12).
+//!
+//! Every transpose flavour of the GEMM family packs into these same two
+//! layouts — the only thing that differs per flavour is the gather order
+//! out of the source matrix, so the microkernel and driver are shared:
+//!
+//! | routine                        | A gather              | B gather              |
+//! |--------------------------------|-----------------------|-----------------------|
+//! | `matmul` (`A·B`)               | [`pack_a_rows`]       | [`pack_b_cols`]       |
+//! | `matmul_at_b` (`Aᵀ·B`)         | [`pack_a_cols`]       | [`pack_b_cols`]       |
+//! | `matmul_a_bt` (`A·Bᵀ`)         | [`pack_a_rows`]       | [`pack_b_rows`]       |
+
+// pv-analyze: allow-file(hotpath-slice-index) -- the pack gathers index
+// into the source matrix with strided offsets (`a[(i0 + r) * k + p]`)
+// that have no iterator equivalent; every index is bounded by the
+// caller's (m, k, n) and the debug_assert'd buffer length.
+
+use crate::microkernel::MR;
+
+/// Packs rows `i0 .. i0 + MR` of row-major `a: [m, k]` into an A panel
+/// (`apanel[p * MR + r] = a[i0 + r, p]`), zero-padding rows past `m`.
+///
+/// `buf` must hold `k * MR` floats.
+pub fn pack_a_rows(a: &[f32], m: usize, k: usize, i0: usize, buf: &mut [f32]) {
+    debug_assert_eq!(buf.len(), k * MR);
+    let rows = (m - i0).min(MR);
+    if rows == MR {
+        // Full block: walk the MR source rows in lockstep so every store
+        // is sequential in the panel.
+        for (p, dst) in buf.chunks_exact_mut(MR).enumerate() {
+            for (r, d) in dst.iter_mut().enumerate() {
+                *d = a[(i0 + r) * k + p];
+            }
+        }
+    } else {
+        for (p, dst) in buf.chunks_exact_mut(MR).enumerate() {
+            for (r, d) in dst.iter_mut().enumerate() {
+                *d = if r < rows { a[(i0 + r) * k + p] } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Packs columns `i0 .. i0 + MR` of row-major `a: [k, m]` into an A panel
+/// (`apanel[p * MR + r] = a[p, i0 + r]`), zero-padding columns past `m`.
+///
+/// This is the `Aᵀ·B` gather: logical row `i` of `Aᵀ` is stored column `i`
+/// of `a`, so each `p` step reads `MR` *consecutive* floats of the source.
+/// `buf` must hold `k * MR` floats.
+pub fn pack_a_cols(a: &[f32], k: usize, m: usize, i0: usize, buf: &mut [f32]) {
+    debug_assert_eq!(buf.len(), k * MR);
+    let rows = (m - i0).min(MR);
+    for (p, dst) in buf.chunks_exact_mut(MR).enumerate() {
+        let src = &a[p * m + i0..p * m + i0 + rows];
+        dst[..rows].copy_from_slice(src);
+        for d in &mut dst[rows..] {
+            *d = 0.0;
+        }
+    }
+}
+
+/// Packs columns `j0 .. j0 + nr` of row-major `b: [k, n]` into a B panel
+/// (`bpanel[p * nr + j] = b[p, j0 + j]`), zero-padding columns past `n`.
+///
+/// `nr` is the panel width ([`NR`](crate::microkernel::NR) or a narrower
+/// selector choice); `buf`
+/// must hold `k * nr` floats.
+pub fn pack_b_cols(b: &[f32], k: usize, n: usize, j0: usize, nr: usize, buf: &mut [f32]) {
+    debug_assert_eq!(buf.len(), k * nr);
+    let cols = (n - j0).min(nr);
+    for (p, dst) in buf.chunks_exact_mut(nr).enumerate() {
+        let src = &b[p * n + j0..p * n + j0 + cols];
+        dst[..cols].copy_from_slice(src);
+        for d in &mut dst[cols..] {
+            *d = 0.0;
+        }
+    }
+}
+
+/// Packs rows `j0 .. j0 + nr` of row-major `b: [n, k]` into a B panel
+/// (`bpanel[p * nr + j] = b[j0 + j, p]`), zero-padding rows past `n`.
+///
+/// This is the `A·Bᵀ` gather: logical column `j` of `Bᵀ` is stored row `j`
+/// of `b`. The copy walks each source row once (sequential reads, strided
+/// stores) — an explicit transpose into panel form, done once per panel
+/// instead of once per output row as the old dot-product kernels did.
+/// `buf` must hold `k * nr` floats.
+pub fn pack_b_rows(b: &[f32], n: usize, k: usize, j0: usize, nr: usize, buf: &mut [f32]) {
+    debug_assert_eq!(buf.len(), k * nr);
+    let cols = (n - j0).min(nr);
+    for j in 0..cols {
+        let src = &b[(j0 + j) * k..(j0 + j + 1) * k];
+        for (p, &v) in src.iter().enumerate() {
+            buf[p * nr + j] = v;
+        }
+    }
+    if cols < nr {
+        for dst in buf.chunks_exact_mut(nr) {
+            for d in &mut dst[cols..] {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microkernel::NR;
+
+    #[test]
+    fn a_rows_interleaves_and_pads() {
+        // a = [[1,2,3],[4,5,6]] (m=2, k=3), block at i0=0 with MR=4
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut buf = vec![-1.0; 3 * MR];
+        pack_a_rows(&a, 2, 3, 0, &mut buf);
+        for p in 0..3 {
+            assert_eq!(buf[p * MR], a[p]);
+            assert_eq!(buf[p * MR + 1], a[3 + p]);
+            assert_eq!(&buf[p * MR + 2..p * MR + MR], &[0.0; MR - 2]);
+        }
+    }
+
+    #[test]
+    fn a_cols_matches_a_rows_of_transpose() {
+        // a: [k=3, m=5]; packing its columns must equal packing the rows
+        // of the explicit transpose.
+        let (k, m) = (3, 5);
+        let a: Vec<f32> = (0..k * m).map(|i| i as f32).collect();
+        let at: Vec<f32> = (0..m * k).map(|i| a[(i % k) * m + i / k]).collect();
+        for i0 in [0, MR] {
+            let mut by_cols = vec![0.0; k * MR];
+            let mut by_rows = vec![0.0; k * MR];
+            pack_a_cols(&a, k, m, i0, &mut by_cols);
+            pack_a_rows(&at, m, k, i0, &mut by_rows);
+            assert_eq!(by_cols, by_rows, "i0={i0}");
+        }
+    }
+
+    #[test]
+    fn b_rows_matches_b_cols_of_transpose() {
+        let (n, k) = (7, 4);
+        let b: Vec<f32> = (0..n * k).map(|i| (i * 3 % 11) as f32).collect();
+        let bt: Vec<f32> = (0..k * n).map(|i| b[(i % n) * k + i / n]).collect();
+        for nr in [4, NR] {
+            for j0 in (0..n).step_by(nr) {
+                let mut by_rows = vec![f32::NAN; k * nr];
+                let mut by_cols = vec![f32::NAN; k * nr];
+                pack_b_rows(&b, n, k, j0, nr, &mut by_rows);
+                pack_b_cols(&bt, k, n, j0, nr, &mut by_cols);
+                assert_eq!(by_rows, by_cols, "nr={nr} j0={j0}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_k_panels_are_empty() {
+        let mut buf = [0.0f32; 0];
+        pack_a_rows(&[], 4, 0, 0, &mut buf);
+        pack_b_cols(&[], 0, 4, 0, NR, &mut buf);
+    }
+}

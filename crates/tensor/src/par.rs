@@ -38,7 +38,15 @@ static ENV_THREADS: OnceLock<usize> = OnceLock::new();
 
 /// Minimum number of scalar operations below which parallel dispatch is not
 /// worth the thread-spawn overhead and work runs serially.
-pub const MIN_PARALLEL_WORK: usize = 1 << 15;
+///
+/// Calibrated against the packed GEMM path: a `std::thread::scope` spawn
+/// round-trip costs tens of microseconds, during which the microkernel
+/// retires on the order of 10⁶ multiply-adds — so anything under ~10⁵
+/// scalar ops is cheaper to run in place. The old `1 << 15` threshold let
+/// small shapes (per-layer products in `mini_resnet` at batch 32) fan out
+/// for sub-spawn-cost work, which is where the 0.9× "speedups" in earlier
+/// `BENCH_kernels.json` rows came from.
+pub const MIN_PARALLEL_WORK: usize = 1 << 17;
 
 /// Number of consecutive indices summed per partial in
 /// [`parallel_sum_f64`]. Fixed (independent of thread count) so the
@@ -91,6 +99,19 @@ pub fn set_thread_override(n: Option<usize>) {
 /// ([`MIN_PARALLEL_WORK`]) given the current [`num_threads`].
 pub fn worth_parallelizing(work: usize) -> bool {
     num_threads() > 1 && work >= MIN_PARALLEL_WORK
+}
+
+/// How many workers to fan `work` scalar operations out to: enough that
+/// every worker gets at least [`MIN_PARALLEL_WORK`] ops, capped at
+/// [`num_threads`]. Returns 1 (run serially, spawn nothing) for work
+/// below the threshold — the scheduling half of the small-shape fix
+/// described on [`MIN_PARALLEL_WORK`].
+pub fn worker_count(work: usize) -> usize {
+    let t = num_threads();
+    if t <= 1 || work < MIN_PARALLEL_WORK {
+        return 1;
+    }
+    t.min(work / MIN_PARALLEL_WORK)
 }
 
 /// Splits `data` into consecutive chunks of `chunk_len` elements (the last
@@ -452,6 +473,21 @@ mod tests {
         });
         with_override(1, || {
             assert!(!worth_parallelizing(usize::MAX));
+        });
+    }
+
+    #[test]
+    fn worker_count_scales_with_work() {
+        with_override(8, || {
+            assert_eq!(worker_count(0), 1);
+            assert_eq!(worker_count(MIN_PARALLEL_WORK - 1), 1);
+            // enough for some workers but not all eight
+            assert_eq!(worker_count(3 * MIN_PARALLEL_WORK), 3);
+            // saturates at the thread count
+            assert_eq!(worker_count(100 * MIN_PARALLEL_WORK), 8);
+        });
+        with_override(1, || {
+            assert_eq!(worker_count(usize::MAX), 1);
         });
     }
 }

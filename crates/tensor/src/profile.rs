@@ -16,6 +16,32 @@
 
 use std::sync::OnceLock;
 
+/// One kernel invocation's identity, as reported to the hook: the public
+/// kernel family, the routine the shape-keyed selector picked for it, and
+/// the problem shape itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCall {
+    /// Public kernel family, e.g. `"matmul"` or `"conv2d_forward"`.
+    pub name: &'static str,
+    /// Routine chosen by [`fn@crate::select`] (e.g. `"packed4x64"`), or `""`
+    /// for kernels with a single implementation.
+    pub routine: &'static str,
+    /// Up to three significant problem extents (`[m, k, n]` for the GEMM
+    /// family, `[rows, k, n]` for im2col-shaped calls), zero-filled.
+    pub shape: [usize; 3],
+}
+
+impl KernelCall {
+    /// A call with no routing or shape detail (plain [`kernel_timer`]).
+    pub fn bare(name: &'static str) -> Self {
+        Self {
+            name,
+            routine: "",
+            shape: [0; 3],
+        }
+    }
+}
+
 /// A sink for kernel enter/exit events, registered once per process.
 pub trait KernelHook: Send + Sync {
     /// Called when a kernel starts; the returned token (e.g. a timestamp)
@@ -23,6 +49,12 @@ pub trait KernelHook: Send + Sync {
     fn begin(&self) -> u64;
     /// Called when the kernel named `name` finishes.
     fn end(&self, name: &'static str, begin_token: u64);
+    /// Called when a kernel finishes, with full routing detail. The
+    /// default forwards to [`KernelHook::end`] so existing hooks keep
+    /// working; pv-obs overrides it to label spans with shape + routine.
+    fn end_call(&self, call: &KernelCall, begin_token: u64) {
+        self.end(call.name, begin_token);
+    }
 }
 
 static HOOK: OnceLock<&'static dyn KernelHook> = OnceLock::new();
@@ -42,7 +74,7 @@ pub fn kernel_hook() -> Option<&'static dyn KernelHook> {
 /// [`kernel_timer`], reports to the hook (if any) on drop.
 #[must_use = "a kernel timer reports on drop; binding it to `_` ends the measurement immediately"]
 pub struct KernelTimer {
-    name: &'static str,
+    call: KernelCall,
     begin_token: u64,
     hook: Option<&'static dyn KernelHook>,
 }
@@ -50,10 +82,16 @@ pub struct KernelTimer {
 /// Starts timing the kernel named `name`. A no-op when no hook is
 /// registered.
 pub fn kernel_timer(name: &'static str) -> KernelTimer {
+    kernel_timer_call(KernelCall::bare(name))
+}
+
+/// Starts timing one fully described kernel invocation (family + selected
+/// routine + shape). A no-op when no hook is registered.
+pub fn kernel_timer_call(call: KernelCall) -> KernelTimer {
     let hook = kernel_hook();
     let begin_token = hook.map_or(0, KernelHook::begin);
     KernelTimer {
-        name,
+        call,
         begin_token,
         hook,
     }
@@ -62,7 +100,7 @@ pub fn kernel_timer(name: &'static str) -> KernelTimer {
 impl Drop for KernelTimer {
     fn drop(&mut self) {
         if let Some(h) = self.hook {
-            h.end(self.name, self.begin_token);
+            h.end_call(&self.call, self.begin_token);
         }
     }
 }
@@ -74,6 +112,7 @@ mod tests {
 
     struct TestHook {
         events: Mutex<Vec<(&'static str, u64)>>,
+        calls: Mutex<Vec<KernelCall>>,
     }
 
     impl KernelHook for TestHook {
@@ -86,10 +125,18 @@ mod tests {
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push((name, begin_token));
         }
+        fn end_call(&self, call: &KernelCall, begin_token: u64) {
+            self.calls
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(*call);
+            self.end(call.name, begin_token);
+        }
     }
 
     static TEST_HOOK: TestHook = TestHook {
         events: Mutex::new(Vec::new()),
+        calls: Mutex::new(Vec::new()),
     };
 
     #[test]
@@ -108,6 +155,18 @@ mod tests {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         assert!(events.contains(&("matmul", 41)), "{events:?}");
+        drop(events);
+        // the routed matmul reports its selected routine and shape
+        let calls = TEST_HOOK
+            .calls
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert!(
+            calls
+                .iter()
+                .any(|c| c.name == "matmul" && c.shape == [2, 2, 2] && !c.routine.is_empty()),
+            "{calls:?}"
+        );
     }
 
     #[test]

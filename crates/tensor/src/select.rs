@@ -1,0 +1,177 @@
+//! Shape-keyed GEMM routine selection.
+//!
+//! Every public product in [`crate::linalg`] asks [`select`] which routine
+//! to run for its `(variant, m, k, n)` problem before doing any work. The
+//! decision is purely shape-keyed — it never inspects operand values — and
+//! every candidate routine produces bitwise identical output (each output
+//! element is the same ascending-`k` fused multiply-add chain; see
+//! `DESIGN.md` §12), so selection is a pure performance choice that can be
+//! retuned without a numerics migration.
+//!
+//! The routine space:
+//!
+//! * [`Routine::PackedWide`] — pack into [`MR`](crate::microkernel::MR)`×`[`NR`] panels and run
+//!   the wide register microkernel. The default for anything
+//!   cache-blocking can help: square GEMMs, im2col-shaped convolution
+//!   inner products, and wide training batches.
+//! * [`Routine::PackedNarrow`] — same driver with
+//!   [`NR_NARROW`]-wide B panels. Chosen when `n` is small or awkwardly
+//!   off the wide panel grid, where a 64-wide panel would spend most of
+//!   its FMA lanes on zero padding (classifier heads, thin conv filter
+//!   banks, tall-skinny backward products).
+//! * [`Routine::Direct`] — no packing: a rank-1-update loop (for `A·B` /
+//!   `Aᵀ·B` gathers) or dot-product loop (`A·Bᵀ`, matvec-like) straight
+//!   over the source operands. Chosen when the problem is too small to
+//!   amortize panel copies, and for degenerate/matvec-like edges
+//!   (`n == 1`, `k == 0`, …).
+//!
+//! The thresholds were tuned against `cargo bench -p pv-bench --bench
+//! kernels` on the reference AVX-512 host; they are deliberately coarse —
+//! the packed kernels win by multiples, not percents, away from the
+//! boundaries.
+
+use crate::microkernel::{NR, NR_NARROW};
+
+/// Which product the caller is computing (operand storage differs; the
+/// packed panel layouts do not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// `C = A·B`, `A: [m, k]`, `B: [k, n]`.
+    Ab,
+    /// `C = Aᵀ·B`, `A: [k, m]`, `B: [k, n]`.
+    AtB,
+    /// `C = A·Bᵀ`, `A: [m, k]`, `B: [n, k]`.
+    ABt,
+}
+
+impl Variant {
+    /// Kernel-family name used in profiling spans (`pv-obs`).
+    pub fn kernel_name(self) -> &'static str {
+        match self {
+            Variant::Ab => "matmul",
+            Variant::AtB => "matmul_at_b",
+            Variant::ABt => "matmul_a_bt",
+        }
+    }
+}
+
+/// The routine [`select`] chose for a problem shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routine {
+    /// Packed panels + the `MR × NR` wide register microkernel.
+    PackedWide,
+    /// Packed panels + the `MR × NR_NARROW` microkernel.
+    PackedNarrow,
+    /// Unpacked fallback straight over the source operands.
+    Direct,
+}
+
+impl Routine {
+    /// Stable routine label used in profiling spans and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Routine::PackedWide => "packed4x64",
+            Routine::PackedNarrow => "packed4x16",
+            Routine::Direct => "direct",
+        }
+    }
+
+    /// The B-panel width this routine packs to (`None` for [`Routine::Direct`]).
+    pub fn panel_width(self) -> Option<usize> {
+        match self {
+            Routine::PackedWide => Some(NR),
+            Routine::PackedNarrow => Some(NR_NARROW),
+            Routine::Direct => None,
+        }
+    }
+}
+
+/// Below this many multiply-adds the panel copies cost more than they save
+/// and the direct routines win (measured crossover is shape-dependent but
+/// sits well under this at every bench shape).
+const MIN_PACK_FLOPS: usize = 1 << 13;
+
+/// Relative FMA throughput of the wide kernel over the narrow one on the
+/// reference host (~120 vs ~80 GFLOP/s), as a ratio scaled by 4: the wide
+/// kernel must beat the narrow one even after computing `4/6` more padding
+/// for us to choose it.
+const WIDE_SPEED_NUM: usize = 6;
+/// Denominator of the wide:narrow throughput ratio.
+const WIDE_SPEED_DEN: usize = 4;
+
+/// Picks the routine for one product. Pure function of shape.
+pub fn select(variant: Variant, m: usize, k: usize, n: usize) -> Routine {
+    let _ = variant; // the decision is currently variant-agnostic
+    if m == 0 || n == 0 || k == 0 {
+        return Routine::Direct;
+    }
+    // Matvec-like edges: a single output column (or row with one input
+    // column) cannot feed a panel kernel anything but padding.
+    if n == 1 || k == 1 {
+        return Routine::Direct;
+    }
+    if m * k * n < MIN_PACK_FLOPS {
+        return Routine::Direct;
+    }
+    // Padded problem sizes under each panel width…
+    let padded_wide = n.div_ceil(NR) * NR;
+    let padded_narrow = n.div_ceil(NR_NARROW) * NR_NARROW;
+    // …cost-weighted by kernel throughput: wide wins when its padded
+    // column count, discounted by its higher FMA rate, still beats the
+    // narrow kernel's padded count.
+    if padded_wide * WIDE_SPEED_DEN <= padded_narrow * WIDE_SPEED_NUM {
+        Routine::PackedWide
+    } else {
+        Routine::PackedNarrow
+    }
+}
+
+/// Selection for the matrix–vector product `y = A·x` (`A: [m, n]`): always
+/// the direct dot chain, reported under a stable label. Exists so pv-obs
+/// span labels cover every routed kernel uniformly.
+pub fn select_matvec(_m: usize, _n: usize) -> &'static str {
+    "direct"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_and_tiny_shapes_go_direct() {
+        assert_eq!(select(Variant::Ab, 0, 8, 8), Routine::Direct);
+        assert_eq!(select(Variant::Ab, 8, 0, 8), Routine::Direct);
+        assert_eq!(select(Variant::AtB, 8, 8, 1), Routine::Direct);
+        assert_eq!(select(Variant::ABt, 4, 4, 4), Routine::Direct);
+    }
+
+    #[test]
+    fn square_gemm_goes_wide() {
+        assert_eq!(select(Variant::Ab, 256, 256, 256), Routine::PackedWide);
+        assert_eq!(select(Variant::ABt, 256, 256, 256), Routine::PackedWide);
+    }
+
+    #[test]
+    fn thin_output_goes_narrow() {
+        // n = 10 (classifier head): 64-wide panels would be 84% padding.
+        assert_eq!(select(Variant::ABt, 512, 128, 10), Routine::PackedNarrow);
+        // n = 27 (3x3x3 filter gradient): still narrow.
+        assert_eq!(select(Variant::AtB, 32, 8192, 27), Routine::PackedNarrow);
+    }
+
+    #[test]
+    fn wide_tolerates_modest_padding() {
+        // n = 144: padded to 192 wide (1.33x) vs 144 narrow — wide's
+        // throughput edge covers it.
+        assert_eq!(select(Variant::Ab, 1024, 32, 144), Routine::PackedWide);
+    }
+
+    #[test]
+    fn selection_is_pure_and_variant_agnostic() {
+        for &(m, k, n) in &[(7, 9, 11), (256, 256, 256), (64, 4096, 3)] {
+            let r = select(Variant::Ab, m, k, n);
+            assert_eq!(r, select(Variant::AtB, m, k, n));
+            assert_eq!(r, select(Variant::ABt, m, k, n));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Packed-GEMM-vs-scalar-oracle property suite.
+//!
+//! Every routed product (`matmul`, `matmul_at_b`, `matmul_a_bt`,
+//! `matvec`) must be **bitwise identical** to the naive scalar oracle in
+//! `pv_tensor::linalg::reference` — not approximately equal — at every
+//! thread count. `Tensor` derives exact `PartialEq` over `f32` storage,
+//! so `assert_eq!` is a bit-for-bit check.
+//!
+//! The shape grid deliberately hammers the degenerate and misaligned
+//! cases: single rows/columns, empty and unit `k`, and extents that are
+//! not multiples of the microkernel geometry (`MR = 4`, `NR = 64`,
+//! `NR_NARROW = 16`), so every zero-padded panel edge and partial tile
+//! store is exercised, at 1, 2, and 7 threads.
+
+use pv_tensor::linalg::reference;
+use pv_tensor::microkernel::{MR, NR, NR_NARROW};
+use pv_tensor::par::set_thread_override;
+use pv_tensor::{matmul, matmul_a_bt, matmul_at_b, matvec, select, Routine, Variant};
+use pv_tensor::{Rng, Tensor};
+use std::sync::Mutex;
+
+/// Serializes tests in this binary around the process-wide thread override.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// The property grid: degenerate extents, unit extents, exact multiples
+/// of the microkernel geometry, and every off-by-one around it.
+fn shapes() -> Vec<(usize, usize, usize)> {
+    let mut shapes = vec![
+        // degenerate: empty k (both flavours must yield exact zeros)
+        (3, 0, 5),
+        (1, 0, 1),
+        // unit extents: 1xN, Mx1, k=1
+        (1, 17, 30),
+        (1, 1, NR + 1),
+        (29, 16, 1),
+        (1, 5, 1),
+        (9, 1, 33),
+        // misaligned around MR / NR / NR_NARROW
+        (MR - 1, 10, NR - 1),
+        (MR + 1, 13, NR + 1),
+        (2 * MR + 1, 31, NR_NARROW - 1),
+        (17, 29, NR_NARROW + 1),
+        (33, 7, 2 * NR + 3),
+        // exact multiples (no partial tiles at all)
+        (2 * MR, 8, NR),
+        (8, 32, NR_NARROW),
+        // big enough for multi-chunk parallel dispatch
+        (130, 67, 65),
+        (257, 40, 130),
+    ];
+    shapes.push((MR, 1, NR_NARROW));
+    shapes
+}
+
+/// Asserts `got() == want` bitwise at every tested thread count.
+fn assert_matches_oracle_at_all_thread_counts(
+    label: &str,
+    shape: (usize, usize, usize),
+    want: &Tensor,
+    got: impl Fn() -> Tensor,
+) {
+    for threads in THREAD_COUNTS {
+        set_thread_override(Some(threads));
+        let out = got();
+        assert_eq!(
+            &out, want,
+            "{label} {shape:?} diverged from the scalar oracle at {threads} threads"
+        );
+    }
+    set_thread_override(None);
+}
+
+#[test]
+fn all_gemm_flavours_match_scalar_oracle_bitwise() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let mut rng = Rng::new(2026);
+    for (m, k, n) in shapes() {
+        let a = Tensor::rand_uniform(&[m, k], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -2.0, 2.0, &mut rng);
+        let want = reference::matmul_ref(&a, &b);
+        assert_matches_oracle_at_all_thread_counts("matmul", (m, k, n), &want, || matmul(&a, &b));
+
+        let at = Tensor::rand_uniform(&[k, m], -2.0, 2.0, &mut rng);
+        let want = reference::matmul_at_b_ref(&at, &b);
+        assert_matches_oracle_at_all_thread_counts("matmul_at_b", (m, k, n), &want, || {
+            matmul_at_b(&at, &b)
+        });
+
+        let bt = Tensor::rand_uniform(&[n, k], -2.0, 2.0, &mut rng);
+        let want = reference::matmul_a_bt_ref(&a, &bt);
+        assert_matches_oracle_at_all_thread_counts("matmul_a_bt", (m, k, n), &want, || {
+            matmul_a_bt(&a, &bt)
+        });
+    }
+}
+
+#[test]
+fn matvec_matches_scalar_oracle_bitwise() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let mut rng = Rng::new(7);
+    for (m, n) in [(1, 1), (1, 37), (65, 1), (33, 129), (257, 64)] {
+        let a = Tensor::rand_uniform(&[m, n], -2.0, 2.0, &mut rng);
+        let x = Tensor::rand_uniform(&[n], -2.0, 2.0, &mut rng);
+        let want = reference::matvec_ref(&a, &x);
+        assert_matches_oracle_at_all_thread_counts("matvec", (m, n, 1), &want, || matvec(&a, &x));
+    }
+}
+
+#[test]
+fn degenerate_products_are_exact_zeros() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let a = Tensor::rand_uniform(&[4, 0], -1.0, 1.0, &mut Rng::new(3));
+    let b = Tensor::rand_uniform(&[0, 6], -1.0, 1.0, &mut Rng::new(4));
+    for threads in THREAD_COUNTS {
+        set_thread_override(Some(threads));
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[4, 6]);
+        assert!(c.data().iter().all(|&v| v.to_bits() == 0));
+    }
+    set_thread_override(None);
+}
+
+/// The grid is only a property suite if it actually routes through every
+/// routine — guard against selector drift silently shrinking coverage.
+#[test]
+fn shape_grid_covers_every_routine() {
+    let mut covered = [false; 3];
+    for (m, k, n) in shapes() {
+        let idx = match select(Variant::Ab, m, k, n) {
+            Routine::PackedWide => 0,
+            Routine::PackedNarrow => 1,
+            Routine::Direct => 2,
+        };
+        covered[idx] = true;
+    }
+    assert_eq!(
+        covered, [true; 3],
+        "shape grid no longer exercises [wide, narrow, direct]"
+    );
+}

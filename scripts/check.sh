@@ -42,6 +42,9 @@ cargo bench -q -p pv-bench --bench analyze
 echo "==> observability micro-bench (BENCH_obs.json)"
 cargo bench -q -p pv-bench --bench obs
 
+echo "==> kernels bench smoke gate (fails if any GFLOP/s row regresses >20% vs committed BENCH_kernels.json)"
+PV_BENCH_SMOKE=1 cargo bench -q -p pv-bench --bench kernels
+
 echo "==> serving gate: pruneval serve + loadgen loopback round-trip"
 SERVE_ADDR=127.0.0.1:17419
 target/release/pruneval serve --model mlp --scale smoke --addr "$SERVE_ADDR" &

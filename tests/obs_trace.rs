@@ -50,8 +50,19 @@ fn family_build_traces_across_crates() {
     assert_eq!(depth_of("core", "build_family"), Some(0));
     let train_depth = depth_of("nn", "train").expect("train span recorded");
     assert!(train_depth >= 1, "train nests under build_family");
-    let kernel_depth = depth_of("tensor", "matmul").expect("kernel span recorded");
-    assert!(kernel_depth > train_depth, "kernels nest under train");
+    // kernel spans are labeled `matmul MxKxN [routine]` so traces
+    // attribute time per selected GEMM routine
+    let kernel = snap
+        .spans
+        .iter()
+        .find(|s| s.cat == "tensor" && s.name.starts_with("matmul "))
+        .expect("kernel span recorded");
+    assert!(
+        kernel.name.contains('x') && kernel.name.contains('['),
+        "kernel span carries shape and routine: {}",
+        kernel.name
+    );
+    assert!(kernel.depth > train_depth, "kernels nest under train");
 
     // counter series: training steps, plus cache misses on the cold build
     // and hits on the warm one
